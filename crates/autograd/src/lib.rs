@@ -1,0 +1,29 @@
+//! Minimal reverse-mode automatic differentiation over `f64` vectors — the
+//! PyTorch stand-in of this reproduction (see DESIGN.md).
+//!
+//! The paper wires INSTA into PyTorch's autograd to compose objectives
+//! (wirelength + density + timing) and let gradients flow to leaf
+//! variables. This crate provides exactly that composition layer: a
+//! [`Tape`] records vector operations on [`Var`] handles; calling
+//! [`Tape::backward`] accumulates gradients into every leaf.
+//!
+//! Supported ops cover what the placer objective needs: elementwise
+//! add/sub/mul, scalar scaling, `abs` (with subgradient), smooth-abs, sum,
+//! L2 norm, and log-sum-exp. Everything is dense `Vec<f64>`.
+//!
+//! # Examples
+//!
+//! ```
+//! use insta_autograd::Tape;
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(vec![1.0, -2.0, 3.0]);
+//! let y = tape.abs(x);
+//! let loss = tape.sum(y);
+//! tape.backward(loss);
+//! assert_eq!(tape.grad(x), &[1.0, -1.0, 1.0]);
+//! ```
+
+mod tape;
+
+pub use tape::{Tape, Var};

@@ -1,0 +1,456 @@
+//! The reverse-mode tape.
+
+/// Handle to a tape node (a vector value with a recorded provenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f64),
+    /// Elementwise multiply by a constant vector (no gradient to the
+    /// constant).
+    WeightedBy(Var, Vec<f64>),
+    Abs(Var),
+    SmoothAbs(Var, f64),
+    Sum(Var),
+    Norm2(Var),
+    Min0(Var),
+    Lse(Var, f64),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    op: Op,
+    value: Vec<f64>,
+    grad: Vec<f64>,
+}
+
+/// A reverse-mode autodiff tape over `Vec<f64>` values.
+///
+/// Values are created with [`Tape::leaf`] and combined with the operator
+/// methods; [`Tape::backward`] seeds the target (which must be a scalar,
+/// i.e. length-1) with gradient 1 and sweeps the tape in reverse.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, op: Op, value: Vec<f64>) -> Var {
+        let grad = vec![0.0; value.len()];
+        self.nodes.push(Node { op, value, grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Registers a leaf variable.
+    pub fn leaf(&mut self, value: Vec<f64>) -> Var {
+        self.push(Op::Leaf, value)
+    }
+
+    /// The current value of a variable.
+    pub fn value(&self, v: Var) -> &[f64] {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of a variable (after [`Tape::backward`]).
+    pub fn grad(&self, v: Var) -> &[f64] {
+        &self.nodes[v.0].grad
+    }
+
+    /// The scalar value of a length-1 variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not scalar.
+    pub fn scalar(&self, v: Var) -> f64 {
+        assert_eq!(self.nodes[v.0].value.len(), 1, "variable is not scalar");
+        self.nodes[v.0].value[0]
+    }
+
+    fn binary(&mut self, a: Var, b: Var, f: impl Fn(f64, f64) -> f64, op: Op) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.len(), vb.len(), "shape mismatch");
+        let out = va.iter().zip(vb).map(|(&x, &y)| f(x, y)).collect();
+        self.push(op, out)
+    }
+
+    /// Elementwise `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x + y, Op::Add(a, b))
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x - y, Op::Sub(a, b))
+    }
+
+    /// Elementwise `a * b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x * y, Op::Mul(a, b))
+    }
+
+    /// `a * c` for scalar constant `c`.
+    pub fn scale(&mut self, a: Var, c: f64) -> Var {
+        let out = self.nodes[a.0].value.iter().map(|&x| x * c).collect();
+        self.push(Op::Scale(a, c), out)
+    }
+
+    /// Elementwise `a * w` for a constant weight vector `w` (no gradient
+    /// flows to `w`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn weighted_by(&mut self, a: Var, w: Vec<f64>) -> Var {
+        assert_eq!(self.nodes[a.0].value.len(), w.len(), "shape mismatch");
+        let out = self.nodes[a.0]
+            .value
+            .iter()
+            .zip(&w)
+            .map(|(&x, &c)| x * c)
+            .collect();
+        self.push(Op::WeightedBy(a, w), out)
+    }
+
+    /// Elementwise `|a|` with sign subgradient.
+    pub fn abs(&mut self, a: Var) -> Var {
+        let out = self.nodes[a.0].value.iter().map(|&x| x.abs()).collect();
+        self.push(Op::Abs(a), out)
+    }
+
+    /// Smooth absolute value `sqrt(x² + eps²) − eps` (differentiable at 0).
+    pub fn smooth_abs(&mut self, a: Var, eps: f64) -> Var {
+        let out = self.nodes[a.0]
+            .value
+            .iter()
+            .map(|&x| (x * x + eps * eps).sqrt() - eps)
+            .collect();
+        self.push(Op::SmoothAbs(a, eps), out)
+    }
+
+    /// Scalar Σ aᵢ.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let s = self.nodes[a.0].value.iter().sum();
+        self.push(Op::Sum(a), vec![s])
+    }
+
+    /// Scalar L2 norm ‖a‖₂.
+    pub fn norm2(&mut self, a: Var) -> Var {
+        let s = self.nodes[a.0]
+            .value
+            .iter()
+            .map(|&x| x * x)
+            .sum::<f64>()
+            .sqrt();
+        self.push(Op::Norm2(a), vec![s])
+    }
+
+    /// Elementwise `min(a, 0)` (the TNS clamp) with indicator subgradient.
+    pub fn min0(&mut self, a: Var) -> Var {
+        let out = self.nodes[a.0].value.iter().map(|&x| x.min(0.0)).collect();
+        self.push(Op::Min0(a), out)
+    }
+
+    /// Scalar log-sum-exp with temperature `tau` (smooth max, paper Eq. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is empty or `tau <= 0`.
+    pub fn lse(&mut self, a: Var, tau: f64) -> Var {
+        assert!(tau > 0.0, "tau must be positive");
+        let vals = &self.nodes[a.0].value;
+        assert!(!vals.is_empty(), "lse over empty vector");
+        let m = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let s: f64 = vals.iter().map(|&x| ((x - m) / tau).exp()).sum();
+        self.push(Op::Lse(a, tau), vec![m + tau * s.ln()])
+    }
+
+    /// Runs reverse-mode accumulation from scalar `target`.
+    ///
+    /// Gradients of all variables are reset first; repeated calls do not
+    /// accumulate across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not scalar.
+    pub fn backward(&mut self, target: Var) {
+        assert_eq!(
+            self.nodes[target.0].value.len(),
+            1,
+            "backward target must be scalar"
+        );
+        for n in self.nodes.iter_mut() {
+            n.grad.fill(0.0);
+        }
+        self.nodes[target.0].grad[0] = 1.0;
+        for i in (0..=target.0).rev() {
+            let node_grad = self.nodes[i].grad.clone();
+            if node_grad.iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            match self.nodes[i].op.clone() {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    for (j, &g) in node_grad.iter().enumerate() {
+                        self.nodes[a.0].grad[j] += g;
+                        self.nodes[b.0].grad[j] += g;
+                    }
+                }
+                Op::Sub(a, b) => {
+                    for (j, &g) in node_grad.iter().enumerate() {
+                        self.nodes[a.0].grad[j] += g;
+                        self.nodes[b.0].grad[j] -= g;
+                    }
+                }
+                Op::Mul(a, b) => {
+                    for (j, &g) in node_grad.iter().enumerate() {
+                        let (va, vb) = (self.nodes[a.0].value[j], self.nodes[b.0].value[j]);
+                        self.nodes[a.0].grad[j] += g * vb;
+                        self.nodes[b.0].grad[j] += g * va;
+                    }
+                }
+                Op::Scale(a, c) => {
+                    for (j, &g) in node_grad.iter().enumerate() {
+                        self.nodes[a.0].grad[j] += g * c;
+                    }
+                }
+                Op::WeightedBy(a, w) => {
+                    for (j, &g) in node_grad.iter().enumerate() {
+                        self.nodes[a.0].grad[j] += g * w[j];
+                    }
+                }
+                Op::Abs(a) => {
+                    for (j, &g) in node_grad.iter().enumerate() {
+                        let s = self.nodes[a.0].value[j].signum();
+                        self.nodes[a.0].grad[j] += g * if s == 0.0 { 0.0 } else { s };
+                    }
+                }
+                Op::SmoothAbs(a, eps) => {
+                    for (j, &g) in node_grad.iter().enumerate() {
+                        let x = self.nodes[a.0].value[j];
+                        self.nodes[a.0].grad[j] += g * x / (x * x + eps * eps).sqrt();
+                    }
+                }
+                Op::Sum(a) => {
+                    let g = node_grad[0];
+                    for ga in self.nodes[a.0].grad.iter_mut() {
+                        *ga += g;
+                    }
+                }
+                Op::Norm2(a) => {
+                    let g = node_grad[0];
+                    let norm = self.nodes[i].value[0];
+                    if norm > 0.0 {
+                        for j in 0..self.nodes[a.0].value.len() {
+                            let x = self.nodes[a.0].value[j];
+                            self.nodes[a.0].grad[j] += g * x / norm;
+                        }
+                    }
+                }
+                Op::Min0(a) => {
+                    for (j, &g) in node_grad.iter().enumerate() {
+                        if self.nodes[a.0].value[j] < 0.0 {
+                            self.nodes[a.0].grad[j] += g;
+                        }
+                    }
+                }
+                Op::Lse(a, tau) => {
+                    let g = node_grad[0];
+                    let vals = self.nodes[a.0].value.clone();
+                    let m = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let denom: f64 = vals.iter().map(|&x| ((x - m) / tau).exp()).sum();
+                    for (j, &x) in vals.iter().enumerate() {
+                        self.nodes[a.0].grad[j] += g * ((x - m) / tau).exp() / denom;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of tape nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Central-difference gradient check of a scalar function of one leaf.
+    fn gradcheck(
+        build: impl Fn(&mut Tape, Var) -> Var,
+        x0: Vec<f64>,
+        tol: f64,
+    ) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let y = build(&mut tape, x);
+        tape.backward(y);
+        let analytic = tape.grad(x).to_vec();
+        let eps = 1e-6;
+        for j in 0..x0.len() {
+            let eval = |delta: f64| {
+                let mut t = Tape::new();
+                let mut xp = x0.clone();
+                xp[j] += delta;
+                let x = t.leaf(xp);
+                let y = build(&mut t, x);
+                t.scalar(y)
+            };
+            let fd = (eval(eps) - eval(-eps)) / (2.0 * eps);
+            assert!(
+                (fd - analytic[j]).abs() <= tol * (1.0 + fd.abs()),
+                "component {j}: fd {fd} vs analytic {}",
+                analytic[j]
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_sum_of_abs() {
+        gradcheck(
+            |t, x| {
+                let a = t.abs(x);
+                t.sum(a)
+            },
+            vec![1.5, -2.0, 3.0],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn gradcheck_smooth_abs_at_zero() {
+        gradcheck(
+            |t, x| {
+                let a = t.smooth_abs(x, 0.5);
+                t.sum(a)
+            },
+            vec![0.0, -0.2, 0.7],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn gradcheck_norm2() {
+        gradcheck(|t, x| t.norm2(x), vec![3.0, -4.0, 1.0], 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_lse() {
+        gradcheck(|t, x| t.lse(x, 0.7), vec![1.0, 2.5, 2.4], 1e-5);
+    }
+
+    #[test]
+    fn gradcheck_composite_objective() {
+        // Mimics the placer objective: Σ|x·w| + λ‖x‖ + lse(x).
+        gradcheck(
+            |t, x| {
+                let w = t.weighted_by(x, vec![2.0, -1.0, 0.5, 3.0]);
+                let a = t.abs(w);
+                let s = t.sum(a);
+                let n = t.norm2(x);
+                let n = t.scale(n, 0.3);
+                let l = t.lse(x, 1.3);
+                let sn = t.add(s, n);
+                t.add(sn, l)
+            },
+            vec![0.5, -1.5, 2.0, -0.3],
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn gradcheck_mul_and_sub() {
+        gradcheck(
+            |t, x| {
+                let y = t.mul(x, x);
+                let z = t.sub(y, x);
+                t.sum(z)
+            },
+            vec![1.0, -2.0, 0.5],
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn min0_masks_positive_entries() {
+        let mut t = Tape::new();
+        let x = t.leaf(vec![-2.0, 3.0, -0.5]);
+        let m = t.min0(x);
+        let s = t.sum(m);
+        t.backward(s);
+        assert_eq!(t.scalar(s), -2.5);
+        assert_eq!(t.grad(x), &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_resets_between_calls() {
+        let mut t = Tape::new();
+        let x = t.leaf(vec![2.0]);
+        let y = t.scale(x, 3.0);
+        t.backward(y);
+        t.backward(y);
+        assert_eq!(t.grad(x), &[3.0], "gradients must not accumulate");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be scalar")]
+    fn backward_on_vector_panics() {
+        let mut t = Tape::new();
+        let x = t.leaf(vec![1.0, 2.0]);
+        t.backward(x);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut t = Tape::new();
+        let a = t.leaf(vec![1.0]);
+        let b = t.leaf(vec![1.0, 2.0]);
+        t.add(a, b);
+    }
+
+    proptest! {
+        /// lse upper-bounds max and is within tau*ln(n).
+        #[test]
+        fn lse_bounds(xs in proptest::collection::vec(-50.0f64..50.0, 1..10), tau in 0.05f64..5.0) {
+            let mut t = Tape::new();
+            let n = xs.len() as f64;
+            let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let x = t.leaf(xs);
+            let l = t.lse(x, tau);
+            let v = t.scalar(l);
+            prop_assert!(v >= m - 1e-9);
+            prop_assert!(v <= m + tau * n.ln() + 1e-9);
+        }
+
+        /// Linearity: grad of sum(scale(x, c)) is c everywhere.
+        #[test]
+        fn scale_sum_gradient(xs in proptest::collection::vec(-10.0f64..10.0, 1..12), c in -3.0f64..3.0) {
+            let mut t = Tape::new();
+            let x = t.leaf(xs.clone());
+            let y = t.scale(x, c);
+            let s = t.sum(y);
+            t.backward(s);
+            for &g in t.grad(x) {
+                prop_assert!((g - c).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! §III-F ablation: the differentiable (LSE) forward pass versus the
+//! evaluation (hard-max Top-K) pass, and LSE cost across temperatures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insta_bench::block_specs;
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_refsta::{RefSta, StaConfig};
+
+fn bench_lse(c: &mut Criterion) {
+    let spec = &block_specs()[4]; // block-5
+    let design = spec.build();
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let init = golden.export_insta_init();
+
+    let mut group = c.benchmark_group("ablation_lse");
+    group.sample_size(10);
+    let mut engine = InstaEngine::new(init.clone(), InstaConfig::default());
+    group.bench_function("hard_max_topk32", |b| {
+        b.iter(|| {
+            engine.propagate();
+            std::hint::black_box(engine.report().wns_ps)
+        })
+    });
+    for tau in [0.01f64, 1.0, 10.0] {
+        let mut engine = InstaEngine::new(
+            init.clone(),
+            InstaConfig {
+                lse_tau: tau,
+                ..InstaConfig::default()
+            },
+        );
+        engine.propagate();
+        group.bench_with_input(
+            BenchmarkId::new("lse_forward_tau", format!("{tau}")),
+            &tau,
+            |b, _| {
+                b.iter(|| {
+                    engine.forward_lse();
+                    std::hint::black_box(())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lse);
+criterion_main!(benches);

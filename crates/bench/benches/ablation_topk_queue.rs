@@ -1,0 +1,109 @@
+//! §III-E ablation: the paper's fixed-size sorted list versus a
+//! heap-backed priority queue for Top-K unique-startpoint maintenance.
+//!
+//! The paper argues heaps are a poor fit for per-thread Top-K maintenance;
+//! this bench shows the flat O(K²) list also wins on CPUs for the small K
+//! the algorithm uses, because the heap variant needs an auxiliary
+//! startpoint index plus lazy-deletion housekeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insta_engine::topk::{Candidate, TopKQueue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Heap-based alternative: a min-heap over order-preserving arrival bits
+/// plus a per-startpoint best map with lazy deletion.
+struct HeapTopK {
+    k: usize,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    best: HashMap<u32, u64>,
+}
+
+/// Order-preserving bit transform for non-negative f64 arrivals.
+fn key(a: f64) -> u64 {
+    a.to_bits()
+}
+
+impl HeapTopK {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(2 * k),
+            best: HashMap::with_capacity(2 * k),
+        }
+    }
+
+    fn push(&mut self, arrival: f64, sp: u32) {
+        let a = key(arrival);
+        match self.best.get(&sp) {
+            Some(&cur) if a <= cur => return,
+            _ => {}
+        }
+        self.best.insert(sp, a);
+        self.heap.push(Reverse((a, sp)));
+        while self.live_len() > self.k {
+            let Some(Reverse((a, sp))) = self.heap.pop() else {
+                break;
+            };
+            if self.best.get(&sp) == Some(&a) {
+                self.best.remove(&sp);
+            }
+        }
+    }
+
+    /// Number of live entries, dropping stale heads so `pop` removes a
+    /// live minimum next.
+    fn live_len(&mut self) -> usize {
+        while let Some(&Reverse((a, sp))) = self.heap.peek() {
+            if self.best.get(&sp) == Some(&a) {
+                break;
+            }
+            self.heap.pop();
+        }
+        self.best.len()
+    }
+
+    fn top(&self) -> Option<f64> {
+        self.best.values().copied().max().map(f64::from_bits)
+    }
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let cands: Vec<(f64, u32)> = (0..4096)
+        .map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0..96u32)))
+        .collect();
+
+    let mut group = c.benchmark_group("ablation_topk_queue");
+    for k in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("fixed_list", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut q = TopKQueue::new(k);
+                for &(a, sp) in &cands {
+                    q.push(Candidate {
+                        arrival: a,
+                        mean: a,
+                        sigma: 0.0,
+                        sp,
+                    });
+                }
+                std::hint::black_box(q.top().map(|c| c.arrival))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("binary_heap", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut q = HeapTopK::new(k);
+                for &(a, sp) in &cands {
+                    q.push(a, sp);
+                }
+                std::hint::black_box(q.top())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

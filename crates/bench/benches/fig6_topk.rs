@@ -1,0 +1,38 @@
+//! Fig. 6 bench: full-graph INSTA propagation versus Top-K
+//! (the accuracy/runtime trade-off of CPPR handling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insta_bench::block_specs;
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_refsta::{RefSta, StaConfig};
+
+fn bench_topk(c: &mut Criterion) {
+    // block-5 (the smallest Table-I block) keeps bench wall-time sane.
+    let spec = &block_specs()[4];
+    let design = spec.build();
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let init = golden.export_insta_init();
+
+    let mut group = c.benchmark_group("fig6_propagation_vs_topk");
+    group.sample_size(10);
+    for k in [1usize, 8, 32, 128] {
+        let mut engine = InstaEngine::new(
+            init.clone(),
+            InstaConfig {
+                top_k: k,
+                ..InstaConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                engine.propagate();
+                std::hint::black_box(engine.report().tns_ps)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

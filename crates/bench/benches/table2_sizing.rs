@@ -1,0 +1,42 @@
+//! Table II bench: one gradient-identification pass of INSTA-Size (the
+//! `bRT` column's content) versus one greedy pass of the reference sizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_netlist::generator::{generate_design, GeneratorConfig};
+use insta_refsta::{RefSta, StaConfig};
+use insta_sizer::stage_gradients;
+
+fn bench_sizing(c: &mut Criterion) {
+    let mut gen = GeneratorConfig::with_target_pins("bench_size", 201, 11_000);
+    gen.clock_period_ps = 780.0;
+    let design = generate_design(&gen);
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let mut engine = InstaEngine::new(
+        golden.export_insta_init(),
+        InstaConfig {
+            lse_tau: 0.01,
+            ..InstaConfig::default()
+        },
+    );
+    engine.propagate();
+    engine.forward_lse();
+
+    let mut group = c.benchmark_group("table2_gradient_identification");
+    group.sample_size(10);
+    group.bench_function("backward_tns", |b| {
+        b.iter(|| {
+            engine.backward_tns();
+            std::hint::black_box(())
+        })
+    });
+    group.bench_function("stage_ranking", |b| {
+        engine.backward_tns();
+        b.iter(|| std::hint::black_box(stage_gradients(&design, golden.graph(), &engine).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizing);
+criterion_main!(benches);

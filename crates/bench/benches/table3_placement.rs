@@ -1,0 +1,42 @@
+//! Table III bench: a short placement run per mode (relative cost of the
+//! three placers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insta_netlist::generator::{generate_design, GeneratorConfig};
+use insta_placer::{place, PlacerConfig, PlacerMode};
+
+fn bench_placers(c: &mut Criterion) {
+    let mut gen = GeneratorConfig::medium("bench_place", 15);
+    gen.clock_period_ps = 1500.0;
+    gen.uniform_endpoint_taps = true;
+
+    let mut group = c.benchmark_group("table3_placement_modes");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("wirelength", PlacerMode::Wirelength),
+        (
+            "net_weighting",
+            PlacerMode::NetWeighting {
+                alpha: 3.0,
+                beta: 0.5,
+            },
+        ),
+        ("insta_place", PlacerMode::InstaPlace { lambda_rc: 0.01 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut design = generate_design(&gen);
+                let cfg = PlacerConfig {
+                    iterations: 60,
+                    mode,
+                    ..PlacerConfig::default()
+                };
+                std::hint::black_box(place(&mut design, &cfg).hpwl_legal)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placers);
+criterion_main!(benches);

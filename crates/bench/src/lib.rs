@@ -1,0 +1,149 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! Defines the benchmark suites standing in for the paper's proprietary
+//! workloads (see DESIGN.md): five "block" designs (Table I / Fig. 6),
+//! four IWLS-like circuits (Table II), and eight superblue-like placement
+//! instances (Table III). Every suite is deterministic; sizes are scaled
+//! to laptop scale and recorded in EXPERIMENTS.md next to the paper's
+//! original sizes.
+
+use insta_netlist::generator::{generate_design, GeneratorConfig};
+use insta_netlist::Design;
+
+/// One synthetic block specification.
+#[derive(Debug, Clone)]
+pub struct BlockSpec {
+    /// Display name (mirrors the paper's block-1..block-5).
+    pub name: &'static str,
+    /// Generator seed.
+    pub seed: u64,
+    /// Block scale (1.0 ≈ 25k gates; the paper's blocks are 2–4M cells).
+    pub scale: f64,
+    /// Clock period (ps) — tight enough that some endpoints violate.
+    pub period_ps: f64,
+}
+
+impl BlockSpec {
+    /// Builds the design of this spec.
+    pub fn build(&self) -> Design {
+        let mut cfg = GeneratorConfig::block(self.name, self.seed, self.scale);
+        cfg.clock_period_ps = self.period_ps;
+        generate_design(&cfg)
+    }
+}
+
+/// The five Table-I blocks. `block-1` is the largest (the Fig. 6 subject).
+pub fn block_specs() -> Vec<BlockSpec> {
+    vec![
+        BlockSpec { name: "block-1", seed: 101, scale: 1.0, period_ps: 1050.0 },
+        BlockSpec { name: "block-2", seed: 102, scale: 0.40, period_ps: 900.0 },
+        BlockSpec { name: "block-3", seed: 103, scale: 0.60, period_ps: 950.0 },
+        BlockSpec { name: "block-4", seed: 104, scale: 0.45, period_ps: 920.0 },
+        BlockSpec { name: "block-5", seed: 105, scale: 0.40, period_ps: 880.0 },
+    ]
+}
+
+/// One IWLS-like circuit specification (Table II).
+#[derive(Debug, Clone)]
+pub struct IwlsSpec {
+    /// Display name (mirrors the paper's IWLS rows).
+    pub name: &'static str,
+    /// Generator seed.
+    pub seed: u64,
+    /// Target netlist pin count (the paper reports 24k/50k/11k/35k).
+    pub target_pins: usize,
+    /// Clock period (ps).
+    pub period_ps: f64,
+}
+
+impl IwlsSpec {
+    /// Builds the design of this spec.
+    pub fn build(&self) -> Design {
+        let mut cfg = GeneratorConfig::with_target_pins(self.name, self.seed, self.target_pins);
+        cfg.clock_period_ps = self.period_ps;
+        generate_design(&cfg)
+    }
+}
+
+/// The four Table-II circuits.
+pub fn iwls_specs() -> Vec<IwlsSpec> {
+    vec![
+        IwlsSpec { name: "aes_core", seed: 201, target_pins: 24_000, period_ps: 900.0 },
+        IwlsSpec { name: "cipher_top", seed: 202, target_pins: 50_000, period_ps: 900.0 },
+        IwlsSpec { name: "des", seed: 203, target_pins: 11_000, period_ps: 800.0 },
+        IwlsSpec { name: "mc_top", seed: 204, target_pins: 35_000, period_ps: 820.0 },
+    ]
+}
+
+/// One superblue-like placement instance (Table III).
+#[derive(Debug, Clone)]
+pub struct SuperblueSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Generator seed.
+    pub seed: u64,
+    /// Scale of the netlist.
+    pub scale: f64,
+    /// Clock period (ps).
+    pub period_ps: f64,
+}
+
+impl SuperblueSpec {
+    /// Builds the design of this spec.
+    pub fn build(&self) -> Design {
+        let mut cfg = GeneratorConfig::block(self.name, self.seed, self.scale);
+        cfg.clock_period_ps = self.period_ps;
+        // Placement benchmarks need a heterogeneous slack profile (only
+        // the deepest paths violate) and high-fanout nets (where net
+        // weighting and arc weighting genuinely diverge, paper Fig. 5).
+        cfg.uniform_endpoint_taps = true;
+        cfg.hub_fraction = 0.04;
+        cfg.hub_pick_prob = 0.35;
+        generate_design(&cfg)
+    }
+}
+
+/// The eight Table-III instances (`superblue10` is the largest, the Fig. 9
+/// subject).
+pub fn superblue_specs() -> Vec<SuperblueSpec> {
+    vec![
+        SuperblueSpec { name: "superblue1", seed: 301, scale: 0.12, period_ps: 7950.0 },
+        SuperblueSpec { name: "superblue3", seed: 303, scale: 0.10, period_ps: 10230.0 },
+        SuperblueSpec { name: "superblue4", seed: 304, scale: 0.08, period_ps: 8530.0 },
+        SuperblueSpec { name: "superblue5", seed: 305, scale: 0.10, period_ps: 6620.0 },
+        SuperblueSpec { name: "superblue7", seed: 307, scale: 0.12, period_ps: 10090.0 },
+        SuperblueSpec { name: "superblue10", seed: 310, scale: 0.20, period_ps: 13840.0 },
+        SuperblueSpec { name: "superblue16", seed: 316, scale: 0.10, period_ps: 7200.0 },
+        SuperblueSpec { name: "superblue18", seed: 318, scale: 0.08, period_ps: 7360.0 },
+    ]
+}
+
+/// Formats picoseconds compactly for table rows.
+pub fn fmt_ps(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "inf".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_specs_build_valid_designs() {
+        // Only the smallest block to keep unit tests quick.
+        let spec = &block_specs()[4];
+        let d = spec.build();
+        d.validate().expect("valid design");
+        assert!(d.cells().len() > 3_000);
+    }
+
+    #[test]
+    fn suites_have_expected_cardinality() {
+        assert_eq!(block_specs().len(), 5);
+        assert_eq!(iwls_specs().len(), 4);
+        assert_eq!(superblue_specs().len(), 8);
+    }
+}

@@ -1,0 +1,163 @@
+//! Correlation and mismatch statistics (the measurements behind the
+//! paper's Fig. 6 scatter plots and Table I columns).
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// Returns `None` when either sample has zero variance or fewer than two
+/// points.
+///
+/// # Examples
+///
+/// ```
+/// let r = insta_engine::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Per-endpoint mismatch statistics between a candidate and a reference
+/// slack vector (Table I's "ep mismatch (avg, wst)" columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MismatchStats {
+    /// Pearson correlation (`NaN` when undefined).
+    pub correlation: f64,
+    /// Mean absolute mismatch (ps).
+    pub avg_abs_ps: f64,
+    /// Worst absolute mismatch (ps).
+    pub worst_abs_ps: f64,
+    /// Number of finite pairs compared.
+    pub n: usize,
+}
+
+impl MismatchStats {
+    /// Computes statistics over the finite pairs of the two slack vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn compute(candidate: &[f64], reference: &[f64]) -> Self {
+        assert_eq!(candidate.len(), reference.len(), "length mismatch");
+        let mut xs = Vec::with_capacity(candidate.len());
+        let mut ys = Vec::with_capacity(reference.len());
+        let mut sum = 0.0;
+        let mut worst = 0.0_f64;
+        for (&c, &r) in candidate.iter().zip(reference) {
+            if !c.is_finite() || !r.is_finite() {
+                continue;
+            }
+            xs.push(c);
+            ys.push(r);
+            let d = (c - r).abs();
+            sum += d;
+            worst = worst.max(d);
+        }
+        let n = xs.len();
+        Self {
+            correlation: pearson(&xs, &ys).unwrap_or(f64::NAN),
+            avg_abs_ps: if n > 0 { sum / n as f64 } else { 0.0 },
+            worst_abs_ps: worst,
+            n,
+        }
+    }
+}
+
+impl std::fmt::Display for MismatchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corr={:.5} avg_abs={:.3e}ps worst_abs={:.3}ps n={}",
+            self.correlation, self.avg_abs_ps, self.worst_abs_ps, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pearson_of_identical_vectors_is_one() {
+        let xs = [3.0, -1.0, 4.0, 1.5];
+        assert!((pearson(&xs, &xs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_negated_vectors_is_minus_one() {
+        let xs = [3.0, -1.0, 4.0, 1.5];
+        let ys: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases_are_none() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[5.0]), None);
+    }
+
+    #[test]
+    fn mismatch_skips_non_finite_pairs() {
+        let c = [1.0, f64::INFINITY, 3.0, 4.0];
+        let r = [1.5, 2.0, f64::NAN, 4.0];
+        let m = MismatchStats::compute(&c, &r);
+        assert_eq!(m.n, 2);
+        assert!((m.avg_abs_ps - 0.25).abs() < 1e-12);
+        assert_eq!(m.worst_abs_ps, 0.5);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = MismatchStats::compute(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.1]);
+        let s = m.to_string();
+        assert!(s.contains("corr="));
+        assert!(s.contains("n=3"));
+    }
+
+    proptest! {
+        /// Pearson is invariant under positive affine transforms.
+        #[test]
+        fn pearson_affine_invariance(
+            xs in proptest::collection::vec(-100.0f64..100.0, 3..20),
+            a in 0.1f64..10.0,
+            b in -50.0f64..50.0,
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            if let Some(r) = pearson(&xs, &ys) {
+                prop_assert!((r - 1.0).abs() < 1e-6);
+            }
+        }
+
+        /// |r| ≤ 1 always.
+        #[test]
+        fn pearson_is_bounded(
+            xs in proptest::collection::vec(-1e3f64..1e3, 2..30),
+            ys in proptest::collection::vec(-1e3f64..1e3, 2..30),
+        ) {
+            let n = xs.len().min(ys.len());
+            if let Some(r) = pearson(&xs[..n], &ys[..n]) {
+                prop_assert!(r.abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

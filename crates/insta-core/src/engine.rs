@@ -1,0 +1,462 @@
+//! Engine state: the GPU-style memory layout built from an [`InstaInit`]
+//! snapshot.
+//!
+//! At construction the engine renumbers nodes in **level-major order** so
+//! that every timing level — and every level's fanin arc block — is one
+//! contiguous slice. That is the CPU equivalent of the paper's Fig. 3
+//! layout (index arrays in shared memory mapping threads to parent pins),
+//! and it is what lets the kernels split the SoA arrays into disjoint
+//! `done` / `current` regions and run each level's pins in parallel with no
+//! synchronization and no unsafe code.
+
+use insta_refsta::export::{EndpointInit, InstaInit, SourceInit, NO_LEAF};
+use insta_refsta::ExceptionSet;
+
+/// Configuration of the INSTA engine.
+#[derive(Debug, Clone)]
+pub struct InstaConfig {
+    /// Top-K queue capacity per pin (paper Table I uses 32; Fig. 6
+    /// contrasts 1 and 128).
+    pub top_k: usize,
+    /// Worker threads per kernel launch (`0` = all cores).
+    pub n_threads: usize,
+    /// LSE temperature τ of the differentiable forward (ps). The paper
+    /// uses τ = 0.01 for INSTA-Size; larger values spread gradients over
+    /// more sub-critical paths.
+    pub lse_tau: f64,
+    /// Whether endpoint evaluation applies CPPR credit (Fig. 6 contrasts
+    /// Top-K=1 without CPPR against Top-K=128 with it).
+    pub cppr: bool,
+}
+
+impl Default for InstaConfig {
+    fn default() -> Self {
+        Self {
+            top_k: 32,
+            n_threads: 0,
+            lse_tau: 1.0,
+            cppr: true,
+        }
+    }
+}
+
+/// Immutable topology plus the (re-annotatable) cloned arc delays.
+#[derive(Debug, Clone)]
+pub(crate) struct Static {
+    /// Number of nodes.
+    pub n: usize,
+    /// Level CSR over renumbered node ids.
+    pub level_start: Vec<u32>,
+    /// Fanin CSR per renumbered node.
+    pub fanin_start: Vec<u32>,
+    /// Parent (renumbered) per expanded arc.
+    pub arc_parent: Vec<u32>,
+    /// Child (renumbered) per expanded arc.
+    pub arc_child: Vec<u32>,
+    /// Whether the arc inverts the parent transition.
+    pub arc_neg: Vec<bool>,
+    /// Graph arc each expanded arc derives from (kept for diagnostics and
+    /// snapshot round-trips; the hot paths use the inverse expansion CSR).
+    #[allow(dead_code)]
+    pub arc_source: Vec<u32>,
+    /// Cloned arc mean delays per destination transition (ps).
+    pub arc_mean: Vec<[f64; 2]>,
+    /// Cloned arc sigmas per destination transition (ps).
+    pub arc_sigma: Vec<[f64; 2]>,
+    /// Fanout CSR per renumbered node (indices into `fanout_arc`).
+    pub fanout_start: Vec<u32>,
+    /// Expanded-arc ids in fanout order.
+    pub fanout_arc: Vec<u32>,
+    /// Graph-arc → expanded-arc expansion CSR.
+    pub expansion_start: Vec<u32>,
+    pub expansion_arc: Vec<u32>,
+    /// Startpoint launch data (renumbered nodes).
+    pub sources: Vec<SourceInit>,
+    /// Endpoint attributes (renumbered nodes).
+    pub endpoints: Vec<EndpointInit>,
+    /// Startpoint → clock leaf.
+    pub sp_leaf: Vec<u32>,
+    /// Clock-tree arrays for LCA credit.
+    pub clock_parent: Vec<u32>,
+    pub clock_depth: Vec<u32>,
+    pub clock_credit: Vec<f64>,
+    /// Corner pessimism.
+    pub n_sigma: f64,
+    /// Clock period (ps).
+    pub period_ps: f64,
+    /// Exceptions keyed by (SP, EP).
+    pub exceptions: ExceptionSet,
+    /// Renumbered → original node id (for external correlation).
+    pub node_orig: Vec<u32>,
+    /// Number of graph (pre-expansion) arcs.
+    pub n_graph_arcs: usize,
+}
+
+impl Static {
+    /// CPPR credit between a startpoint leaf and endpoint leaf.
+    #[inline]
+    pub fn cppr_credit(&self, mut a: u32, mut b: u32) -> f64 {
+        if a == NO_LEAF || b == NO_LEAF {
+            return 0.0;
+        }
+        while self.clock_depth[a as usize] > self.clock_depth[b as usize] {
+            a = self.clock_parent[a as usize];
+        }
+        while self.clock_depth[b as usize] > self.clock_depth[a as usize] {
+            b = self.clock_parent[b as usize];
+        }
+        while a != b {
+            a = self.clock_parent[a as usize];
+            b = self.clock_parent[b as usize];
+        }
+        self.clock_credit[a as usize]
+    }
+
+    /// Number of levels.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.level_start.len() - 1
+    }
+
+    /// Node range of a level.
+    #[inline]
+    pub fn level_range(&self, l: usize) -> std::ops::Range<usize> {
+        self.level_start[l] as usize..self.level_start[l + 1] as usize
+    }
+
+    /// Fanin arc range of a node.
+    #[inline]
+    pub fn fanin_range(&self, v: usize) -> std::ops::Range<usize> {
+        self.fanin_start[v] as usize..self.fanin_start[v + 1] as usize
+    }
+}
+
+/// Mutable propagation state (the SoA Top-K structures of Algorithm 1 plus
+/// the differentiable-pass buffers).
+#[derive(Debug, Clone)]
+pub(crate) struct State {
+    /// Top-K capacity.
+    pub k: usize,
+    /// Corner arrivals, `n * 2 * k`, indexed `(node * 2 + rf) * k + j`.
+    pub topk_arrival: Vec<f64>,
+    pub topk_mean: Vec<f64>,
+    pub topk_sigma: Vec<f64>,
+    pub topk_sp: Vec<u32>,
+    /// Smooth (LSE) corner arrival per `(node, rf)`.
+    pub lse_arrival: Vec<f64>,
+    /// Softmax weight per expanded arc per destination transition.
+    pub lse_weight: Vec<[f64; 2]>,
+    /// ∂TNS/∂arrival per `(node, rf)`.
+    pub grad_arrival: Vec<f64>,
+    /// ∂TNS/∂(arc delay) per expanded arc per destination transition.
+    pub grad_arc: Vec<[f64; 2]>,
+    /// Scratch gradients in fanout-slot order (scattered back into
+    /// `grad_arc` after the backward sweep).
+    pub grad_fanout: Vec<[f64; 2]>,
+    /// Last evaluation report.
+    pub report: Option<crate::metrics::InstaReport>,
+}
+
+/// The INSTA engine.
+///
+/// Construct it from a reference export, then call
+/// [`propagate`](InstaEngine::propagate) for evaluation,
+/// [`forward_lse`](InstaEngine::forward_lse) +
+/// [`backward_tns`](InstaEngine::backward_tns) for timing gradients, and
+/// [`reannotate`](InstaEngine::reannotate) for incremental updates.
+#[derive(Debug, Clone)]
+pub struct InstaEngine {
+    pub(crate) st: Static,
+    pub(crate) state: State,
+    pub(crate) cfg: InstaConfig,
+}
+
+impl InstaEngine {
+    /// Builds the engine from a reference snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.top_k == 0`.
+    pub fn new(init: InstaInit, cfg: InstaConfig) -> Self {
+        assert!(cfg.top_k > 0, "top_k must be positive");
+        let n = init.n_nodes;
+        // Renumbering: new id = position in level-major order.
+        let mut new_id = vec![0u32; n];
+        for (pos, &orig) in init.order.iter().enumerate() {
+            new_id[orig as usize] = pos as u32;
+        }
+
+        // Rebuild the fanin CSR in renumbered node order.
+        let mut fanin_start = Vec::with_capacity(n + 1);
+        fanin_start.push(0u32);
+        let n_exp = init.fanin.len();
+        let mut arc_parent = Vec::with_capacity(n_exp);
+        let mut arc_child = Vec::with_capacity(n_exp);
+        let mut arc_neg = Vec::with_capacity(n_exp);
+        let mut arc_source = Vec::with_capacity(n_exp);
+        let mut arc_mean = Vec::with_capacity(n_exp);
+        let mut arc_sigma = Vec::with_capacity(n_exp);
+        for v_new in 0..n {
+            let orig = init.order[v_new] as usize;
+            let range = init.fanin_start[orig] as usize..init.fanin_start[orig + 1] as usize;
+            for e in &init.fanin[range] {
+                arc_parent.push(new_id[e.parent as usize]);
+                arc_child.push(v_new as u32);
+                arc_neg.push(e.negative_unate);
+                arc_source.push(e.source_arc);
+                arc_mean.push(e.mean);
+                arc_sigma.push(e.sigma);
+            }
+            fanin_start.push(arc_parent.len() as u32);
+        }
+
+        // Fanout CSR (ordered by parent, which keeps each level's fanout
+        // arc block contiguous for the backward kernel).
+        let (fanout_start, fanout_arc) = csr(n, arc_parent.iter().map(|&p| p as usize));
+
+        // Graph-arc expansion CSR (for re-annotation and gradient
+        // aggregation back onto design objects).
+        let n_graph_arcs = arc_source.iter().map(|&a| a as usize + 1).max().unwrap_or(0);
+        let (expansion_start, expansion_arc) =
+            csr(n_graph_arcs, arc_source.iter().map(|&a| a as usize));
+
+        let sources = init
+            .sources
+            .iter()
+            .map(|s| SourceInit {
+                node: new_id[s.node as usize],
+                ..*s
+            })
+            .collect();
+        let endpoints = init
+            .endpoints
+            .iter()
+            .map(|e| EndpointInit {
+                node: new_id[e.node as usize],
+                ..*e
+            })
+            .collect();
+
+        let st = Static {
+            n,
+            level_start: init.level_start,
+            fanin_start,
+            arc_parent,
+            arc_child,
+            arc_neg,
+            arc_source,
+            arc_mean,
+            arc_sigma,
+            fanout_start,
+            fanout_arc,
+            expansion_start,
+            expansion_arc,
+            sources,
+            endpoints,
+            sp_leaf: init.sp_leaf,
+            clock_parent: init.clock_parent,
+            clock_depth: init.clock_depth,
+            clock_credit: init.clock_credit,
+            n_sigma: init.n_sigma,
+            period_ps: init.period_ps,
+            exceptions: init.exceptions,
+            node_orig: init.order,
+            n_graph_arcs,
+        };
+        let k = cfg.top_k;
+        let state = State {
+            k,
+            topk_arrival: vec![f64::NEG_INFINITY; n * 2 * k],
+            topk_mean: vec![0.0; n * 2 * k],
+            topk_sigma: vec![0.0; n * 2 * k],
+            topk_sp: vec![crate::topk::NO_SP; n * 2 * k],
+            lse_arrival: vec![f64::NEG_INFINITY; n * 2],
+            lse_weight: vec![[0.0; 2]; n_exp],
+            grad_arrival: vec![0.0; n * 2],
+            grad_arc: vec![[0.0; 2]; n_exp],
+            grad_fanout: vec![[0.0; 2]; n_exp],
+            report: None,
+        };
+        Self { st, state, cfg }
+    }
+
+    /// The Top-K capacity.
+    pub fn top_k(&self) -> usize {
+        self.state.k
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.st.n
+    }
+
+    /// Number of timing levels.
+    pub fn num_levels(&self) -> usize {
+        self.st.num_levels()
+    }
+
+    /// Number of expanded arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.st.arc_parent.len()
+    }
+
+    /// Number of endpoints.
+    pub fn num_endpoints(&self) -> usize {
+        self.st.endpoints.len()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &InstaConfig {
+        &self.cfg
+    }
+
+    /// Sets the LSE temperature for subsequent differentiable passes.
+    pub fn set_lse_tau(&mut self, tau: f64) {
+        assert!(tau > 0.0, "tau must be positive");
+        self.cfg.lse_tau = tau;
+    }
+
+    /// Approximate resident memory of the propagation state in bytes
+    /// (reported in the Table I reproduction).
+    pub fn state_bytes(&self) -> usize {
+        let s = &self.state;
+        s.topk_arrival.len() * 8 * 3
+            + s.topk_sp.len() * 4
+            + s.lse_arrival.len() * 8
+            + s.lse_weight.len() * 16
+            + s.grad_arrival.len() * 8
+            + s.grad_arc.len() * 16
+    }
+
+    /// The worst corner arrival at an *original* graph node id per
+    /// transition index, if any path reaches it.
+    pub fn arrival_at(&self, orig_node: u32, rf: usize) -> Option<f64> {
+        let v = self
+            .st
+            .node_orig
+            .iter()
+            .position(|&o| o == orig_node)?;
+        let idx = (v * 2 + rf) * self.state.k;
+        let a = self.state.topk_arrival[idx];
+        if a == f64::NEG_INFINITY {
+            None
+        } else {
+            Some(a)
+        }
+    }
+}
+
+/// Builds a CSR from bucket assignments.
+fn csr(n: usize, keys: impl Iterator<Item = usize> + Clone) -> (Vec<u32>, Vec<u32>) {
+    let mut start = vec![0u32; n + 1];
+    for k in keys.clone() {
+        start[k + 1] += 1;
+    }
+    for i in 0..n {
+        start[i + 1] += start[i];
+    }
+    let mut cursor = start.clone();
+    let mut items = vec![0u32; start[n] as usize];
+    for (i, k) in keys.enumerate() {
+        items[cursor[k] as usize] = i as u32;
+        cursor[k] += 1;
+    }
+    (start, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+    use insta_refsta::{RefSta, StaConfig};
+
+    pub(crate) fn build_engine(seed: u64, k: usize) -> (insta_netlist::Design, RefSta, InstaEngine) {
+        let d = generate_design(&GeneratorConfig::small("eng", seed));
+        let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
+        sta.full_update(&d);
+        let engine = InstaEngine::new(
+            sta.export_insta_init(),
+            InstaConfig {
+                top_k: k,
+                ..InstaConfig::default()
+            },
+        );
+        (d, sta, engine)
+    }
+
+    #[test]
+    fn renumbering_keeps_levels_contiguous_and_parents_earlier() {
+        let (_d, _sta, eng) = build_engine(1, 8);
+        let st = &eng.st;
+        assert_eq!(*st.level_start.last().unwrap() as usize, st.n);
+        for l in 0..st.num_levels() {
+            let r = st.level_range(l);
+            for v in r.clone() {
+                for ai in st.fanin_range(v) {
+                    assert!(
+                        (st.arc_parent[ai] as usize) < r.start,
+                        "parent must be in a strictly earlier level"
+                    );
+                    assert_eq!(st.arc_child[ai] as usize, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_csr_inverts_fanin() {
+        let (_d, _sta, eng) = build_engine(2, 4);
+        let st = &eng.st;
+        let mut count = 0usize;
+        for v in 0..st.n {
+            for &ai in &st.fanout_arc
+                [st.fanout_start[v] as usize..st.fanout_start[v + 1] as usize]
+            {
+                assert_eq!(st.arc_parent[ai as usize] as usize, v);
+                count += 1;
+            }
+        }
+        assert_eq!(count, st.arc_parent.len());
+    }
+
+    #[test]
+    fn expansion_csr_covers_every_expanded_arc() {
+        let (_d, sta, eng) = build_engine(3, 4);
+        let st = &eng.st;
+        assert_eq!(st.n_graph_arcs, sta.graph().num_arcs());
+        let total: usize = (0..st.n_graph_arcs)
+            .map(|g| (st.expansion_start[g + 1] - st.expansion_start[g]) as usize)
+            .sum();
+        assert_eq!(total, st.arc_parent.len());
+        for g in 0..st.n_graph_arcs {
+            for &e in
+                &st.expansion_arc[st.expansion_start[g] as usize..st.expansion_start[g + 1] as usize]
+            {
+                assert_eq!(st.arc_source[e as usize] as usize, g);
+            }
+        }
+    }
+
+    #[test]
+    fn state_sized_by_top_k() {
+        let (_d, _sta, eng8) = build_engine(4, 8);
+        let (_d2, _sta2, eng32) = build_engine(4, 32);
+        assert_eq!(eng8.state.topk_arrival.len() * 4, eng32.state.topk_arrival.len());
+        assert!(eng32.state_bytes() > eng8.state_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k must be positive")]
+    fn zero_top_k_panics() {
+        let d = generate_design(&GeneratorConfig::small("eng", 5));
+        let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
+        sta.full_update(&d);
+        InstaEngine::new(
+            sta.export_insta_init(),
+            InstaConfig {
+                top_k: 0,
+                ..InstaConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,372 @@
+//! Hold (early/min) propagation in the INSTA engine — engine parity with
+//! the reference's hold analysis, beyond the paper's setup-only scope.
+//!
+//! The min-merge reuses the *same* unique-startpoint Top-K kernel by an
+//! ordering trick: candidates are pushed with **negated early corners**
+//! (`-(mean − N_σ·σ)`), so the max-queue of Algorithm 2 keeps the
+//! *smallest* early arrivals with startpoint uniqueness intact. Endpoint
+//! hold checks then mirror the reference: the earliest arrival must not
+//! beat the late capture edge plus the hold margin, with CPPR credit
+//! *reducing* the requirement.
+
+use crate::engine::{InstaEngine, State, Static};
+use crate::metrics::InstaReport;
+use crate::topk::{update_topk_slices, Candidate, NO_SP};
+use insta_refsta::export::NO_LEAF;
+use insta_refsta::{EpId, SpId};
+
+/// Hold-side attributes the engine needs beyond the setup snapshot:
+/// per-startpoint early launch arrivals and per-endpoint hold
+/// requirements. Produced by [`hold_attributes`] from a reference engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoldAttributes {
+    /// Early launch mean per startpoint per transition (ps).
+    pub source_mean: Vec<[f64; 2]>,
+    /// Launch sigma per startpoint per transition (ps).
+    pub source_sigma: Vec<[f64; 2]>,
+    /// Hold requirement per endpoint *before* CPPR credit:
+    /// `capture_late + hold_margin` (ps); `NEG_INFINITY` for
+    /// hold-unconstrained endpoints (primary outputs).
+    pub required_base: Vec<f64>,
+}
+
+/// Extracts hold attributes from a timed reference engine (the hold-side
+/// counterpart of the setup export).
+pub fn hold_attributes(
+    design: &insta_netlist::Design,
+    golden: &insta_refsta::RefSta,
+) -> HoldAttributes {
+    use insta_liberty::{ArcKind, Transition};
+    let cfg = golden.config();
+    let mut source_mean = Vec::with_capacity(golden.sp_infos().len());
+    let mut source_sigma = Vec::with_capacity(golden.sp_infos().len());
+    for sp in golden.sp_infos() {
+        match sp.flop.and_then(|f| golden.clock().flop(f).copied()) {
+            Some(fc) => {
+                let lc = design.lib_cell_of(sp.flop.expect("clocked flop"));
+                let launch = lc
+                    .arcs()
+                    .iter()
+                    .find(|a| a.kind == ArcKind::Launch)
+                    .expect("flop has a launch arc");
+                let load = design.driver_load_ff(sp.pin);
+                let mut mean = [0.0; 2];
+                let mut sigma = [0.0; 2];
+                for tr in Transition::BOTH {
+                    let d = launch.delay(tr).lookup(fc.slew, load);
+                    let s = launch.sigma_coeff * d;
+                    mean[tr.index()] = fc.mean * cfg.derate_early + d;
+                    sigma[tr.index()] = (fc.sigma * fc.sigma + s * s).sqrt();
+                }
+                source_mean.push(mean);
+                source_sigma.push(sigma);
+            }
+            None => {
+                source_mean.push([cfg.input_delay_ps; 2]);
+                source_sigma.push([0.0; 2]);
+            }
+        }
+    }
+    let required_base = golden
+        .ep_infos()
+        .iter()
+        .map(|ep| match ep.capture.and_then(|f| golden.clock().flop(f).copied()) {
+            Some(fc) => {
+                let lc = design.lib_cell_of(ep.capture.expect("capture flop"));
+                let hold_margin = lc
+                    .arcs()
+                    .iter()
+                    .find(|a| a.kind == ArcKind::Hold)
+                    .map(|a| a.delay(Transition::Rise).lookup(fc.slew, 0.0))
+                    .unwrap_or(0.0);
+                fc.mean * cfg.derate_late + cfg.n_sigma * fc.sigma + hold_margin
+            }
+            None => f64::NEG_INFINITY,
+        })
+        .collect();
+    HoldAttributes {
+        source_mean,
+        source_sigma,
+        required_base,
+    }
+}
+
+impl InstaEngine {
+    /// Runs the hold (min) forward pass and evaluates hold checks.
+    ///
+    /// Reuses the setup snapshot's arc delays and CPPR arrays; the
+    /// hold-specific launch arrivals and requirements come from `attrs`.
+    /// Returns a report in the same shape as the setup report (slacks per
+    /// endpoint, WNS/TNS over hold violations).
+    pub fn propagate_hold(&mut self, attrs: &HoldAttributes) -> InstaReport {
+        assert_eq!(
+            attrs.source_mean.len(),
+            self.st.sources.len(),
+            "hold attributes must cover every startpoint"
+        );
+        assert_eq!(
+            attrs.required_base.len(),
+            self.st.endpoints.len(),
+            "hold attributes must cover every endpoint"
+        );
+        forward_min(&self.st, &mut self.state, attrs);
+        evaluate_hold(&self.st, &self.state, attrs, self.cfg.cppr)
+    }
+}
+
+/// Min-mode forward pass: identical structure to the setup kernel, with
+/// candidates pushed as negated early corners.
+fn forward_min(st: &Static, state: &mut State, attrs: &HoldAttributes) {
+    let k = state.k;
+    state.topk_arrival.fill(f64::NEG_INFINITY);
+    state.topk_sp.fill(NO_SP);
+    for (sp_idx, s) in st.sources.iter().enumerate() {
+        let v = s.node as usize;
+        for rf in 0..2 {
+            let idx = (v * 2 + rf) * k;
+            let mean = attrs.source_mean[sp_idx][rf];
+            let sigma = attrs.source_sigma[sp_idx][rf];
+            state.topk_mean[idx] = mean;
+            state.topk_sigma[idx] = sigma;
+            state.topk_arrival[idx] = -(mean - st.n_sigma * sigma);
+            state.topk_sp[idx] = s.sp;
+        }
+    }
+    for l in 1..st.num_levels() {
+        let r = st.level_range(l);
+        if r.is_empty() {
+            continue;
+        }
+        let stride = 2 * k;
+        let split = r.start * stride;
+        let (arr_done, arr_cur) = state.topk_arrival.split_at_mut(split);
+        let (mean_done, mean_cur) = state.topk_mean.split_at_mut(split);
+        let (sigma_done, sigma_cur) = state.topk_sigma.split_at_mut(split);
+        let (sp_done, sp_cur) = state.topk_sp.split_at_mut(split);
+        let _ = arr_done;
+        let len = r.len();
+        min_level_chunk(
+            st,
+            k,
+            r.start,
+            mean_done,
+            sigma_done,
+            sp_done,
+            &mut arr_cur[..len * stride],
+            &mut mean_cur[..len * stride],
+            &mut sigma_cur[..len * stride],
+            &mut sp_cur[..len * stride],
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn min_level_chunk(
+    st: &Static,
+    k: usize,
+    chunk_base: usize,
+    mean_done: &[f64],
+    sigma_done: &[f64],
+    sp_done: &[u32],
+    arr_cur: &mut [f64],
+    mean_cur: &mut [f64],
+    sigma_cur: &mut [f64],
+    sp_cur: &mut [u32],
+) {
+    let stride = 2 * k;
+    let n_local = arr_cur.len() / stride;
+    for li in 0..n_local {
+        let v = chunk_base + li;
+        let fanin = st.fanin_range(v);
+        if fanin.is_empty() {
+            continue;
+        }
+        for rf in 0..2 {
+            let off = li * stride + rf * k;
+            let (qa, qm, qs, qsp) = (
+                &mut arr_cur[off..off + k],
+                &mut mean_cur[off..off + k],
+                &mut sigma_cur[off..off + k],
+                &mut sp_cur[off..off + k],
+            );
+            for j in 0..k {
+                let mut any_live = false;
+                for ai in fanin.clone() {
+                    let p = st.arc_parent[ai] as usize;
+                    let prf = if st.arc_neg[ai] { 1 - rf } else { rf };
+                    let pidx = (p * 2 + prf) * k + j;
+                    let sp = sp_done[pidx];
+                    if sp == NO_SP {
+                        continue;
+                    }
+                    any_live = true;
+                    let mean = mean_done[pidx] + st.arc_mean[ai][rf];
+                    let s_arc = st.arc_sigma[ai][rf];
+                    let s_par = sigma_done[pidx];
+                    let sigma = (s_par * s_par + s_arc * s_arc).sqrt();
+                    update_topk_slices(
+                        qa,
+                        qm,
+                        qs,
+                        qsp,
+                        Candidate {
+                            // Negated early corner: the max-queue keeps
+                            // the smallest early arrivals.
+                            arrival: -(mean - st.n_sigma * sigma),
+                            mean,
+                            sigma,
+                            sp,
+                        },
+                    );
+                }
+                if !any_live {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Hold checks from the min-mode state.
+fn evaluate_hold(
+    st: &Static,
+    state: &State,
+    attrs: &HoldAttributes,
+    cppr: bool,
+) -> InstaReport {
+    let k = state.k;
+    let n_ep = st.endpoints.len();
+    let mut slacks = vec![f64::INFINITY; n_ep];
+    let mut arrivals = vec![f64::INFINITY; n_ep];
+    let mut requireds = vec![f64::NEG_INFINITY; n_ep];
+    let mut worst_sp = vec![NO_SP; n_ep];
+    let mut worst_rf = vec![0u8; n_ep];
+    let mut wns = f64::INFINITY;
+    let mut tns = 0.0;
+    let mut viol = 0usize;
+    for (i, ep) in st.endpoints.iter().enumerate() {
+        let base = attrs.required_base[i];
+        if base == f64::NEG_INFINITY {
+            continue; // hold-unconstrained (primary output)
+        }
+        let v = ep.node as usize;
+        for rf in 0..2usize {
+            for j in 0..k {
+                let idx = (v * 2 + rf) * k + j;
+                let sp = state.topk_sp[idx];
+                if sp == NO_SP {
+                    break;
+                }
+                if st
+                    .exceptions
+                    .is_false(SpId(sp), EpId(ep.ep))
+                {
+                    continue;
+                }
+                let mut required = base;
+                if cppr && st.sp_leaf[sp as usize] != NO_LEAF && ep.leaf != NO_LEAF {
+                    required -= st.cppr_credit(st.sp_leaf[sp as usize], ep.leaf);
+                }
+                let early = -state.topk_arrival[idx];
+                let slack = early - required;
+                if slack < slacks[i] {
+                    slacks[i] = slack;
+                    arrivals[i] = early;
+                    requireds[i] = required;
+                    worst_sp[i] = sp;
+                    worst_rf[i] = rf as u8;
+                }
+            }
+        }
+        if slacks[i] < 0.0 {
+            tns += slacks[i];
+            viol += 1;
+        }
+        if slacks[i] < wns {
+            wns = slacks[i];
+        }
+    }
+    InstaReport {
+        wns_ps: wns,
+        tns_ps: tns,
+        n_violations: viol,
+        slacks,
+        arrivals,
+        requireds,
+        worst_sp,
+        worst_rf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{InstaConfig, InstaEngine};
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+    use insta_refsta::{RefSta, StaConfig};
+
+    fn setup(seed: u64) -> (insta_netlist::Design, RefSta, InstaEngine, HoldAttributes) {
+        let d = generate_design(&GeneratorConfig::small("ihold", seed));
+        let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
+        sta.full_update(&d);
+        let attrs = hold_attributes(&d, &sta);
+        let eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default());
+        (d, sta, eng, attrs)
+    }
+
+    /// INSTA's hold slacks match the reference hold analysis exactly at
+    /// covering K.
+    #[test]
+    fn hold_matches_reference_exactly() {
+        let (d, mut sta, mut eng, attrs) = setup(3);
+        let golden = sta.hold_update(&d);
+        let report = eng.propagate_hold(&attrs);
+        assert_eq!(report.slacks.len(), golden.endpoints.len());
+        for (i, g) in golden.endpoints.iter().enumerate() {
+            if g.slack_ps.is_finite() {
+                assert!(
+                    (report.slacks[i] - g.slack_ps).abs() < 1e-9,
+                    "ep {i}: insta {} vs golden {}",
+                    report.slacks[i],
+                    g.slack_ps
+                );
+            } else {
+                assert!(!report.slacks[i].is_finite());
+            }
+        }
+        assert!((report.wns_ps - golden.wns_ps).abs() < 1e-9);
+        assert!((report.tns_ps - golden.tns_ps).abs() < 1e-9);
+    }
+
+    /// Setup state is restored by re-propagating after a hold pass (the
+    /// two modes share buffers by design).
+    #[test]
+    fn setup_propagation_recovers_after_hold() {
+        let (_d, sta, mut eng, attrs) = setup(5);
+        let setup_before = eng.propagate().clone();
+        eng.propagate_hold(&attrs);
+        let setup_after = eng.propagate().clone();
+        assert_eq!(setup_before.slacks, setup_after.slacks);
+        let _ = sta;
+    }
+
+    /// Hold and setup disagree on what is critical: the hold-worst
+    /// endpoint is generally not the setup-worst endpoint.
+    #[test]
+    fn hold_is_a_distinct_analysis() {
+        let (_d, _sta, mut eng, attrs) = setup(7);
+        let setup = eng.propagate().clone();
+        let hold = eng.propagate_hold(&attrs);
+        // Both must be populated over the same endpoints.
+        assert_eq!(setup.slacks.len(), hold.slacks.len());
+        // At least one endpoint orders differently (overwhelmingly likely
+        // on any non-trivial design; this is a structure check, not a
+        // tautology).
+        let differs = setup
+            .slacks
+            .iter()
+            .zip(&hold.slacks)
+            .any(|(a, b)| a.is_finite() && b.is_finite() && (a - b).abs() > 1.0);
+        assert!(differs, "hold slacks must not mirror setup slacks");
+    }
+}

@@ -1,0 +1,67 @@
+//! The INSTA engine: ultra-fast, differentiable, statistical timing
+//! propagation (the paper's primary contribution).
+//!
+//! INSTA never computes delays; it is initialized from a reference engine's
+//! [`InstaInit`](insta_refsta::InstaInit) snapshot (arc delay distributions,
+//! launch arrivals, required times, clock-tree credit arrays) and performs
+//! only propagation:
+//!
+//! * [`engine`] — the engine state: level-contiguous SoA arrays (the GPU
+//!   memory layout of Fig. 3), built by renumbering nodes in level-major
+//!   order so every level is a contiguous slice.
+//! * [`topk`] — the fixed-size Top-K priority queue with **unique
+//!   startpoints** (paper Algorithm 2); the CPPR mechanism.
+//! * [`forward`] — the forward "kernel" (paper Algorithm 1): per-level
+//!   data-parallel Top-K statistical arrival merging with rise/fall and
+//!   unateness handling, executed by scoped CPU threads standing in for the
+//!   CUDA grid (see DESIGN.md substitutions).
+//! * [`lse`] — the differentiable forward pass: numerically stable
+//!   Log-Sum-Exp smooth-max merging (paper Eq. 4–5) with stored softmax
+//!   path weights.
+//! * [`backward`] — the backward kernel: per-level gradient backpropagation
+//!   of ∂TNS/∂(arc delay) through the stored weights (paper Eq. 6), i.e.
+//!   the "timing gradients" that drive INSTA-Size and INSTA-Place.
+//! * [`metrics`] — endpoint slack / WNS / TNS evaluation with
+//!   SP-matched required times, CPPR credit, and exceptions.
+//! * [`incremental`] — arc re-annotation from `estimate_eco` deltas plus
+//!   full-speed re-propagation (the paper's incremental evaluation flow).
+//! * [`hold`] — hold (early/min) propagation reusing the Top-K kernel via
+//!   corner negation (engine parity with the reference's hold analysis;
+//!   an extension beyond the paper's setup-only scope).
+//! * [`correlate`] — correlation and mismatch statistics used by the
+//!   paper's Fig. 6 / Table I style comparisons.
+//!
+//! # Examples
+//!
+//! ```
+//! use insta_netlist::generator::{generate_design, GeneratorConfig};
+//! use insta_refsta::{RefSta, StaConfig};
+//! use insta_engine::{InstaConfig, InstaEngine};
+//!
+//! let design = generate_design(&GeneratorConfig::small("demo", 42));
+//! let mut golden = RefSta::new(&design, StaConfig::default())?;
+//! golden.full_update(&design);
+//!
+//! let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+//! engine.propagate();
+//! let report = engine.report();
+//! assert_eq!(report.slacks.len(), golden.report().endpoints.len());
+//! # Ok::<(), insta_netlist::BuildGraphError>(())
+//! ```
+
+pub mod backward;
+pub mod correlate;
+pub mod engine;
+pub mod forward;
+pub mod hold;
+pub mod incremental;
+pub mod lse;
+pub mod metrics;
+pub mod parallel;
+pub mod topk;
+
+pub use correlate::{pearson, MismatchStats};
+pub use engine::{InstaConfig, InstaEngine};
+pub use hold::{hold_attributes, HoldAttributes};
+pub use metrics::InstaReport;
+pub use topk::TopKQueue;

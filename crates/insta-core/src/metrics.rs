@@ -1,0 +1,190 @@
+//! Endpoint evaluation: slack per endpoint with SP-matched required times,
+//! CPPR credit, exceptions, and the WNS/TNS design metrics.
+//!
+//! This is where the unique-startpoint Top-K pays off (paper §III-C): the
+//! startpoint contributing the maximum arrival may not be the startpoint
+//! with the worst slack once per-SP CPPR credit shifts required times, so
+//! the evaluation scans all K entries per rise/fall and minimizes
+//! `required(sp) − arrival(sp)`.
+
+use crate::engine::{State, Static};
+use crate::topk::NO_SP;
+use insta_refsta::{EpId, SpId};
+
+/// The INSTA endpoint report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstaReport {
+    /// Worst negative slack (ps).
+    pub wns_ps: f64,
+    /// Total negative slack (ps, ≤ 0).
+    pub tns_ps: f64,
+    /// Number of violating endpoints.
+    pub n_violations: usize,
+    /// Worst slack per endpoint (indexed by endpoint id); `INFINITY` for
+    /// unreached endpoints.
+    pub slacks: Vec<f64>,
+    /// Worst corner arrival per endpoint.
+    pub arrivals: Vec<f64>,
+    /// Required time used for the worst slack per endpoint.
+    pub requireds: Vec<f64>,
+    /// Worst startpoint per endpoint ([`NO_SP`] when unreached).
+    pub worst_sp: Vec<u32>,
+    /// Worst transition per endpoint (0 = rise, 1 = fall).
+    pub worst_rf: Vec<u8>,
+}
+
+impl InstaReport {
+    /// Slack of an endpoint.
+    pub fn slack(&self, ep: EpId) -> f64 {
+        self.slacks[ep.index()]
+    }
+}
+
+/// Evaluates endpoint slacks from the current Top-K state.
+pub(crate) fn evaluate(st: &Static, state: &State, cppr: bool) -> InstaReport {
+    let k = state.k;
+    let n_ep = st.endpoints.len();
+    let mut slacks = vec![f64::INFINITY; n_ep];
+    let mut arrivals = vec![f64::NEG_INFINITY; n_ep];
+    let mut requireds = vec![f64::INFINITY; n_ep];
+    let mut worst_sp = vec![NO_SP; n_ep];
+    let mut worst_rf = vec![0u8; n_ep];
+    let mut wns = f64::INFINITY;
+    let mut tns = 0.0;
+    let mut viol = 0usize;
+    for (i, ep) in st.endpoints.iter().enumerate() {
+        let v = ep.node as usize;
+        let ep_id = EpId(ep.ep);
+        for rf in 0..2usize {
+            for j in 0..k {
+                let idx = (v * 2 + rf) * k + j;
+                let sp = state.topk_sp[idx];
+                if sp == NO_SP {
+                    break; // the queue is dense from the front
+                }
+                let sp_id = SpId(sp);
+                if st.exceptions.is_false(sp_id, ep_id) {
+                    continue;
+                }
+                let mut required = ep.required_base;
+                let mcp = st.exceptions.multicycle_factor(sp_id, ep_id);
+                if mcp > 1 {
+                    required += (mcp - 1) as f64 * st.period_ps;
+                }
+                if cppr {
+                    required += st.cppr_credit(st.sp_leaf[sp as usize], ep.leaf);
+                }
+                let arrival = state.topk_arrival[idx];
+                let slack = required - arrival;
+                if slack < slacks[i] {
+                    slacks[i] = slack;
+                    arrivals[i] = arrival;
+                    requireds[i] = required;
+                    worst_sp[i] = sp;
+                    worst_rf[i] = rf as u8;
+                }
+            }
+        }
+        if slacks[i] < 0.0 {
+            tns += slacks[i];
+            viol += 1;
+        }
+        if slacks[i] < wns {
+            wns = slacks[i];
+        }
+    }
+    InstaReport {
+        wns_ps: wns,
+        tns_ps: tns,
+        n_violations: viol,
+        slacks,
+        arrivals,
+        requireds,
+        worst_sp,
+        worst_rf,
+    }
+}
+
+impl crate::engine::InstaEngine {
+    /// The last evaluation report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`propagate`](crate::engine::InstaEngine::propagate) has
+    /// not been called yet.
+    pub fn report(&self) -> &InstaReport {
+        self.state
+            .report
+            .as_ref()
+            .expect("call propagate() before report()")
+    }
+
+    /// The last report, if any.
+    pub fn try_report(&self) -> Option<&InstaReport> {
+        self.state.report.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{InstaConfig, InstaEngine};
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+    use insta_refsta::{RefSta, StaConfig};
+
+    #[test]
+    fn report_metrics_are_internally_consistent() {
+        let d = generate_design(&GeneratorConfig::small("met", 3));
+        let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
+        sta.full_update(&d);
+        let mut eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default());
+        let r = eng.propagate().clone();
+        let tns: f64 = r.slacks.iter().map(|s| s.min(0.0)).sum();
+        assert!((tns - r.tns_ps).abs() < 1e-9);
+        let wns = r.slacks.iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(wns, r.wns_ps);
+        assert_eq!(
+            r.n_violations,
+            r.slacks.iter().filter(|&&s| s < 0.0).count()
+        );
+        for (i, &s) in r.slacks.iter().enumerate() {
+            if s.is_finite() {
+                assert!((r.requireds[i] - r.arrivals[i] - s).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exceptions_flow_through_the_engine() {
+        let d = generate_design(&GeneratorConfig::small("met", 5));
+        let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
+        let golden = sta.full_update(&d);
+        let worst = golden
+            .endpoints
+            .iter()
+            .min_by(|a, b| a.slack_ps.total_cmp(&b.slack_ps))
+            .copied()
+            .expect("endpoints");
+        let sp = worst.worst_sp.expect("worst sp");
+        sta.exceptions_mut().add_false_path(sp, worst.ep);
+        sta.full_update(&d);
+        let mut eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default());
+        let r = eng.propagate().clone();
+        // INSTA must agree with the golden engine under the exception.
+        let g = sta.report().endpoints[worst.ep.index()];
+        assert!((r.slacks[worst.ep.index()] - g.slack_ps).abs() < 1e-9);
+        assert_ne!(r.worst_sp[worst.ep.index()], sp.0);
+    }
+
+    #[test]
+    fn report_panics_before_propagate() {
+        let d = generate_design(&GeneratorConfig::small("met", 7));
+        let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
+        sta.full_update(&d);
+        let eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default());
+        assert!(eng.try_report().is_none());
+        let result = std::panic::catch_unwind(|| {
+            let _ = eng.report();
+        });
+        assert!(result.is_err());
+    }
+}

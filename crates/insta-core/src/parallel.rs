@@ -1,0 +1,119 @@
+//! The CPU "kernel launcher" standing in for CUDA grid launches.
+//!
+//! Each INSTA kernel processes one timing level: every node of the level is
+//! independent (the paper maps one pin to one CUDA thread). Because the
+//! engine renumbers nodes in level-major order, a level's state is a
+//! contiguous slice, so the launcher can hand disjoint chunks to scoped
+//! threads with zero unsafe code.
+
+/// Number of worker threads a launch uses (`0` = all available cores).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Minimum per-level work items before a launch goes parallel; below this,
+/// thread spawn overhead dominates and the launcher runs inline.
+pub const PAR_THRESHOLD: usize = 512;
+
+/// Runs `f(global_index, item)` for every item of `items`, splitting the
+/// slice into `n_threads` chunks executed by scoped threads. `base` is
+/// added to each local index to recover the global index.
+///
+/// Falls back to an inline loop when the slice is small or one thread was
+/// requested.
+pub fn launch<T: Send, F>(n_threads: usize, base: usize, items: &mut [T], f: F)
+where
+    F: Fn(usize, &mut T) + Sync,
+{
+    let nt = resolve_threads(n_threads);
+    if nt <= 1 || items.len() < PAR_THRESHOLD {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(base + i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(nt);
+    crossbeam::thread::scope(|s| {
+        for (ci, chunk_items) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| {
+                for (i, item) in chunk_items.iter_mut().enumerate() {
+                    f(base + ci * chunk + i, item);
+                }
+            });
+        }
+    })
+    .expect("kernel worker panicked");
+}
+
+/// Like [`launch`] but over ranges instead of slices: calls
+/// `f(start..end)` on each thread's sub-range of `base..base + len`. The
+/// caller is responsible for making the per-range work disjoint.
+pub fn launch_ranges<F>(n_threads: usize, base: usize, len: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let nt = resolve_threads(n_threads);
+    if nt <= 1 || len < PAR_THRESHOLD {
+        f(base..base + len);
+        return;
+    }
+    let chunk = len.div_ceil(nt);
+    crossbeam::thread::scope(|s| {
+        let mut start = base;
+        let end = base + len;
+        while start < end {
+            let stop = (start + chunk).min(end);
+            let f = &f;
+            s.spawn(move |_| f(start..stop));
+            start = stop;
+        }
+    })
+    .expect("kernel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn launch_visits_every_item_once_with_global_indices() {
+        let mut data = vec![0usize; 2000];
+        launch(4, 100, &mut data, |gi, item| {
+            *item = gi;
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, 100 + i);
+        }
+    }
+
+    #[test]
+    fn launch_small_runs_inline() {
+        let mut data = vec![0u32; 10];
+        launch(8, 0, &mut data, |_gi, item| *item += 1);
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn launch_ranges_covers_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        launch_ranges(4, 7, 4096, |r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+            assert!(r.start >= 7 && r.end <= 7 + 4096);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4096);
+    }
+
+    #[test]
+    fn resolve_threads_defaults_to_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -1,0 +1,322 @@
+//! Fixed-size Top-K priority queue with unique startpoints — paper
+//! Algorithm 2.
+//!
+//! The paper's §III-E explains why these are flat sorted lists rather than
+//! heaps: each GPU thread owns its own K-entry list, and the O(K²)
+//! comparison/shift pattern beats heap maintenance on massively parallel
+//! hardware. The kernel operates directly on SoA array slices
+//! ([`update_topk_slices`]); [`TopKQueue`] is the owned, ergonomic wrapper
+//! used by tests and by callers outside the kernels.
+
+/// Sentinel startpoint id for an empty queue slot.
+pub const NO_SP: u32 = u32::MAX;
+
+/// One candidate arrival distribution tagged with its startpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Corner arrival value used for ordering (`mean + N_sigma * sigma`).
+    pub arrival: f64,
+    /// Mean of the arrival distribution.
+    pub mean: f64,
+    /// Standard deviation of the arrival distribution.
+    pub sigma: f64,
+    /// Startpoint id.
+    pub sp: u32,
+}
+
+/// Updates one K-entry queue stored as parallel slices, maintaining
+/// descending `arrival` order and startpoint uniqueness.
+///
+/// This is a literal transcription of paper Algorithm 2:
+///
+/// 1. if `sp` already exists, replace its entry when the new arrival is
+///    larger (then bubble it toward the front to restore order);
+/// 2. otherwise insert at the sorted position, shifting smaller entries
+///    down and dropping the last one.
+///
+/// Empty slots hold `arrival = -INF` and `sp = NO_SP`.
+#[inline]
+pub fn update_topk_slices(
+    arrivals: &mut [f64],
+    means: &mut [f64],
+    sigmas: &mut [f64],
+    sps: &mut [u32],
+    cand: Candidate,
+) {
+    let k = arrivals.len();
+    debug_assert!(k > 0 && means.len() == k && sigmas.len() == k && sps.len() == k);
+
+    // Step 1: startpoint uniqueness. Occupied slots are dense from the
+    // front, so the scan stops at the first empty slot.
+    for j in 0..k {
+        if sps[j] == NO_SP {
+            // Empty tail: the startpoint is new; insert right here.
+            arrivals[j] = cand.arrival;
+            means[j] = cand.mean;
+            sigmas[j] = cand.sigma;
+            sps[j] = cand.sp;
+            let mut i = j;
+            while i > 0 && arrivals[i - 1] < arrivals[i] {
+                arrivals.swap(i - 1, i);
+                means.swap(i - 1, i);
+                sigmas.swap(i - 1, i);
+                sps.swap(i - 1, i);
+                i -= 1;
+            }
+            return;
+        }
+        if sps[j] == cand.sp {
+            if cand.arrival > arrivals[j] {
+                arrivals[j] = cand.arrival;
+                means[j] = cand.mean;
+                sigmas[j] = cand.sigma;
+                // Bubble up: the increased entry may outrank predecessors.
+                let mut i = j;
+                while i > 0 && arrivals[i - 1] < arrivals[i] {
+                    arrivals.swap(i - 1, i);
+                    means.swap(i - 1, i);
+                    sigmas.swap(i - 1, i);
+                    sps.swap(i - 1, i);
+                    i -= 1;
+                }
+            }
+            return;
+        }
+    }
+
+    // Step 2: insert if it beats the smallest entry (or an empty slot).
+    if cand.arrival <= arrivals[k - 1] {
+        return;
+    }
+    // Find the insertion position (first entry smaller than the candidate).
+    let mut pos = k - 1;
+    while pos > 0 && arrivals[pos - 1] < cand.arrival {
+        pos -= 1;
+    }
+    // Shift down and insert.
+    for i in (pos..k - 1).rev() {
+        arrivals[i + 1] = arrivals[i];
+        means[i + 1] = means[i];
+        sigmas[i + 1] = sigmas[i];
+        sps[i + 1] = sps[i];
+    }
+    arrivals[pos] = cand.arrival;
+    means[pos] = cand.mean;
+    sigmas[pos] = cand.sigma;
+    sps[pos] = cand.sp;
+}
+
+/// Resets a queue slice group to the empty state.
+#[inline]
+pub fn clear_topk_slices(arrivals: &mut [f64], means: &mut [f64], sigmas: &mut [f64], sps: &mut [u32]) {
+    arrivals.fill(f64::NEG_INFINITY);
+    means.fill(0.0);
+    sigmas.fill(0.0);
+    sps.fill(NO_SP);
+}
+
+/// An owned Top-K queue over [`Candidate`]s — the ergonomic counterpart of
+/// the slice kernel, with identical semantics.
+///
+/// # Examples
+///
+/// ```
+/// use insta_engine::topk::{Candidate, TopKQueue};
+///
+/// let mut q = TopKQueue::new(2);
+/// q.push(Candidate { arrival: 5.0, mean: 5.0, sigma: 0.0, sp: 1 });
+/// q.push(Candidate { arrival: 9.0, mean: 9.0, sigma: 0.0, sp: 2 });
+/// q.push(Candidate { arrival: 7.0, mean: 7.0, sigma: 0.0, sp: 3 }); // evicts sp 1
+/// q.push(Candidate { arrival: 6.0, mean: 6.0, sigma: 0.0, sp: 2 }); // ignored: smaller
+/// let sps: Vec<u32> = q.entries().map(|c| c.sp).collect();
+/// assert_eq!(sps, vec![2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKQueue {
+    arrivals: Vec<f64>,
+    means: Vec<f64>,
+    sigmas: Vec<f64>,
+    sps: Vec<u32>,
+}
+
+impl TopKQueue {
+    /// Creates an empty queue of capacity `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "Top-K capacity must be positive");
+        Self {
+            arrivals: vec![f64::NEG_INFINITY; k],
+            means: vec![0.0; k],
+            sigmas: vec![0.0; k],
+            sps: vec![NO_SP; k],
+        }
+    }
+
+    /// The queue capacity K.
+    pub fn capacity(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.sps.iter().filter(|&&s| s != NO_SP).count()
+    }
+
+    /// Whether no candidate has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.sps[0] == NO_SP
+    }
+
+    /// Pushes a candidate (paper Algorithm 2).
+    pub fn push(&mut self, cand: Candidate) {
+        update_topk_slices(
+            &mut self.arrivals,
+            &mut self.means,
+            &mut self.sigmas,
+            &mut self.sps,
+            cand,
+        );
+    }
+
+    /// Iterates occupied entries in descending arrival order.
+    pub fn entries(&self) -> impl Iterator<Item = Candidate> + '_ {
+        (0..self.capacity())
+            .filter(|&i| self.sps[i] != NO_SP)
+            .map(|i| Candidate {
+                arrival: self.arrivals[i],
+                mean: self.means[i],
+                sigma: self.sigmas[i],
+                sp: self.sps[i],
+            })
+    }
+
+    /// The most critical entry, if any.
+    pub fn top(&self) -> Option<Candidate> {
+        self.entries().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cand(arrival: f64, sp: u32) -> Candidate {
+        Candidate {
+            arrival,
+            mean: arrival,
+            sigma: 0.0,
+            sp,
+        }
+    }
+
+    #[test]
+    fn keeps_descending_order() {
+        let mut q = TopKQueue::new(4);
+        for (a, sp) in [(3.0, 0), (9.0, 1), (1.0, 2), (7.0, 3)] {
+            q.push(cand(a, sp));
+        }
+        let arr: Vec<f64> = q.entries().map(|c| c.arrival).collect();
+        assert_eq!(arr, vec![9.0, 7.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn evicts_smallest_when_full() {
+        let mut q = TopKQueue::new(2);
+        q.push(cand(3.0, 0));
+        q.push(cand(9.0, 1));
+        q.push(cand(7.0, 2));
+        let sps: Vec<u32> = q.entries().map(|c| c.sp).collect();
+        assert_eq!(sps, vec![1, 2]);
+    }
+
+    #[test]
+    fn duplicate_sp_keeps_larger_arrival() {
+        let mut q = TopKQueue::new(3);
+        q.push(cand(5.0, 7));
+        q.push(cand(3.0, 7)); // smaller, ignored
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.top().unwrap().arrival, 5.0);
+        q.push(cand(8.0, 7)); // larger, replaces
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.top().unwrap().arrival, 8.0);
+    }
+
+    #[test]
+    fn updated_sp_bubbles_to_correct_rank() {
+        let mut q = TopKQueue::new(3);
+        q.push(cand(9.0, 0));
+        q.push(cand(5.0, 1));
+        q.push(cand(4.0, 2));
+        // sp 2 jumps from rank 2 to rank 0.
+        q.push(cand(11.0, 2));
+        let order: Vec<u32> = q.entries().map(|c| c.sp).collect();
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn rejects_candidate_below_floor() {
+        let mut q = TopKQueue::new(2);
+        q.push(cand(9.0, 0));
+        q.push(cand(8.0, 1));
+        q.push(cand(1.0, 2));
+        let sps: Vec<u32> = q.entries().map(|c| c.sp).collect();
+        assert_eq!(sps, vec![0, 1]);
+    }
+
+    #[test]
+    fn k_equals_one_degenerates_to_worst_arrival() {
+        let mut q = TopKQueue::new(1);
+        for (a, sp) in [(2.0, 0), (8.0, 1), (5.0, 2)] {
+            q.push(cand(a, sp));
+        }
+        assert_eq!(q.top().unwrap().arrival, 8.0);
+        assert_eq!(q.top().unwrap().sp, 1);
+    }
+
+    proptest! {
+        /// The queue must always hold the K largest arrivals over unique
+        /// startpoints, in descending order — compared against a brute-force
+        /// oracle.
+        #[test]
+        fn matches_brute_force_oracle(
+            cands in proptest::collection::vec((0u32..12, 0.0f64..100.0), 1..60),
+            k in 1usize..8,
+        ) {
+            let mut q = TopKQueue::new(k);
+            for &(sp, a) in &cands {
+                q.push(cand(a, sp));
+            }
+            // Oracle: max arrival per sp, then top-k desc.
+            let mut best: std::collections::HashMap<u32, f64> = Default::default();
+            for &(sp, a) in &cands {
+                let e = best.entry(sp).or_insert(f64::NEG_INFINITY);
+                if a > *e { *e = a; }
+            }
+            let mut want: Vec<(f64, u32)> =
+                best.into_iter().map(|(sp, a)| (a, sp)).collect();
+            want.sort_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
+            want.truncate(k);
+            let got: Vec<f64> = q.entries().map(|c| c.arrival).collect();
+            let want_arr: Vec<f64> = want.iter().map(|&(a, _)| a).collect();
+            prop_assert_eq!(got, want_arr);
+        }
+
+        /// Startpoints in the queue are always unique.
+        #[test]
+        fn startpoints_stay_unique(
+            cands in proptest::collection::vec((0u32..6, 0.0f64..50.0), 1..40),
+        ) {
+            let mut q = TopKQueue::new(4);
+            for &(sp, a) in &cands {
+                q.push(cand(a, sp));
+            }
+            let sps: Vec<u32> = q.entries().map(|c| c.sp).collect();
+            let uniq: std::collections::HashSet<u32> = sps.iter().copied().collect();
+            prop_assert_eq!(sps.len(), uniq.len());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Liberty-subset cell library model for the INSTA reproduction.
+//!
+//! This crate is the bottom substrate of the workspace: it defines the
+//! standard-cell library abstraction every other crate consumes.
+//!
+//! * [`table`] — NLDM two-dimensional lookup tables (input slew × output
+//!   load) with bilinear interpolation and linear edge extrapolation.
+//! * [`cell`] — library cells, pins, and timing arcs (combinational,
+//!   clock-to-output launch, setup/hold checks) with per-arc POCV sigma
+//!   coefficients.
+//! * [`synth`] — a deterministic synthetic 7 nm-flavoured library builder
+//!   (INV/BUF/NAND/NOR/AND/OR/XOR/AOI/OAI/MUX/DFF across drive strengths),
+//!   standing in for the commercial 3 nm and ASAP7 libraries used by the
+//!   paper.
+//! * [`parser`] / [`writer`] — a Liberty text-format subset parser and
+//!   writer that round-trip the synthetic library.
+//!
+//! Units follow the workspace convention: time in **ps**, capacitance in
+//! **fF**, resistance in **kΩ** (so kΩ·fF = ps).
+//!
+//! # Examples
+//!
+//! ```
+//! use insta_liberty::synth::{synth_library, SynthLibraryConfig};
+//!
+//! let lib = synth_library(&SynthLibraryConfig::default());
+//! let inv = lib.cell_by_name("INV_X2").expect("synthesized cell");
+//! assert!(inv.arcs().len() >= 1);
+//! ```
+
+pub mod cell;
+pub mod parser;
+pub mod synth;
+pub mod table;
+pub mod writer;
+
+pub use cell::{
+    ArcKind, GateClass, LibArc, LibCell, LibCellId, LibPin, LibPinId, Library, PinDirection,
+    TimingSense, Transition,
+};
+pub use parser::{parse_library, ParseLibertyError};
+pub use synth::{synth_library, SynthLibraryConfig};
+pub use table::NldmTable;
+pub use writer::write_library;

@@ -1,0 +1,324 @@
+//! NLDM two-dimensional lookup tables.
+//!
+//! A [`NldmTable`] stores delay or output-transition values indexed by input
+//! slew (rows) and output load (columns), mirroring the `cell_rise` /
+//! `rise_transition` groups of a Liberty file. Lookup uses bilinear
+//! interpolation inside the grid and linear extrapolation from the edge
+//! segments outside it, which is the behaviour commercial delay calculators
+//! implement.
+
+use serde::{Deserialize, Serialize};
+
+/// A two-dimensional NLDM lookup table: `values[slew_idx][load_idx]`.
+///
+/// Invariants (validated by [`NldmTable::new`]): both index vectors are
+/// non-empty, strictly increasing, and `values.len() == index_slew.len() *
+/// index_load.len()` (row-major).
+///
+/// # Examples
+///
+/// ```
+/// use insta_liberty::NldmTable;
+///
+/// let t = NldmTable::new(
+///     vec![10.0, 50.0],
+///     vec![1.0, 4.0],
+///     vec![5.0, 8.0, 7.0, 10.0],
+/// )?;
+/// // Exact grid point:
+/// assert_eq!(t.lookup(10.0, 4.0), 8.0);
+/// // Bilinear interior point:
+/// assert!((t.lookup(30.0, 2.5) - 7.5).abs() < 1e-12);
+/// # Ok::<(), insta_liberty::table::BuildTableError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NldmTable {
+    index_slew: Vec<f64>,
+    index_load: Vec<f64>,
+    values: Vec<f64>,
+}
+
+/// Error returned when constructing a malformed [`NldmTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildTableError {
+    /// An index vector was empty.
+    EmptyIndex,
+    /// An index vector was not strictly increasing.
+    NonMonotonicIndex,
+    /// `values` length did not match `index_slew.len() * index_load.len()`.
+    ValueCountMismatch {
+        /// Expected number of values.
+        expected: usize,
+        /// Number of values provided.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for BuildTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildTableError::EmptyIndex => write!(f, "table index vector is empty"),
+            BuildTableError::NonMonotonicIndex => {
+                write!(f, "table index vector is not strictly increasing")
+            }
+            BuildTableError::ValueCountMismatch { expected, found } => write!(
+                f,
+                "table value count mismatch: expected {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildTableError {}
+
+fn is_strictly_increasing(xs: &[f64]) -> bool {
+    xs.windows(2).all(|w| w[0] < w[1])
+}
+
+impl NldmTable {
+    /// Creates a table from its index vectors and row-major values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTableError`] if an index is empty or non-monotonic, or
+    /// if the value count does not equal the grid size.
+    pub fn new(
+        index_slew: Vec<f64>,
+        index_load: Vec<f64>,
+        values: Vec<f64>,
+    ) -> Result<Self, BuildTableError> {
+        if index_slew.is_empty() || index_load.is_empty() {
+            return Err(BuildTableError::EmptyIndex);
+        }
+        if !is_strictly_increasing(&index_slew) || !is_strictly_increasing(&index_load) {
+            return Err(BuildTableError::NonMonotonicIndex);
+        }
+        let expected = index_slew.len() * index_load.len();
+        if values.len() != expected {
+            return Err(BuildTableError::ValueCountMismatch {
+                expected,
+                found: values.len(),
+            });
+        }
+        Ok(Self {
+            index_slew,
+            index_load,
+            values,
+        })
+    }
+
+    /// Creates a 1×1 constant table (useful for scalar arcs such as setup
+    /// margins in the synthetic library).
+    pub fn constant(value: f64) -> Self {
+        Self {
+            index_slew: vec![0.0],
+            index_load: vec![0.0],
+            values: vec![value],
+        }
+    }
+
+    /// Builds a table by sampling `f(slew, load)` on the given grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index vector is empty or non-monotonic.
+    pub fn from_fn(
+        index_slew: Vec<f64>,
+        index_load: Vec<f64>,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Self {
+        assert!(
+            !index_slew.is_empty() && !index_load.is_empty(),
+            "table indexes must be non-empty"
+        );
+        assert!(
+            is_strictly_increasing(&index_slew) && is_strictly_increasing(&index_load),
+            "table indexes must be strictly increasing"
+        );
+        let mut values = Vec::with_capacity(index_slew.len() * index_load.len());
+        for &s in &index_slew {
+            for &l in &index_load {
+                values.push(f(s, l));
+            }
+        }
+        Self {
+            index_slew,
+            index_load,
+            values,
+        }
+    }
+
+    /// The input-slew index vector (ps).
+    pub fn index_slew(&self) -> &[f64] {
+        &self.index_slew
+    }
+
+    /// The output-load index vector (fF).
+    pub fn index_load(&self) -> &[f64] {
+        &self.index_load
+    }
+
+    /// Row-major values: `values[si * index_load.len() + li]`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    #[inline]
+    fn value_at(&self, si: usize, li: usize) -> f64 {
+        self.values[si * self.index_load.len() + li]
+    }
+
+    /// Looks up the table at `(slew, load)` with bilinear interpolation.
+    ///
+    /// Outside the table range, the edge segments are extrapolated linearly,
+    /// matching commercial delay-calculator behaviour. Degenerate
+    /// (single-entry) axes return the single row/column value along that
+    /// axis.
+    pub fn lookup(&self, slew: f64, load: f64) -> f64 {
+        let (s0, s1, ts) = segment(&self.index_slew, slew);
+        let (l0, l1, tl) = segment(&self.index_load, load);
+        let v00 = self.value_at(s0, l0);
+        let v01 = self.value_at(s0, l1);
+        let v10 = self.value_at(s1, l0);
+        let v11 = self.value_at(s1, l1);
+        let a = v00 + (v01 - v00) * tl;
+        let b = v10 + (v11 - v10) * tl;
+        a + (b - a) * ts
+    }
+
+    /// Maximum absolute value in the table.
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Applies `f` to every stored value, returning the transformed table.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        Self {
+            index_slew: self.index_slew.clone(),
+            index_load: self.index_load.clone(),
+            values: self.values.iter().copied().map(f).collect(),
+        }
+    }
+}
+
+/// Returns `(i0, i1, t)` such that `x ≈ lerp(index[i0], index[i1], t)`.
+///
+/// `t` may fall outside `[0, 1]`, which yields linear extrapolation from the
+/// nearest edge segment. A single-entry axis returns `(0, 0, 0)`.
+fn segment(index: &[f64], x: f64) -> (usize, usize, f64) {
+    let n = index.len();
+    if n == 1 {
+        return (0, 0, 0.0);
+    }
+    // Pick the segment whose interior (or nearest edge) contains x.
+    let hi = match index.iter().position(|&v| v >= x) {
+        Some(0) => 1,
+        Some(i) => i,
+        None => n - 1,
+    };
+    let lo = hi - 1;
+    let (a, b) = (index[lo], index[hi]);
+    let t = (x - a) / (b - a);
+    (lo, hi, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_2x2() -> NldmTable {
+        NldmTable::new(
+            vec![10.0, 50.0],
+            vec![1.0, 4.0],
+            vec![5.0, 8.0, 7.0, 10.0],
+        )
+        .expect("valid table")
+    }
+
+    #[test]
+    fn rejects_empty_index() {
+        let err = NldmTable::new(vec![], vec![1.0], vec![]).unwrap_err();
+        assert_eq!(err, BuildTableError::EmptyIndex);
+    }
+
+    #[test]
+    fn rejects_non_monotonic_index() {
+        let err = NldmTable::new(vec![1.0, 1.0], vec![1.0], vec![0.0, 0.0]).unwrap_err();
+        assert_eq!(err, BuildTableError::NonMonotonicIndex);
+    }
+
+    #[test]
+    fn rejects_value_count_mismatch() {
+        let err = NldmTable::new(vec![1.0, 2.0], vec![1.0], vec![0.0]).unwrap_err();
+        assert_eq!(
+            err,
+            BuildTableError::ValueCountMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn exact_grid_points() {
+        let t = table_2x2();
+        assert_eq!(t.lookup(10.0, 1.0), 5.0);
+        assert_eq!(t.lookup(10.0, 4.0), 8.0);
+        assert_eq!(t.lookup(50.0, 1.0), 7.0);
+        assert_eq!(t.lookup(50.0, 4.0), 10.0);
+    }
+
+    #[test]
+    fn bilinear_midpoint() {
+        let t = table_2x2();
+        let v = t.lookup(30.0, 2.5);
+        assert!((v - 7.5).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn extrapolates_below_and_above() {
+        let t = table_2x2();
+        // Along load axis at slew=10: slope = (8-5)/(4-1) = 1 per fF.
+        assert!((t.lookup(10.0, 0.0) - 4.0).abs() < 1e-12);
+        assert!((t.lookup(10.0, 7.0) - 11.0).abs() < 1e-12);
+        // Along slew axis at load=1: slope = (7-5)/(50-10) = 0.05 per ps.
+        assert!((t.lookup(90.0, 1.0) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_table_is_flat() {
+        let t = NldmTable::constant(42.0);
+        assert_eq!(t.lookup(-10.0, 99.0), 42.0);
+        assert_eq!(t.lookup(3.0, 0.5), 42.0);
+    }
+
+    #[test]
+    fn from_fn_samples_grid() {
+        let t = NldmTable::from_fn(vec![1.0, 2.0], vec![10.0, 20.0], |s, l| s * 100.0 + l);
+        assert_eq!(t.lookup(1.0, 10.0), 110.0);
+        assert_eq!(t.lookup(2.0, 20.0), 220.0);
+    }
+
+    #[test]
+    fn lookup_is_monotonic_for_monotonic_tables() {
+        let t = NldmTable::from_fn(
+            vec![5.0, 20.0, 80.0],
+            vec![0.5, 2.0, 8.0],
+            |s, l| 3.0 + 0.2 * s + 1.5 * l,
+        );
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..20 {
+            let load = 0.1 + i as f64 * 0.5;
+            let v = t.lookup(10.0, load);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn map_transforms_values() {
+        let t = table_2x2().map(|v| v * 2.0);
+        assert_eq!(t.lookup(10.0, 1.0), 10.0);
+        assert_eq!(t.max_abs(), 20.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Liberty text writer for the subset consumed by [`crate::parser`].
+//!
+//! The emitted format follows standard Liberty structure (`library`, `cell`,
+//! `pin`, `timing` groups; `cell_rise`/`rise_transition` tables) plus two
+//! vendor-extension attributes the round-trip needs: `gate_class` and
+//! `drive_strength`. POCV sigma is written as `pocv_sigma_coeff`.
+
+use crate::cell::{ArcKind, LibCell, Library, PinDirection, TimingSense};
+use crate::table::NldmTable;
+use std::fmt::Write as _;
+
+fn fmt_nums(xs: &[f64]) -> String {
+    xs.iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn write_table(out: &mut String, name: &str, table: &NldmTable, indent: &str) {
+    let _ = writeln!(out, "{indent}{name} (lut) {{");
+    let _ = writeln!(out, "{indent}  index_1 (\"{}\");", fmt_nums(table.index_slew()));
+    let _ = writeln!(out, "{indent}  index_2 (\"{}\");", fmt_nums(table.index_load()));
+    let cols = table.index_load().len();
+    let _ = writeln!(out, "{indent}  values ( \\");
+    for (i, row) in table.values().chunks(cols).enumerate() {
+        let sep = if (i + 1) * cols >= table.values().len() {
+            ""
+        } else {
+            ", \\"
+        };
+        let _ = writeln!(out, "{indent}    \"{}\"{sep}", fmt_nums(row));
+    }
+    let _ = writeln!(out, "{indent}  );");
+    let _ = writeln!(out, "{indent}}}");
+}
+
+fn timing_type_str(kind: ArcKind) -> &'static str {
+    match kind {
+        ArcKind::Combinational => "combinational",
+        ArcKind::Launch => "rising_edge",
+        ArcKind::Setup => "setup_rising",
+        ArcKind::Hold => "hold_rising",
+    }
+}
+
+fn timing_sense_str(sense: TimingSense) -> &'static str {
+    match sense {
+        TimingSense::PositiveUnate => "positive_unate",
+        TimingSense::NegativeUnate => "negative_unate",
+        TimingSense::NonUnate => "non_unate",
+    }
+}
+
+fn write_cell(out: &mut String, cell: &LibCell) {
+    let _ = writeln!(out, "  cell ({}) {{", cell.name);
+    let _ = writeln!(out, "    area : {};", cell.width);
+    let _ = writeln!(out, "    cell_leakage_power : {};", cell.leakage);
+    let _ = writeln!(out, "    gate_class : \"{}\";", cell.class.short_name());
+    let _ = writeln!(out, "    drive_strength : {};", cell.drive);
+    for (pi, pin) in cell.pins().iter().enumerate() {
+        let _ = writeln!(out, "    pin ({}) {{", pin.name);
+        let dir = match pin.direction {
+            PinDirection::Input => "input",
+            PinDirection::Output => "output",
+        };
+        let _ = writeln!(out, "      direction : {dir};");
+        if pin.direction == PinDirection::Input {
+            let _ = writeln!(out, "      capacitance : {};", pin.cap_ff);
+        }
+        if pin.is_clock {
+            let _ = writeln!(out, "      clock : true;");
+        }
+        if pin.direction == PinDirection::Output && pin.max_cap_ff.is_finite() {
+            let _ = writeln!(out, "      max_capacitance : {};", pin.max_cap_ff);
+        }
+        // Timing groups live under the destination pin, as in real Liberty.
+        for arc in cell.arcs() {
+            if arc.to.index() != pi {
+                continue;
+            }
+            let related = &cell.pins()[arc.from.index()].name;
+            let _ = writeln!(out, "      timing () {{");
+            let _ = writeln!(out, "        related_pin : \"{related}\";");
+            let _ = writeln!(out, "        timing_type : {};", timing_type_str(arc.kind));
+            let _ = writeln!(out, "        timing_sense : {};", timing_sense_str(arc.sense));
+            let _ = writeln!(out, "        pocv_sigma_coeff : {};", arc.sigma_coeff);
+            write_table(out, "cell_rise", &arc.delay_rise, "        ");
+            write_table(out, "cell_fall", &arc.delay_fall, "        ");
+            write_table(out, "rise_transition", &arc.trans_rise, "        ");
+            write_table(out, "fall_transition", &arc.trans_fall, "        ");
+            let _ = writeln!(out, "      }}");
+        }
+        let _ = writeln!(out, "    }}");
+    }
+    let _ = writeln!(out, "  }}");
+}
+
+/// Serializes a library to Liberty text.
+///
+/// # Examples
+///
+/// ```
+/// use insta_liberty::{synth_library, SynthLibraryConfig, write_library, parse_library};
+///
+/// let lib = synth_library(&SynthLibraryConfig::default());
+/// let text = write_library(&lib);
+/// let back = parse_library(&text)?;
+/// assert_eq!(back.len(), lib.len());
+/// # Ok::<(), insta_liberty::ParseLibertyError>(())
+/// ```
+pub fn write_library(lib: &Library) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({}) {{", lib.name);
+    let _ = writeln!(out, "  time_unit : \"1ps\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
+    for cell in lib.cells() {
+        write_cell(&mut out, cell);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synth_library, SynthLibraryConfig};
+
+    #[test]
+    fn writer_emits_expected_sections() {
+        let lib = synth_library(&SynthLibraryConfig::default());
+        let text = write_library(&lib);
+        assert!(text.starts_with("library (insta_synth7) {"));
+        assert!(text.contains("cell (INV_X1) {"));
+        assert!(text.contains("timing_sense : negative_unate;"));
+        assert!(text.contains("timing_type : setup_rising;"));
+        assert!(text.contains("pocv_sigma_coeff : 0.05;"));
+        assert!(text.contains("cell_rise (lut) {"));
+    }
+}

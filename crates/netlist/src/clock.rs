@@ -1,0 +1,262 @@
+//! Structural clock-tree extraction.
+//!
+//! CPPR credit depends on the portion of the clock network that launch and
+//! capture paths share. [`ClockTree::extract`] walks the clock network from
+//! the clock source through buffer cells down to flop CK pins and records
+//! the tree topology (parent links and depths), so engines can answer
+//! lowest-common-ancestor queries between any two clock leaves.
+
+use crate::design::{CellId, Design, PinId};
+use insta_liberty::PinDirection;
+use std::collections::HashMap;
+
+/// A node of the extracted clock tree: a driving pin in the clock network
+/// (the clock source or a clock buffer output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockTreeNode {
+    /// The driving pin this node represents.
+    pub pin: PinId,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<u32>,
+    /// Depth from the root (root = 0).
+    pub depth: u32,
+    /// The buffer cell whose output this is (`None` for the source port).
+    pub cell: Option<CellId>,
+}
+
+/// The extracted clock tree of a design's single clock domain.
+#[derive(Debug, Clone, Default)]
+pub struct ClockTree {
+    nodes: Vec<ClockTreeNode>,
+    /// Flop CK pin → index of the tree node driving it.
+    leaf_of_ck: HashMap<PinId, u32>,
+    /// Every pin that belongs to the clock network (source, buffer pins,
+    /// CK pins) — used to exclude them from the data timing graph.
+    clock_pins: Vec<PinId>,
+}
+
+impl ClockTree {
+    /// Extracts the clock tree of `design`, or an empty tree when no clock
+    /// domain is defined.
+    ///
+    /// The walk starts at the clock source, follows each net to its sinks,
+    /// descends through combinational cells (clock buffers/inverters), and
+    /// records flop CK pins as leaves. Non-clock sinks of clock nets are
+    /// ignored (clock-as-data is out of scope for this reproduction).
+    pub fn extract(design: &Design) -> Self {
+        let Some(domain) = design.clock() else {
+            return Self::default();
+        };
+        let mut tree = Self::default();
+        tree.nodes.push(ClockTreeNode {
+            pin: domain.source,
+            parent: None,
+            depth: 0,
+            cell: None,
+        });
+        tree.clock_pins.push(domain.source);
+        let mut queue = vec![0u32];
+        while let Some(node_idx) = queue.pop() {
+            let driver = tree.nodes[node_idx as usize].pin;
+            let Some(net_id) = design.pin(driver).net else {
+                continue;
+            };
+            let sinks: Vec<PinId> = design.net(net_id).sinks.clone();
+            for sink in sinks {
+                tree.clock_pins.push(sink);
+                let p = design.pin(sink);
+                let Some(cell_id) = p.cell else { continue };
+                let lc = design.lib_cell_of(cell_id);
+                if lc.is_sequential() {
+                    // Leaf: the CK pin of a flop.
+                    if p.lib_pin.map(|lp| lc.pin(lp).is_clock).unwrap_or(false) {
+                        tree.leaf_of_ck.insert(sink, node_idx);
+                    }
+                    continue;
+                }
+                // A buffer in the clock network: descend through each of
+                // its output pins.
+                let depth = tree.nodes[node_idx as usize].depth + 1;
+                let out_pins: Vec<PinId> = design
+                    .cell(cell_id)
+                    .pins
+                    .iter()
+                    .copied()
+                    .filter(|&pp| design.pin(pp).direction == PinDirection::Output)
+                    .collect();
+                for out in out_pins {
+                    let child = tree.nodes.len() as u32;
+                    tree.nodes.push(ClockTreeNode {
+                        pin: out,
+                        parent: Some(node_idx),
+                        depth,
+                        cell: Some(cell_id),
+                    });
+                    tree.clock_pins.push(out);
+                    queue.push(child);
+                }
+            }
+        }
+        tree
+    }
+
+    /// The tree nodes (root first).
+    pub fn nodes(&self) -> &[ClockTreeNode] {
+        &self.nodes
+    }
+
+    /// Whether the tree is empty (no clock domain).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The tree node index driving a flop's CK pin, if it is a clock leaf.
+    pub fn leaf_of_ck_pin(&self, ck: PinId) -> Option<u32> {
+        self.leaf_of_ck.get(&ck).copied()
+    }
+
+    /// All CK pins reached by the tree.
+    pub fn ck_pins(&self) -> impl Iterator<Item = PinId> + '_ {
+        self.leaf_of_ck.keys().copied()
+    }
+
+    /// Every pin that is part of the clock network.
+    pub fn clock_pins(&self) -> &[PinId] {
+        &self.clock_pins
+    }
+
+    /// Lowest common ancestor of two tree nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn lca(&self, mut a: u32, mut b: u32) -> u32 {
+        while self.nodes[a as usize].depth > self.nodes[b as usize].depth {
+            a = self.nodes[a as usize].parent.expect("non-root has parent");
+        }
+        while self.nodes[b as usize].depth > self.nodes[a as usize].depth {
+            b = self.nodes[b as usize].parent.expect("non-root has parent");
+        }
+        while a != b {
+            a = self.nodes[a as usize].parent.expect("lca exists");
+            b = self.nodes[b as usize].parent.expect("lca exists");
+        }
+        a
+    }
+
+    /// Iterates node indices from `node` up to (and including) the root.
+    pub fn path_to_root(&self, node: u32) -> PathToRoot<'_> {
+        PathToRoot {
+            tree: self,
+            next: Some(node),
+        }
+    }
+}
+
+/// Iterator over the ancestors of a clock-tree node; see
+/// [`ClockTree::path_to_root`].
+#[derive(Debug)]
+pub struct PathToRoot<'a> {
+    tree: &'a ClockTree,
+    next: Option<u32>,
+}
+
+impl Iterator for PathToRoot<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let cur = self.next?;
+        self.next = self.tree.nodes[cur as usize].parent;
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+    use insta_liberty::{synth_library, SynthLibraryConfig};
+    use std::sync::Arc;
+
+    /// clk -> root buf -> {buf_l, buf_r}; buf_l -> {f0, f1}, buf_r -> {f2}.
+    fn clocked_design() -> (Design, Vec<PinId>) {
+        let lib = Arc::new(synth_library(&SynthLibraryConfig::default()));
+        let clkbuf = lib.cell_id("CLKBUF_X4").expect("CLKBUF_X4");
+        let dff = lib.cell_id("DFF_X1").expect("DFF_X1");
+        let mut d = Design::new("clocked", lib);
+        let src = d.add_clock_source("clk", 1000.0);
+        let root = d.add_cell("cb_root", clkbuf);
+        let left = d.add_cell("cb_l", clkbuf);
+        let right = d.add_cell("cb_r", clkbuf);
+        let f0 = d.add_cell("f0", dff);
+        let f1 = d.add_cell("f1", dff);
+        let f2 = d.add_cell("f2", dff);
+        let cks: Vec<PinId> = [f0, f1, f2]
+            .iter()
+            .map(|&f| d.cell_pin(f, "CK"))
+            .collect();
+        d.connect("clk_net", src, vec![d.cell_pin(root, "A")]);
+        d.connect(
+            "clk_root",
+            d.cell_pin(root, "Y"),
+            vec![d.cell_pin(left, "A"), d.cell_pin(right, "A")],
+        );
+        d.connect("clk_l", d.cell_pin(left, "Y"), vec![cks[0], cks[1]]);
+        d.connect("clk_r", d.cell_pin(right, "Y"), vec![cks[2]]);
+        (d, cks)
+    }
+
+    #[test]
+    fn extracts_tree_topology() {
+        let (d, cks) = clocked_design();
+        let tree = ClockTree::extract(&d);
+        // Nodes: source + 3 buffer outputs.
+        assert_eq!(tree.nodes().len(), 4);
+        assert_eq!(tree.ck_pins().count(), 3);
+        for ck in &cks {
+            assert!(tree.leaf_of_ck_pin(*ck).is_some());
+        }
+    }
+
+    #[test]
+    fn lca_of_siblings_is_their_shared_buffer_parent() {
+        let (d, cks) = clocked_design();
+        let tree = ClockTree::extract(&d);
+        let l0 = tree.leaf_of_ck_pin(cks[0]).unwrap();
+        let l1 = tree.leaf_of_ck_pin(cks[1]).unwrap();
+        let l2 = tree.leaf_of_ck_pin(cks[2]).unwrap();
+        // f0 and f1 hang off the same leaf buffer.
+        assert_eq!(tree.lca(l0, l1), l0);
+        assert_eq!(l0, l1);
+        // f0 and f2 only share the root buffer.
+        let lca = tree.lca(l0, l2);
+        assert_eq!(tree.nodes()[lca as usize].depth, 1);
+    }
+
+    #[test]
+    fn lca_with_self_is_self() {
+        let (d, cks) = clocked_design();
+        let tree = ClockTree::extract(&d);
+        let l0 = tree.leaf_of_ck_pin(cks[0]).unwrap();
+        assert_eq!(tree.lca(l0, l0), l0);
+    }
+
+    #[test]
+    fn path_to_root_walks_ancestors() {
+        let (d, cks) = clocked_design();
+        let tree = ClockTree::extract(&d);
+        let l2 = tree.leaf_of_ck_pin(cks[2]).unwrap();
+        let path: Vec<u32> = tree.path_to_root(l2).collect();
+        assert_eq!(path.len() as u32, tree.nodes()[l2 as usize].depth + 1);
+        assert_eq!(*path.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn no_clock_yields_empty_tree() {
+        let lib = Arc::new(synth_library(&SynthLibraryConfig::default()));
+        let d = Design::new("empty", lib);
+        let tree = ClockTree::extract(&d);
+        assert!(tree.is_empty());
+        assert_eq!(tree.ck_pins().count(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Netlist data model and synthetic design generation for the INSTA
+//! reproduction.
+//!
+//! * [`design`] — the flat gate-level netlist: cells, pins, nets with
+//!   per-sink wire RC, ports, and a single clock domain.
+//! * [`graph`] — the levelized data-path timing graph shared by the
+//!   reference engine and the INSTA engine (pins as nodes, cell/net timing
+//!   arcs as edges, Kahn levelization).
+//! * [`clock`] — structural clock-tree extraction (source → buffer tree →
+//!   flop CK leaves), the substrate for CPPR credit computation.
+//! * [`generator`] — deterministic synthetic design generators standing in
+//!   for the paper's proprietary 3 nm blocks, IWLS circuits, and
+//!   superblue-style placement instances (see DESIGN.md).
+//! * [`stats`] — design statistics (pin/cell/net counts, logic depth).
+//!
+//! # Examples
+//!
+//! ```
+//! use insta_netlist::generator::{generate_design, GeneratorConfig};
+//! use insta_netlist::graph::TimingGraph;
+//!
+//! let design = generate_design(&GeneratorConfig::small("demo", 42));
+//! let graph = TimingGraph::build(&design)?;
+//! assert!(graph.num_levels() > 1);
+//! # Ok::<(), insta_netlist::graph::BuildGraphError>(())
+//! ```
+
+pub mod clock;
+pub mod design;
+pub mod generator;
+pub mod graph;
+pub mod spef;
+pub mod stats;
+pub mod verilog;
+
+pub use clock::{ClockTree, ClockTreeNode};
+pub use design::{Cell, CellId, Design, Net, NetId, Pin, PinId, PinRole, WireRc};
+pub use generator::{generate_design, GeneratorConfig};
+pub use graph::{BuildGraphError, NodeId, TimingArc, TimingArcKind, TimingGraph};
+pub use spef::{annotate_spef, write_spef, ParseSpefError};
+pub use stats::DesignStats;
+pub use verilog::{parse_verilog, write_verilog, ParseVerilogError};

@@ -1,0 +1,91 @@
+//! Design statistics, used by EXPERIMENTS.md tables and bench logs.
+
+use crate::design::Design;
+use crate::graph::TimingGraph;
+
+/// Summary statistics of a design and its timing graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignStats {
+    /// Number of cell instances.
+    pub n_cells: usize,
+    /// Number of netlist pins.
+    pub n_pins: usize,
+    /// Number of nets.
+    pub n_nets: usize,
+    /// Number of sequential cells.
+    pub n_flops: usize,
+    /// Number of data-graph nodes.
+    pub n_nodes: usize,
+    /// Number of timing arcs.
+    pub n_arcs: usize,
+    /// Number of timing levels.
+    pub n_levels: usize,
+    /// Mean net fanout.
+    pub avg_fanout: f64,
+    /// Largest fanin of any data node.
+    pub max_fanin: usize,
+}
+
+impl DesignStats {
+    /// Collects statistics from a design and its built graph.
+    pub fn collect(design: &Design, graph: &TimingGraph) -> Self {
+        let n_flops = design.flops().count();
+        let total_sinks: usize = design.nets().iter().map(|n| n.sinks.len()).sum();
+        let max_fanin = (0..graph.num_nodes())
+            .map(|v| graph.fanin(crate::graph::NodeId(v as u32)).len())
+            .max()
+            .unwrap_or(0);
+        Self {
+            n_cells: design.cells().len(),
+            n_pins: design.pins().len(),
+            n_nets: design.nets().len(),
+            n_flops,
+            n_nodes: graph.num_nodes(),
+            n_arcs: graph.num_arcs(),
+            n_levels: graph.num_levels(),
+            avg_fanout: if design.nets().is_empty() {
+                0.0
+            } else {
+                total_sinks as f64 / design.nets().len() as f64
+            },
+            max_fanin,
+        }
+    }
+}
+
+impl std::fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cells, {} pins, {} nets, {} flops, {} levels (graph: {} nodes / {} arcs, avg fanout {:.2}, max fanin {})",
+            self.n_cells,
+            self.n_pins,
+            self.n_nets,
+            self.n_flops,
+            self.n_levels,
+            self.n_nodes,
+            self.n_arcs,
+            self.avg_fanout,
+            self.max_fanin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_design, GeneratorConfig};
+
+    #[test]
+    fn collects_consistent_counts() {
+        let d = generate_design(&GeneratorConfig::small("s", 1));
+        let g = TimingGraph::build(&d).expect("build");
+        let s = DesignStats::collect(&d, &g);
+        assert_eq!(s.n_cells, d.cells().len());
+        assert_eq!(s.n_nodes, g.num_nodes());
+        assert!(s.avg_fanout > 0.5);
+        assert!(s.max_fanin >= 1);
+        let text = s.to_string();
+        assert!(text.contains("cells"));
+    }
+}

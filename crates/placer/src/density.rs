@@ -1,0 +1,269 @@
+//! Bilinear bin-density penalty with analytic gradients.
+//!
+//! Each cell's area is spread bilinearly over the four bins nearest its
+//! center, making bin densities — and therefore the quadratic overflow
+//! penalty — differentiable in cell coordinates. This is the spreading
+//! force of the analytic-placement objective (the `L_den` of paper Eq. 8).
+
+use crate::db::PlacementDb;
+
+/// A regular bin grid over the placement region.
+#[derive(Debug, Clone)]
+pub struct DensityGrid {
+    /// Bins along x.
+    pub nx: usize,
+    /// Bins along y.
+    pub ny: usize,
+    /// Target density (utilization) per bin.
+    pub target: f64,
+}
+
+impl DensityGrid {
+    /// Creates a grid with roughly `bins_per_side²` bins.
+    pub fn new(bins_per_side: usize, target: f64) -> Self {
+        Self {
+            nx: bins_per_side.max(2),
+            ny: bins_per_side.max(2),
+            target,
+        }
+    }
+
+    /// Evaluates the overflow penalty and **adds** its gradient into
+    /// `grad_x`/`grad_y` (per cell).
+    ///
+    /// Penalty: `Σ_b max(0, ρ_b − target)²` with `ρ_b` the bilinear bin
+    /// density.
+    pub fn eval_grad(
+        &self,
+        db: &PlacementDb,
+        grad_x: &mut [f64],
+        grad_y: &mut [f64],
+    ) -> f64 {
+        let n = db.x.len();
+        assert_eq!(grad_x.len(), n);
+        assert_eq!(grad_y.len(), n);
+        let bw = db.region_w / self.nx as f64;
+        let bh = db.region_h / self.ny as f64;
+        let bin_area = bw * bh;
+        let mut rho = vec![0.0_f64; self.nx * self.ny];
+
+        // Bilinear footprint per cell: (bin indices + weights) memoised for
+        // the gradient pass.
+        let mut foot = Vec::with_capacity(n);
+        for c in 0..n {
+            let area = db.widths[c] * db.row_height;
+            let f = bilinear(db.x[c], db.y[c], bw, bh, self.nx, self.ny);
+            for (bin, w) in f.spread() {
+                rho[bin] += area * w / bin_area;
+            }
+            foot.push((area, f));
+        }
+
+        let mut penalty = 0.0;
+        for &r in &rho {
+            let o = (r - self.target).max(0.0);
+            penalty += o * o;
+        }
+
+        for (c, (area, f)) in foot.iter().enumerate() {
+            let (dwx, dwy) = f.weight_derivs(bw, bh);
+            // ∂penalty/∂x = Σ_b 2·overflow_b · (area/bin_area) · ∂w_b/∂x.
+            let mut gx = 0.0;
+            let mut gy = 0.0;
+            for (i, (bin, _)) in f.spread().into_iter().enumerate() {
+                let o = (rho[bin] - self.target).max(0.0);
+                if o == 0.0 {
+                    continue;
+                }
+                gx += 2.0 * o * area / bin_area * dwx[i];
+                gy += 2.0 * o * area / bin_area * dwy[i];
+            }
+            grad_x[c] += gx;
+            grad_y[c] += gy;
+        }
+        penalty
+    }
+
+    /// Maximum bin density of a placement (diagnostics / legalization
+    /// sanity checks).
+    pub fn max_density(&self, db: &PlacementDb) -> f64 {
+        let bw = db.region_w / self.nx as f64;
+        let bh = db.region_h / self.ny as f64;
+        let bin_area = bw * bh;
+        let mut rho = vec![0.0_f64; self.nx * self.ny];
+        for c in 0..db.x.len() {
+            let area = db.widths[c] * db.row_height;
+            let f = bilinear(db.x[c], db.y[c], bw, bh, self.nx, self.ny);
+            for (bin, w) in f.spread() {
+                rho[bin] += area * w / bin_area;
+            }
+        }
+        rho.into_iter().fold(0.0, f64::max)
+    }
+}
+
+/// Bilinear interpolation footprint of a point in the grid.
+#[derive(Debug, Clone, Copy)]
+struct Footprint {
+    i0: usize,
+    j0: usize,
+    i1: usize,
+    j1: usize,
+    tx: f64,
+    ty: f64,
+    nx: usize,
+    /// Whether x (resp. y) sat outside the bin-center lattice and was
+    /// clamped — the footprint is then locally constant in that axis.
+    clamped_x: bool,
+    clamped_y: bool,
+}
+
+fn bilinear(x: f64, y: f64, bw: f64, bh: f64, nx: usize, ny: usize) -> Footprint {
+    // Bin centers at ((i+0.5)·bw, (j+0.5)·bh); clamp into the grid.
+    let raw_x = x / bw - 0.5;
+    let raw_y = y / bh - 0.5;
+    let fx = raw_x.clamp(0.0, (nx - 1) as f64);
+    let fy = raw_y.clamp(0.0, (ny - 1) as f64);
+    let i0 = (fx.floor() as usize).min(nx - 2);
+    let j0 = (fy.floor() as usize).min(ny - 2);
+    let i1 = i0 + 1;
+    let j1 = j0 + 1;
+    Footprint {
+        i0,
+        j0,
+        i1,
+        j1,
+        tx: fx - i0 as f64,
+        ty: fy - j0 as f64,
+        nx,
+        clamped_x: raw_x < 0.0 || raw_x > (nx - 1) as f64,
+        clamped_y: raw_y < 0.0 || raw_y > (ny - 1) as f64,
+    }
+}
+
+impl Footprint {
+    /// The four (bin, weight) pairs.
+    fn spread(&self) -> [(usize, f64); 4] {
+        let w00 = (1.0 - self.tx) * (1.0 - self.ty);
+        let w10 = self.tx * (1.0 - self.ty);
+        let w01 = (1.0 - self.tx) * self.ty;
+        let w11 = self.tx * self.ty;
+        [
+            (self.j0 * self.nx + self.i0, w00),
+            (self.j0 * self.nx + self.i1, w10),
+            (self.j1 * self.nx + self.i0, w01),
+            (self.j1 * self.nx + self.i1, w11),
+        ]
+    }
+
+    /// Derivatives of the four weights w.r.t. x and y.
+    fn weight_derivs(&self, bw: f64, bh: f64) -> ([f64; 4], [f64; 4]) {
+        // Interior: d tx/dx = 1/bw; at a clamped boundary the footprint is
+        // locally constant, so the derivative vanishes.
+        let dtx = if self.clamped_x { 0.0 } else { 1.0 / bw };
+        let dty = if self.clamped_y { 0.0 } else { 1.0 / bh };
+        let dwx = [
+            -dtx * (1.0 - self.ty),
+            dtx * (1.0 - self.ty),
+            -dtx * self.ty,
+            dtx * self.ty,
+        ];
+        let dwy = [
+            -(1.0 - self.tx) * dty,
+            -self.tx * dty,
+            (1.0 - self.tx) * dty,
+            self.tx * dty,
+        ];
+        (dwx, dwy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+
+    #[test]
+    fn clustered_placement_has_higher_penalty_than_spread() {
+        let d = generate_design(&GeneratorConfig::small("den", 1));
+        let db = PlacementDb::random(&d, 0.5, 3);
+        let grid = DensityGrid::new(8, 0.8);
+        let mut gx = vec![0.0; db.x.len()];
+        let mut gy = vec![0.0; db.y.len()];
+        let spread_pen = grid.eval_grad(&db, &mut gx, &mut gy);
+        let mut clustered = db.clone();
+        for v in clustered.x.iter_mut() {
+            *v = clustered.region_w / 2.0;
+        }
+        for v in clustered.y.iter_mut() {
+            *v = clustered.region_h / 2.0;
+        }
+        gx.fill(0.0);
+        gy.fill(0.0);
+        let cluster_pen = grid.eval_grad(&clustered, &mut gx, &mut gy);
+        assert!(cluster_pen > spread_pen);
+        assert!(grid.max_density(&clustered) > grid.max_density(&db));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let d = generate_design(&GeneratorConfig::small("den", 2));
+        let mut db = PlacementDb::random(&d, 0.9, 5);
+        let grid = DensityGrid::new(6, 0.4);
+        let mut gx = vec![0.0; db.x.len()];
+        let mut gy = vec![0.0; db.y.len()];
+        grid.eval_grad(&db, &mut gx, &mut gy);
+        let eps = 1e-6;
+        let mut checked = 0;
+        for c in (0..db.x.len()).step_by(db.x.len() / 9 + 1) {
+            // Skip cells pinned exactly on bin-center gridlines where the
+            // footprint switches (subgradient points).
+            let x0 = db.x[c];
+            db.x[c] = x0 + eps;
+            let mut t = vec![0.0; db.x.len()];
+            let mut t2 = vec![0.0; db.y.len()];
+            let up = grid.eval_grad(&db, &mut t, &mut t2);
+            db.x[c] = x0 - eps;
+            t.fill(0.0);
+            t2.fill(0.0);
+            let dn = grid.eval_grad(&db, &mut t, &mut t2);
+            db.x[c] = x0;
+            let fd = (up - dn) / (2.0 * eps);
+            assert!(
+                (fd - gx[c]).abs() < 1e-3 * (1.0 + fd.abs()),
+                "cell {c}: fd {fd} vs analytic {}",
+                gx[c]
+            );
+            checked += 1;
+        }
+        assert!(checked > 3);
+    }
+
+    #[test]
+    fn gradient_pushes_out_of_overfilled_bins() {
+        let d = generate_design(&GeneratorConfig::small("den", 3));
+        let mut db = PlacementDb::random(&d, 0.5, 7);
+        // Pile everything slightly left of center.
+        for v in db.x.iter_mut() {
+            *v = db.region_w * 0.45;
+        }
+        for v in db.y.iter_mut() {
+            *v = db.region_h * 0.5;
+        }
+        let grid = DensityGrid::new(8, 0.5);
+        let mut gx = vec![0.0; db.x.len()];
+        let mut gy = vec![0.0; db.y.len()];
+        let pen = grid.eval_grad(&db, &mut gx, &mut gy);
+        assert!(pen > 0.0);
+        // Following −gradient must reduce the penalty.
+        let step = 0.5;
+        for c in 0..db.x.len() {
+            db.x[c] -= step * gx[c].signum().min(1.0) * gx[c].abs().min(1.0);
+            db.y[c] -= step * gy[c].signum().min(1.0) * gy[c].abs().min(1.0);
+        }
+        let mut t = vec![0.0; db.x.len()];
+        let mut t2 = vec![0.0; db.y.len()];
+        let pen2 = grid.eval_grad(&db, &mut t, &mut t2);
+        assert!(pen2 <= pen, "gradient descent step must not increase penalty");
+    }
+}

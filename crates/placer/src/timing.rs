@@ -1,0 +1,237 @@
+//! The placement ↔ timing interface.
+//!
+//! Every `refresh_every` iterations the placer re-derives wire RC from the
+//! current placement, re-times the design with the reference engine, and
+//! (depending on the mode) computes INSTA arc gradients or per-net
+//! criticalities. The paper's INSTA-Place does exactly this with
+//! OpenTimer + INSTA every 15 iterations, reusing the last gradients in
+//! between; Fig. 9 breaks this refresh down into timer, gradient, and
+//! transfer components — recorded here as [`RefreshBreakdown`].
+
+use crate::db::PlacementDb;
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_netlist::{Design, PinId, TimingArcKind};
+use insta_refsta::RefSta;
+use std::time::Instant;
+
+/// What the refresh computes beyond plain timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingMode {
+    /// Timing report only (the plain-wirelength baseline needs nothing).
+    None,
+    /// Per-net criticalities from per-pin slacks (DP 4.0-style
+    /// net-weighting).
+    NetWeighting,
+    /// Per-arc timing gradients from INSTA's backward kernel
+    /// (INSTA-Place).
+    InstaPlace,
+}
+
+/// Wall-clock breakdown of one timing refresh (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RefreshBreakdown {
+    /// Re-deriving wire RC from placement (s).
+    pub wire_update_s: f64,
+    /// Reference-engine full timing update (the OpenTimer role) (s).
+    pub reference_sta_s: f64,
+    /// Snapshot export + engine rebuild — the "data transfer between the
+    /// timer and INSTA" the paper calls out (s).
+    pub transfer_s: f64,
+    /// INSTA forward + LSE + backward (s).
+    pub insta_grad_s: f64,
+}
+
+impl RefreshBreakdown {
+    /// Total refresh time (s).
+    pub fn total_s(&self) -> f64 {
+        self.wire_update_s + self.reference_sta_s + self.transfer_s + self.insta_grad_s
+    }
+}
+
+/// One weighted pin-to-pin arc for the INSTA-Place objective (Eq. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArcWeight {
+    /// Driver pin.
+    pub from: PinId,
+    /// Sink pin.
+    pub to: PinId,
+    /// |∂TNS/∂(arc delay)| — the gradient-as-sensitivity weight g_k.
+    pub weight: f64,
+}
+
+/// Result of a timing refresh.
+#[derive(Debug, Clone)]
+pub struct TimingRefresh {
+    /// WNS after the refresh (ps).
+    pub wns_ps: f64,
+    /// TNS after the refresh (ps).
+    pub tns_ps: f64,
+    /// Weighted critical arcs (InstaPlace mode; empty otherwise).
+    pub arc_weights: Vec<ArcWeight>,
+    /// Per-net criticality in `[0, 1]` (NetWeighting mode; empty
+    /// otherwise).
+    pub net_crit: Vec<f64>,
+    /// Runtime breakdown.
+    pub breakdown: RefreshBreakdown,
+}
+
+/// Refreshes timing from the current placement.
+///
+/// `sta` must have been built over `design` (topology is unchanged by
+/// placement; only wire RC moves).
+pub fn refresh_timing(
+    design: &mut Design,
+    db: &PlacementDb,
+    sta: &mut RefSta,
+    mode: TimingMode,
+    insta_cfg: &InstaConfig,
+) -> TimingRefresh {
+    let mut breakdown = RefreshBreakdown::default();
+
+    let t = Instant::now();
+    db.update_wires(design);
+    breakdown.wire_update_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let report = sta.full_update(design);
+    breakdown.reference_sta_s = t.elapsed().as_secs_f64();
+
+    let mut arc_weights = Vec::new();
+    let mut net_crit = Vec::new();
+    match mode {
+        TimingMode::None => {}
+        TimingMode::NetWeighting => {
+            let slacks = sta.node_slacks();
+            let wns = report.wns_ps.min(-1e-9).abs();
+            net_crit = design
+                .nets()
+                .iter()
+                .map(|net| {
+                    let mut crit = 0.0_f64;
+                    for &s in &net.sinks {
+                        if let Some(node) = sta.graph().node_of(s) {
+                            let sl = slacks[node.index()];
+                            if sl.is_finite() {
+                                crit = crit.max((-sl / wns).clamp(0.0, 1.0));
+                            }
+                        }
+                    }
+                    crit
+                })
+                .collect();
+        }
+        TimingMode::InstaPlace => {
+            let t = Instant::now();
+            let init = sta.export_insta_init();
+            let mut engine = InstaEngine::new(init, insta_cfg.clone());
+            breakdown.transfer_s = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            engine.propagate();
+            engine.forward_lse();
+            engine.backward_tns();
+            let grads = engine.arc_gradients();
+            breakdown.insta_grad_s = t.elapsed().as_secs_f64();
+
+            let graph = sta.graph();
+            for (ai, arc) in graph.arcs().iter().enumerate() {
+                // Only interconnect arcs respond to placement (Eq. 7 sums
+                // pin-to-pin Manhattan distances).
+                if !matches!(arc.kind, TimingArcKind::Net { .. }) {
+                    continue;
+                }
+                let g = grads[ai].abs();
+                if g == 0.0 {
+                    continue;
+                }
+                arc_weights.push(ArcWeight {
+                    from: graph.pin_of(arc.from),
+                    to: graph.pin_of(arc.to),
+                    weight: g,
+                });
+            }
+        }
+    }
+
+    TimingRefresh {
+        wns_ps: report.wns_ps,
+        tns_ps: report.tns_ps,
+        arc_weights,
+        net_crit,
+        breakdown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+    use insta_refsta::StaConfig;
+
+    fn tight_design(seed: u64) -> Design {
+        let mut cfg = GeneratorConfig::small("tim", seed);
+        cfg.clock_period_ps = 260.0;
+        generate_design(&cfg)
+    }
+
+    #[test]
+    fn insta_mode_yields_weighted_net_arcs() {
+        let mut design = tight_design(3);
+        let db = PlacementDb::random(&design, 0.5, 1);
+        let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
+        let r = refresh_timing(
+            &mut design,
+            &db,
+            &mut sta,
+            TimingMode::InstaPlace,
+            &InstaConfig::default(),
+        );
+        if r.tns_ps < 0.0 {
+            assert!(!r.arc_weights.is_empty());
+            for aw in &r.arc_weights {
+                assert!(aw.weight > 0.0);
+                assert_ne!(aw.from, aw.to);
+            }
+        }
+        assert!(r.breakdown.reference_sta_s > 0.0);
+        assert!(r.breakdown.total_s() >= r.breakdown.reference_sta_s);
+    }
+
+    #[test]
+    fn net_weighting_mode_yields_bounded_criticalities() {
+        let mut design = tight_design(5);
+        let db = PlacementDb::random(&design, 0.5, 2);
+        let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
+        let r = refresh_timing(
+            &mut design,
+            &db,
+            &mut sta,
+            TimingMode::NetWeighting,
+            &InstaConfig::default(),
+        );
+        assert_eq!(r.net_crit.len(), design.nets().len());
+        for &c in &r.net_crit {
+            assert!((0.0..=1.0).contains(&c));
+        }
+        if r.tns_ps < 0.0 {
+            assert!(r.net_crit.iter().any(|&c| c > 0.0));
+        }
+    }
+
+    #[test]
+    fn none_mode_only_times() {
+        let mut design = tight_design(7);
+        let db = PlacementDb::random(&design, 0.5, 3);
+        let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
+        let r = refresh_timing(
+            &mut design,
+            &db,
+            &mut sta,
+            TimingMode::None,
+            &InstaConfig::default(),
+        );
+        assert!(r.arc_weights.is_empty());
+        assert!(r.net_crit.is_empty());
+        assert!(r.wns_ps.is_finite());
+    }
+}

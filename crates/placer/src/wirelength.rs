@@ -1,0 +1,189 @@
+//! Weighted-average (WA) smooth wirelength with analytic gradients.
+//!
+//! The standard analytic-placement wirelength model: per net and axis,
+//!
+//! ```text
+//! WA(x) = Σ xᵢ e^{xᵢ/γ} / Σ e^{xᵢ/γ}  −  Σ xᵢ e^{−xᵢ/γ} / Σ e^{−xᵢ/γ}
+//! ```
+//!
+//! a smooth under-approximation of `max − min` that converges to HPWL as
+//! γ → 0. Per-net weights (the net-weighting baseline's lever) multiply
+//! both value and gradient.
+
+use crate::db::PlacementDb;
+use insta_netlist::Design;
+
+/// The WA wirelength model.
+#[derive(Debug, Clone, Copy)]
+pub struct WaWirelength {
+    /// Smoothing parameter γ (µm).
+    pub gamma: f64,
+}
+
+impl Default for WaWirelength {
+    fn default() -> Self {
+        Self { gamma: 4.0 }
+    }
+}
+
+/// One axis of WA: returns (value, per-pin gradients).
+fn wa_axis(coords: &[f64], gamma: f64, grad: &mut [f64]) -> f64 {
+    let n = coords.len();
+    debug_assert!(n > 0 && grad.len() == n);
+    let max = coords.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = coords.iter().copied().fold(f64::INFINITY, f64::min);
+    // Max-side accumulators.
+    let mut se_p = 0.0;
+    let mut sxe_p = 0.0;
+    // Min-side accumulators.
+    let mut se_m = 0.0;
+    let mut sxe_m = 0.0;
+    for &x in coords {
+        let ep = ((x - max) / gamma).exp();
+        let em = ((min - x) / gamma).exp();
+        se_p += ep;
+        sxe_p += x * ep;
+        se_m += em;
+        sxe_m += x * em;
+    }
+    let f = sxe_p / se_p; // smooth max
+    let g = sxe_m / se_m; // smooth min
+    for (i, &x) in coords.iter().enumerate() {
+        let ep = ((x - max) / gamma).exp();
+        let em = ((min - x) / gamma).exp();
+        let df = ep * (1.0 + (x - f) / gamma) / se_p;
+        let dg = em * (1.0 - (x - g) / gamma) / se_m;
+        grad[i] = df - dg;
+    }
+    f - g
+}
+
+impl WaWirelength {
+    /// Evaluates the total (optionally net-weighted) smooth wirelength,
+    /// **adding** plain ∂WL/∂coordinate per cell into `grad_x`/`grad_y`
+    /// (the caller owns descent direction and step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net_weights` is given with the wrong length, or the
+    /// gradient buffers don't match the cell count.
+    pub fn eval_grad(
+        &self,
+        design: &Design,
+        db: &PlacementDb,
+        net_weights: Option<&[f64]>,
+        grad_x: &mut [f64],
+        grad_y: &mut [f64],
+    ) -> f64 {
+        assert_eq!(grad_x.len(), db.x.len());
+        assert_eq!(grad_y.len(), db.y.len());
+        if let Some(w) = net_weights {
+            assert_eq!(w.len(), design.nets().len(), "one weight per net");
+        }
+        let mut total = 0.0;
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut cells: Vec<Option<usize>> = Vec::new();
+        let mut gx: Vec<f64> = Vec::new();
+        let mut gy: Vec<f64> = Vec::new();
+        for (ni, net) in design.nets().iter().enumerate() {
+            let w = net_weights.map(|ws| ws[ni]).unwrap_or(1.0);
+            if net.sinks.is_empty() || w == 0.0 {
+                continue;
+            }
+            xs.clear();
+            ys.clear();
+            cells.clear();
+            for &pin in std::iter::once(&net.driver).chain(&net.sinks) {
+                let (px, py) = db.pin_pos(design, pin);
+                xs.push(px);
+                ys.push(py);
+                cells.push(design.pin(pin).cell.map(|c| c.index()));
+            }
+            gx.resize(xs.len(), 0.0);
+            gy.resize(ys.len(), 0.0);
+            let vx = wa_axis(&xs, self.gamma, &mut gx);
+            let vy = wa_axis(&ys, self.gamma, &mut gy);
+            total += w * (vx + vy);
+            for (i, cell) in cells.iter().enumerate() {
+                if let Some(c) = cell {
+                    grad_x[*c] += w * gx[i];
+                    grad_y[*c] += w * gy[i];
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+
+    #[test]
+    fn wa_lower_bounds_hpwl_and_tightens_with_gamma() {
+        let d = generate_design(&GeneratorConfig::small("wa", 1));
+        let db = PlacementDb::random(&d, 0.6, 3);
+        let hpwl = db.hpwl(&d);
+        let mut gx = vec![0.0; db.x.len()];
+        let mut gy = vec![0.0; db.y.len()];
+        let loose = WaWirelength { gamma: 8.0 }.eval_grad(&d, &db, None, &mut gx, &mut gy);
+        gx.fill(0.0);
+        gy.fill(0.0);
+        let tight = WaWirelength { gamma: 0.5 }.eval_grad(&d, &db, None, &mut gx, &mut gy);
+        // The weighted-average model *lower*-bounds HPWL and approaches it
+        // from below as gamma shrinks.
+        assert!(loose <= hpwl + 1e-6, "WA must lower-bound HPWL");
+        assert!(tight <= hpwl + 1e-6);
+        assert!(tight >= loose - 1e-6, "smaller gamma is tighter");
+        assert!((hpwl - tight) / hpwl < 0.25, "gamma=0.5 should be close");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let d = generate_design(&GeneratorConfig::small("wa", 2));
+        let mut db = PlacementDb::random(&d, 0.6, 5);
+        let wl = WaWirelength { gamma: 2.0 };
+        let mut gx = vec![0.0; db.x.len()];
+        let mut gy = vec![0.0; db.y.len()];
+        wl.eval_grad(&d, &db, None, &mut gx, &mut gy);
+        let eps = 1e-5;
+        for c in (0..db.x.len()).step_by(db.x.len() / 7 + 1) {
+            let x0 = db.x[c];
+            db.x[c] = x0 + eps;
+            let mut t1 = vec![0.0; db.x.len()];
+            let mut t2 = vec![0.0; db.y.len()];
+            let up = wl.eval_grad(&d, &db, None, &mut t1, &mut t2);
+            db.x[c] = x0 - eps;
+            t1.fill(0.0);
+            t2.fill(0.0);
+            let dn = wl.eval_grad(&d, &db, None, &mut t1, &mut t2);
+            db.x[c] = x0;
+            let fd = (up - dn) / (2.0 * eps);
+            assert!(
+                (fd - gx[c]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "cell {c}: fd {fd} vs analytic {}",
+                gx[c]
+            );
+        }
+    }
+
+    #[test]
+    fn net_weights_scale_value_and_gradient() {
+        let d = generate_design(&GeneratorConfig::small("wa", 3));
+        let db = PlacementDb::random(&d, 0.6, 7);
+        let wl = WaWirelength::default();
+        let mut g1x = vec![0.0; db.x.len()];
+        let mut g1y = vec![0.0; db.y.len()];
+        let v1 = wl.eval_grad(&d, &db, None, &mut g1x, &mut g1y);
+        let weights = vec![2.0; d.nets().len()];
+        let mut g2x = vec![0.0; db.x.len()];
+        let mut g2y = vec![0.0; db.y.len()];
+        let v2 = wl.eval_grad(&d, &db, Some(&weights), &mut g2x, &mut g2y);
+        assert!((v2 - 2.0 * v1).abs() < 1e-6 * v1.abs());
+        for (a, b) in g1x.iter().zip(&g2x) {
+            assert!((2.0 * a - b).abs() < 1e-9 + 1e-6 * a.abs());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Timing exceptions: false paths and multicycle paths.
+//!
+//! Exceptions are keyed by (startpoint, endpoint) pairs, which is the
+//! granularity the INSTA initialization exports (Fig. 2: "timing exceptions
+//! … SP/EP attributes"). Graph-based engines apply them during endpoint
+//! slack evaluation: false pairs are skipped, multicycle pairs get extra
+//! capture cycles.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Identifier of a timing startpoint (a flop launch or primary input), in
+/// the order of the timing graph's source list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpId(pub u32);
+
+/// Identifier of a timing endpoint (a flop D pin or primary output), in the
+/// order of the timing graph's endpoint list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EpId(pub u32);
+
+impl SpId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EpId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A set of timing exceptions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExceptionSet {
+    false_paths: HashSet<(SpId, EpId)>,
+    multicycle: HashMap<(SpId, EpId), u32>,
+}
+
+impl ExceptionSet {
+    /// Creates an empty exception set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the (sp, ep) pair a false path: it is excluded from slack
+    /// analysis.
+    pub fn add_false_path(&mut self, sp: SpId, ep: EpId) {
+        self.false_paths.insert((sp, ep));
+    }
+
+    /// Declares the (sp, ep) pair an `n`-cycle path (`n >= 1`; `n == 1` is
+    /// the single-cycle default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn add_multicycle(&mut self, sp: SpId, ep: EpId, n: u32) {
+        assert!(n >= 1, "multicycle factor must be at least 1");
+        self.multicycle.insert((sp, ep), n);
+    }
+
+    /// Whether the pair is excluded by a false-path exception.
+    #[inline]
+    pub fn is_false(&self, sp: SpId, ep: EpId) -> bool {
+        !self.false_paths.is_empty() && self.false_paths.contains(&(sp, ep))
+    }
+
+    /// The multicycle factor of the pair (1 when unconstrained).
+    #[inline]
+    pub fn multicycle_factor(&self, sp: SpId, ep: EpId) -> u32 {
+        if self.multicycle.is_empty() {
+            return 1;
+        }
+        self.multicycle.get(&(sp, ep)).copied().unwrap_or(1)
+    }
+
+    /// Number of false-path pairs.
+    pub fn num_false_paths(&self) -> usize {
+        self.false_paths.len()
+    }
+
+    /// Number of multicycle pairs.
+    pub fn num_multicycle(&self) -> usize {
+        self.multicycle.len()
+    }
+
+    /// Whether any exception is defined.
+    pub fn is_empty(&self) -> bool {
+        self.false_paths.is_empty() && self.multicycle.is_empty()
+    }
+
+    /// Iterates false-path pairs.
+    pub fn false_paths(&self) -> impl Iterator<Item = (SpId, EpId)> + '_ {
+        self.false_paths.iter().copied()
+    }
+
+    /// Iterates multicycle pairs with their factors.
+    pub fn multicycle_paths(&self) -> impl Iterator<Item = ((SpId, EpId), u32)> + '_ {
+        self.multicycle.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unconstrained() {
+        let e = ExceptionSet::new();
+        assert!(e.is_empty());
+        assert!(!e.is_false(SpId(0), EpId(0)));
+        assert_eq!(e.multicycle_factor(SpId(0), EpId(0)), 1);
+    }
+
+    #[test]
+    fn false_paths_match_exact_pairs() {
+        let mut e = ExceptionSet::new();
+        e.add_false_path(SpId(1), EpId(2));
+        assert!(e.is_false(SpId(1), EpId(2)));
+        assert!(!e.is_false(SpId(2), EpId(1)));
+        assert_eq!(e.num_false_paths(), 1);
+    }
+
+    #[test]
+    fn multicycle_factor_defaults_to_one() {
+        let mut e = ExceptionSet::new();
+        e.add_multicycle(SpId(3), EpId(4), 2);
+        assert_eq!(e.multicycle_factor(SpId(3), EpId(4)), 2);
+        assert_eq!(e.multicycle_factor(SpId(3), EpId(5)), 1);
+        assert_eq!(e.num_multicycle(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multicycle factor must be at least 1")]
+    fn zero_multicycle_panics() {
+        let mut e = ExceptionSet::new();
+        e.add_multicycle(SpId(0), EpId(0), 0);
+    }
+
+    #[test]
+    fn iterators_expose_contents() {
+        let mut e = ExceptionSet::new();
+        e.add_false_path(SpId(1), EpId(1));
+        e.add_multicycle(SpId(2), EpId(2), 3);
+        assert_eq!(e.false_paths().count(), 1);
+        assert_eq!(e.multicycle_paths().next(), Some(((SpId(2), EpId(2)), 3)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Incremental timing update — the `update_timing` analogue.
+//!
+//! After a set of cells change (gate sizing), only the *dirty cone* needs
+//! re-analysis: the fanout cones of the drivers feeding the changed cells
+//! (their loads, and hence their delays and output slews, changed) plus the
+//! changed cells themselves. Delay re-annotation and arrival re-propagation
+//! run over that cone in level order; endpoint evaluation is then refreshed
+//! from the (partially updated) arrival maps.
+//!
+//! This is the "in-house, highly-optimized CPU STA engine" role in the
+//! paper's Figure 7 comparison; the full [`RefSta::full_update`] plays the
+//! commercial-tool role.
+
+use crate::sta::{RefSta, StaReport};
+use insta_netlist::{CellId, Design, NodeId};
+
+impl RefSta {
+    /// Collects the dirty nodes implied by resizing `changed_cells`:
+    /// the fanout cones of every net driver feeding a changed cell, plus
+    /// the cells' own pins. Returned in level-major order.
+    pub fn dirty_cone(&self, design: &Design, changed_cells: &[CellId]) -> Vec<NodeId> {
+        let mut seeds: Vec<NodeId> = Vec::new();
+        for &c in changed_cells {
+            for &pin in &design.cell(c).pins {
+                if let Some(node) = self.graph.node_of(pin) {
+                    seeds.push(node);
+                }
+                let p = design.pin(pin);
+                if !p.is_driver() {
+                    if let Some(net) = p.net {
+                        let drv = design.net(net).driver;
+                        if let Some(node) = self.graph.node_of(drv) {
+                            seeds.push(node);
+                        }
+                    }
+                }
+            }
+        }
+        self.graph.fanout_cone(&seeds)
+    }
+
+    /// Incrementally re-times the design after the given cells were
+    /// resized. Topology must be unchanged (same pins/nets); only library
+    /// cells may differ from the last update.
+    ///
+    /// Returns the refreshed design report. The result matches
+    /// [`RefSta::full_update`] exactly (it is a pruning of the same
+    /// computation, not an approximation) as long as clock-network cells
+    /// were not touched.
+    pub fn incremental_update(&mut self, design: &Design, changed_cells: &[CellId]) -> StaReport {
+        let dirty = self.dirty_cone(design, changed_cells);
+        // Re-annotate delays and slews over the cone (level order).
+        let calc = self.config.delay_calc.clone();
+        calc.annotate_nodes(design, &self.graph, &dirty, &mut self.delays);
+        // Dirty source nodes (flop Q loads may have changed) need their
+        // launch arrivals refreshed; re-initializing all sources is cheap
+        // and exact.
+        let any_source_dirty = dirty
+            .iter()
+            .any(|&v| self.graph.fanin(v).is_empty());
+        if any_source_dirty {
+            self.init_sources(design);
+        }
+        self.propagate_nodes(&dirty);
+        self.evaluate_endpoints();
+        self.report.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sta::{RefSta, StaConfig};
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+    use insta_netlist::CellId;
+
+    /// Resizes a few mid-design gates and checks the incremental result
+    /// against a from-scratch full update.
+    #[test]
+    fn incremental_matches_full_update() {
+        let mut design = generate_design(&GeneratorConfig::small("inc", 21));
+        let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
+        sta.full_update(&design);
+
+        // Pick three combinational cells and upsize them.
+        let lib = design.library_arc();
+        let mut changed = Vec::new();
+        for i in 0..design.cells().len() {
+            let c = CellId(i as u32);
+            let lc = design.lib_cell_of(c);
+            if lc.is_sequential() || lc.class == insta_liberty::GateClass::ClkBuf {
+                continue;
+            }
+            if changed.len() >= 3 {
+                break;
+            }
+            let fam = lib.family(lc.class);
+            let bigger = fam
+                .iter()
+                .copied()
+                .find(|&id| lib.cell(id).drive > lc.drive);
+            if let Some(b) = bigger {
+                design.resize_cell(c, b);
+                changed.push(c);
+            }
+        }
+        assert_eq!(changed.len(), 3, "expected three resizable cells");
+
+        let inc_report = sta.incremental_update(&design, &changed);
+
+        let mut fresh = RefSta::new(&design, StaConfig::default()).expect("build");
+        let full_report = fresh.full_update(&design);
+
+        assert!(
+            (inc_report.wns_ps - full_report.wns_ps).abs() < 1e-6,
+            "WNS mismatch: {} vs {}",
+            inc_report.wns_ps,
+            full_report.wns_ps
+        );
+        assert!(
+            (inc_report.tns_ps - full_report.tns_ps).abs() < 1e-6,
+            "TNS mismatch: {} vs {}",
+            inc_report.tns_ps,
+            full_report.tns_ps
+        );
+        for (a, b) in inc_report.endpoints.iter().zip(&full_report.endpoints) {
+            assert!(
+                (a.slack_ps - b.slack_ps).abs() < 1e-6,
+                "endpoint slack mismatch at {:?}: {} vs {}",
+                a.ep,
+                a.slack_ps,
+                b.slack_ps
+            );
+        }
+    }
+
+    #[test]
+    fn empty_changelist_is_a_noop() {
+        let design = generate_design(&GeneratorConfig::small("inc2", 4));
+        let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
+        let before = sta.full_update(&design);
+        let after = sta.incremental_update(&design, &[]);
+        assert_eq!(before.wns_ps, after.wns_ps);
+        assert_eq!(before.tns_ps, after.tns_ps);
+    }
+
+    #[test]
+    fn dirty_cone_is_a_small_subset() {
+        let design = generate_design(&GeneratorConfig::medium("inc3", 8));
+        let sta = RefSta::new(&design, StaConfig::default()).expect("build");
+        // A cell near the end of the netlist (late level) has a small cone.
+        let last_comb = (0..design.cells().len() as u32)
+            .rev()
+            .map(CellId)
+            .find(|&c| !design.lib_cell_of(c).is_sequential())
+            .expect("comb cell");
+        let cone = sta.dirty_cone(&design, &[last_comb]);
+        assert!(!cone.is_empty());
+        assert!(
+            cone.len() < sta.graph().num_nodes() / 2,
+            "cone {} should be far smaller than the graph {}",
+            cone.len(),
+            sta.graph().num_nodes()
+        );
+    }
+}

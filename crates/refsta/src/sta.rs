@@ -1,0 +1,853 @@
+//! The reference statistical STA analysis: per-startpoint POCV arrival
+//! propagation, endpoint slack with exact CPPR credit, and WNS/TNS
+//! reporting.
+//!
+//! This is the "golden" engine INSTA correlates against. Unlike INSTA's
+//! fixed Top-K queues, the reference tracks arrivals *per startpoint* with
+//! a windowed pruning rule that is exact for endpoint slack: an entry can
+//! only become the worst slack at an endpoint if its corner arrival is
+//! within the maximum possible CPPR credit of the map's best entry, so
+//! everything below `best - prune_window` (beyond a safety count) is
+//! dropped. With a zero-credit clock (no derate spread) this degenerates to
+//! plain worst-arrival propagation.
+
+use crate::clocktime::ClockTiming;
+use crate::delay::{ArcDelays, DelayCalc};
+use crate::exceptions::{EpId, ExceptionSet, SpId};
+use insta_liberty::{ArcKind, TimingSense, Transition};
+use insta_netlist::{BuildGraphError, CellId, Design, NodeId, PinId, TimingGraph};
+
+/// Configuration of the reference analysis.
+#[derive(Debug, Clone)]
+pub struct StaConfig {
+    /// Corner pessimism: `arrival = mean + n_sigma * sigma` (paper: 3.0).
+    pub n_sigma: f64,
+    /// Early OCV derate on capture clock paths.
+    pub derate_early: f64,
+    /// Late OCV derate on launch clock paths.
+    pub derate_late: f64,
+    /// Whether endpoint slack applies CPPR credit.
+    pub cppr_enabled: bool,
+    /// Hard cap on per-node startpoint maps (the golden "Top-K"; must
+    /// exceed INSTA's K for the correlation claims to be meaningful).
+    pub sp_cap: usize,
+    /// Minimum entries kept regardless of the pruning window (protects
+    /// exception handling on sub-critical startpoints).
+    pub sp_keep_min: usize,
+    /// Arrival assumed at primary inputs (ps).
+    pub input_delay_ps: f64,
+    /// Overrides the design's clock period when set (SDC `create_clock`).
+    pub period_override_ps: Option<f64>,
+    /// Delay-calculation settings.
+    pub delay_calc: DelayCalc,
+    /// Timing exceptions.
+    pub exceptions: ExceptionSet,
+}
+
+impl Default for StaConfig {
+    fn default() -> Self {
+        Self {
+            n_sigma: 3.0,
+            derate_early: 0.95,
+            derate_late: 1.05,
+            cppr_enabled: true,
+            sp_cap: 128,
+            sp_keep_min: 8,
+            input_delay_ps: 0.0,
+            period_override_ps: None,
+            delay_calc: DelayCalc::default(),
+            exceptions: ExceptionSet::new(),
+        }
+    }
+}
+
+/// One startpoint-tagged arrival distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpArrival {
+    /// Startpoint id.
+    pub sp: u32,
+    /// Mean arrival (ps).
+    pub mean: f64,
+    /// POCV sigma (ps).
+    pub sigma: f64,
+}
+
+impl SpArrival {
+    /// The pessimistic corner value `mean + n_sigma * sigma`.
+    #[inline]
+    pub fn corner(&self, n_sigma: f64) -> f64 {
+        self.mean + n_sigma * self.sigma
+    }
+}
+
+/// Arrival map of one (node, transition): unique startpoints, sorted by
+/// descending corner value.
+pub type SpMap = Vec<SpArrival>;
+
+/// Static data of one startpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpInfo {
+    /// Source node in the timing graph.
+    pub node: NodeId,
+    /// The source pin.
+    pub pin: PinId,
+    /// Clock-tree leaf of the launching flop (`None` for primary inputs).
+    pub leaf: Option<u32>,
+    /// The launching flop (`None` for primary inputs).
+    pub flop: Option<CellId>,
+}
+
+/// Static data of one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpInfo {
+    /// Endpoint node in the timing graph.
+    pub node: NodeId,
+    /// The endpoint pin.
+    pub pin: PinId,
+    /// Capturing flop (`None` for primary outputs).
+    pub capture: Option<CellId>,
+    /// Clock-tree leaf of the capturing flop.
+    pub leaf: Option<u32>,
+    /// Single-cycle required time before per-startpoint adjustments (ps).
+    pub required_base: f64,
+}
+
+/// Slack report of one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndpointReport {
+    /// Endpoint id.
+    pub ep: EpId,
+    /// The endpoint pin.
+    pub pin: PinId,
+    /// Worst slack (ps); `f64::INFINITY` if no arrival reaches it.
+    pub slack_ps: f64,
+    /// The worst corner arrival (ps).
+    pub arrival_ps: f64,
+    /// The required time against which the worst slack was computed (ps).
+    pub required_ps: f64,
+    /// Startpoint responsible for the worst slack.
+    pub worst_sp: Option<SpId>,
+    /// Data transition of the worst path.
+    pub transition: Transition,
+}
+
+/// Design-level timing report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaReport {
+    /// Worst negative slack over all endpoints (ps); `f64::INFINITY` when
+    /// there are no constrained endpoints.
+    pub wns_ps: f64,
+    /// Total negative slack: sum of negative endpoint slacks (ps, ≤ 0).
+    pub tns_ps: f64,
+    /// Number of violating endpoints.
+    pub n_violations: usize,
+    /// Per-endpoint reports, indexed by [`EpId`].
+    pub endpoints: Vec<EndpointReport>,
+}
+
+impl Default for StaReport {
+    fn default() -> Self {
+        Self {
+            wns_ps: f64::INFINITY,
+            tns_ps: 0.0,
+            n_violations: 0,
+            endpoints: Vec::new(),
+        }
+    }
+}
+
+/// The reference STA engine. Holds the levelized graph, clock timing, arc
+/// delay annotation, and per-node startpoint arrival maps.
+#[derive(Debug)]
+pub struct RefSta {
+    pub(crate) graph: TimingGraph,
+    pub(crate) config: StaConfig,
+    pub(crate) clock: ClockTiming,
+    pub(crate) delays: ArcDelays,
+    pub(crate) arrivals: Vec<[SpMap; 2]>,
+    pub(crate) sp_infos: Vec<SpInfo>,
+    pub(crate) ep_infos: Vec<EpInfo>,
+    pub(crate) prune_window: f64,
+    pub(crate) period: f64,
+    pub(crate) report: StaReport,
+}
+
+impl RefSta {
+    /// Builds the engine over a design: constructs and levelizes the timing
+    /// graph and indexes startpoints/endpoints. Call
+    /// [`RefSta::full_update`] to produce timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildGraphError`] if the design has a combinational loop.
+    pub fn new(design: &Design, config: StaConfig) -> Result<Self, BuildGraphError> {
+        let graph = TimingGraph::build(design)?;
+        let n = graph.num_nodes();
+        let mut engine = Self {
+            graph,
+            config,
+            clock: ClockTiming::default(),
+            delays: ArcDelays {
+                mean: Vec::new(),
+                sigma: Vec::new(),
+                sense: Vec::new(),
+                node_slew: Vec::new(),
+            },
+            arrivals: vec![[Vec::new(), Vec::new()]; n],
+            sp_infos: Vec::new(),
+            ep_infos: Vec::new(),
+            prune_window: 0.0,
+            period: f64::INFINITY,
+            report: StaReport::default(),
+        };
+        engine.index_points(design);
+        Ok(engine)
+    }
+
+    fn index_points(&mut self, design: &Design) {
+        self.sp_infos = self
+            .graph
+            .sources()
+            .iter()
+            .map(|&node| {
+                let pin = self.graph.pin_of(node);
+                let p = design.pin(pin);
+                let flop = p.cell.filter(|&c| design.lib_cell_of(c).is_sequential());
+                SpInfo {
+                    node,
+                    pin,
+                    leaf: None, // filled once clock timing exists
+                    flop,
+                }
+            })
+            .collect();
+        self.ep_infos = self
+            .graph
+            .endpoints()
+            .iter()
+            .map(|&node| {
+                let pin = self.graph.pin_of(node);
+                let p = design.pin(pin);
+                let capture = p.cell.filter(|&c| design.lib_cell_of(c).is_sequential());
+                EpInfo {
+                    node,
+                    pin,
+                    capture,
+                    leaf: None,
+                    required_base: 0.0,
+                }
+            })
+            .collect();
+    }
+
+    /// The levelized timing graph.
+    pub fn graph(&self) -> &TimingGraph {
+        &self.graph
+    }
+
+    /// The analysis configuration.
+    pub fn config(&self) -> &StaConfig {
+        &self.config
+    }
+
+    /// Mutable access to the exceptions (changes apply on the next update).
+    pub fn exceptions_mut(&mut self) -> &mut ExceptionSet {
+        &mut self.config.exceptions
+    }
+
+    /// Mutable access to the configuration (changes apply on the next
+    /// update); used by the SDC front end.
+    pub fn config_mut(&mut self) -> &mut StaConfig {
+        &mut self.config
+    }
+
+    /// The clock timing of the last update.
+    pub fn clock(&self) -> &ClockTiming {
+        &self.clock
+    }
+
+    /// The arc delay annotation of the last update.
+    pub fn delays(&self) -> &ArcDelays {
+        &self.delays
+    }
+
+    /// The startpoint table.
+    pub fn sp_infos(&self) -> &[SpInfo] {
+        &self.sp_infos
+    }
+
+    /// The endpoint table.
+    pub fn ep_infos(&self) -> &[EpInfo] {
+        &self.ep_infos
+    }
+
+    /// Arrival maps of a node (`[rise, fall]`).
+    pub fn arrivals(&self, node: NodeId) -> &[SpMap; 2] {
+        &self.arrivals[node.index()]
+    }
+
+    /// The worst corner arrival at a node for a transition, if any path
+    /// reaches it.
+    pub fn arrival_corner(&self, node: NodeId, tr: Transition) -> Option<f64> {
+        self.arrivals[node.index()][tr.index()]
+            .first()
+            .map(|e| e.corner(self.config.n_sigma))
+    }
+
+    /// The report of the last update.
+    pub fn report(&self) -> &StaReport {
+        &self.report
+    }
+
+    /// The windowed pruning slack used by the per-startpoint maps.
+    pub fn prune_window(&self) -> f64 {
+        self.prune_window
+    }
+
+    /// Full timing update: clock timing, delay annotation, arrival
+    /// propagation over every level, endpoint evaluation.
+    pub fn full_update(&mut self, design: &Design) -> StaReport {
+        self.period = self
+            .config
+            .period_override_ps
+            .or(design.clock().map(|c| c.period_ps))
+            .unwrap_or(f64::INFINITY);
+        self.clock = ClockTiming::compute(
+            design,
+            self.graph.clock_tree(),
+            &self.config.delay_calc,
+            self.config.derate_early,
+            self.config.derate_late,
+        );
+        // Max possible CPPR credit bounds the pruning window.
+        let max_common = self
+            .clock
+            .node_mean
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v));
+        self.prune_window = if self.config.cppr_enabled {
+            max_common * (self.config.derate_late - self.config.derate_early) + 1e-9
+        } else {
+            1e-9
+        };
+        self.delays = self.config.delay_calc.annotate(design, &self.graph);
+        self.bind_clock_leaves(design);
+        self.init_sources(design);
+        let order: Vec<NodeId> = self.graph.topo_order().to_vec();
+        self.propagate_nodes(&order);
+        self.evaluate_endpoints();
+        self.report.clone()
+    }
+
+    fn bind_clock_leaves(&mut self, design: &Design) {
+        for sp in &mut self.sp_infos {
+            sp.leaf = sp.flop.and_then(|f| self.clock.flop(f)).map(|fc| fc.leaf);
+        }
+        let period = self.period;
+        for ep in &mut self.ep_infos {
+            ep.leaf = ep
+                .capture
+                .and_then(|f| self.clock.flop(f))
+                .map(|fc| fc.leaf);
+            ep.required_base = match ep.capture.and_then(|f| self.clock.flop(f).copied()) {
+                Some(fc) => {
+                    let lc = design.lib_cell_of(ep.capture.expect("capture flop"));
+                    let setup = lc
+                        .arcs()
+                        .iter()
+                        .find(|a| a.kind == ArcKind::Setup)
+                        .map(|a| a.delay(Transition::Rise).lookup(fc.slew, 0.0))
+                        .unwrap_or(0.0);
+                    period + fc.mean * self.config.derate_early
+                        - setup
+                        - self.config.n_sigma * fc.sigma
+                }
+                None => period,
+            };
+        }
+    }
+
+    /// Initializes source-node arrival maps: flop Q pins from late launch
+    /// clock plus the CK→Q arc; primary inputs from the configured input
+    /// delay.
+    pub(crate) fn init_sources(&mut self, design: &Design) {
+        for (sp_idx, sp) in self.sp_infos.iter().enumerate() {
+            let maps = &mut self.arrivals[sp.node.index()];
+            match sp.flop {
+                Some(flop) => {
+                    let fc = *self.clock.flop(flop).expect("flop is clocked");
+                    let lc = design.lib_cell_of(flop);
+                    let launch = lc
+                        .arcs()
+                        .iter()
+                        .find(|a| a.kind == ArcKind::Launch)
+                        .expect("flop has a launch arc");
+                    let load = design.driver_load_ff(sp.pin);
+                    for tr in Transition::BOTH {
+                        let d = launch.delay(tr).lookup(fc.slew, load);
+                        let s = launch.sigma_coeff * d;
+                        maps[tr.index()] = vec![SpArrival {
+                            sp: sp_idx as u32,
+                            mean: fc.mean * self.config.derate_late + d,
+                            sigma: rss(fc.sigma, s),
+                        }];
+                    }
+                }
+                None => {
+                    for tr in Transition::BOTH {
+                        maps[tr.index()] = vec![SpArrival {
+                            sp: sp_idx as u32,
+                            mean: self.config.input_delay_ps,
+                            sigma: 0.0,
+                        }];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-propagates arrival maps for the given nodes, which must be in
+    /// level-major order and closed under fanin-dirtiness (every dirty
+    /// fanin appears earlier in the slice).
+    pub fn propagate_nodes(&mut self, nodes: &[NodeId]) {
+        let n_sigma = self.config.n_sigma;
+        let mut cands: Vec<SpArrival> = Vec::new();
+        for &node in nodes {
+            let fanin = self.graph.fanin(node);
+            if fanin.is_empty() {
+                continue; // sources keep their initialization
+            }
+            for tr in Transition::BOTH {
+                cands.clear();
+                for &ai in fanin {
+                    let from = self.graph.arc(ai).from;
+                    let mean = self.delays.mean[ai as usize][tr.index()];
+                    let sigma = self.delays.sigma[ai as usize][tr.index()];
+                    for ptr in input_transitions(self.delays.sense[ai as usize], tr) {
+                        for e in &self.arrivals[from.index()][ptr.index()] {
+                            cands.push(SpArrival {
+                                sp: e.sp,
+                                mean: e.mean + mean,
+                                sigma: rss(e.sigma, sigma),
+                            });
+                        }
+                    }
+                }
+                let reduced = reduce_map(
+                    &mut cands,
+                    n_sigma,
+                    self.config.sp_cap,
+                    self.config.sp_keep_min,
+                    self.prune_window,
+                );
+                self.arrivals[node.index()][tr.index()] = reduced;
+            }
+        }
+    }
+
+    /// Recomputes endpoint slacks and the design report from the current
+    /// arrival maps.
+    pub fn evaluate_endpoints(&mut self) {
+        let n_sigma = self.config.n_sigma;
+        let tree = self.graph.clock_tree();
+        let mut endpoints = Vec::with_capacity(self.ep_infos.len());
+        let mut wns = f64::INFINITY;
+        let mut tns = 0.0;
+        let mut viol = 0usize;
+        for (ep_idx, ep) in self.ep_infos.iter().enumerate() {
+            let ep_id = EpId(ep_idx as u32);
+            let mut best = EndpointReport {
+                ep: ep_id,
+                pin: ep.pin,
+                slack_ps: f64::INFINITY,
+                arrival_ps: f64::NEG_INFINITY,
+                required_ps: f64::INFINITY,
+                worst_sp: None,
+                transition: Transition::Rise,
+            };
+            for tr in Transition::BOTH {
+                for e in &self.arrivals[ep.node.index()][tr.index()] {
+                    let sp_id = SpId(e.sp);
+                    if self.config.exceptions.is_false(sp_id, ep_id) {
+                        continue;
+                    }
+                    let mut required = ep.required_base;
+                    let mcp = self.config.exceptions.multicycle_factor(sp_id, ep_id);
+                    if mcp > 1 {
+                        // Extra capture cycles; the period is recoverable
+                        // from required_base only for PO endpoints, so use
+                        // the credit-free form: add (n-1) periods directly.
+                        required += (mcp - 1) as f64 * self.period_hint();
+                    }
+                    if self.config.cppr_enabled {
+                        if let (Some(la), Some(lb)) =
+                            (self.sp_infos[e.sp as usize].leaf, ep.leaf)
+                        {
+                            required += self.clock.cppr_credit(tree, la, lb);
+                        }
+                    }
+                    let arrival = e.corner(n_sigma);
+                    let slack = required - arrival;
+                    if slack < best.slack_ps {
+                        best.slack_ps = slack;
+                        best.arrival_ps = arrival;
+                        best.required_ps = required;
+                        best.worst_sp = Some(sp_id);
+                        best.transition = tr;
+                    }
+                }
+            }
+            if best.slack_ps < 0.0 {
+                tns += best.slack_ps;
+                viol += 1;
+            }
+            wns = wns.min(best.slack_ps);
+            endpoints.push(best);
+        }
+        self.report = StaReport {
+            wns_ps: wns,
+            tns_ps: tns,
+            n_violations: viol,
+            endpoints,
+        };
+    }
+
+    fn period_hint(&self) -> f64 {
+        self.period
+    }
+
+    /// Slack of one endpoint from the last update.
+    pub fn endpoint_slack(&self, ep: EpId) -> Option<f64> {
+        self.report.endpoints.get(ep.index()).map(|r| r.slack_ps)
+    }
+
+    /// Worst slack per graph node via a backward required-time pass.
+    ///
+    /// Endpoint required times are seeded from the last report's
+    /// worst-slack required values (CPPR-resolved), then propagated
+    /// backward with `required(parent) = min(required(child) − delay)`.
+    /// This is the per-pin slack view net-weighting placers consume; nodes
+    /// on no constrained path get `f64::INFINITY`. The backward pass uses
+    /// linearized corner delays (mean + N_σ·σ per arc), which is slightly
+    /// pessimistic upstream relative to the forward quadrature
+    /// accumulation — appropriate for a criticality heuristic.
+    pub fn node_slacks(&self) -> Vec<f64> {
+        let n = self.graph.num_nodes();
+        let mut req = vec![[f64::INFINITY; 2]; n];
+        for (i, ep) in self.ep_infos.iter().enumerate() {
+            let Some(r) = self.report.endpoints.get(i) else {
+                continue;
+            };
+            if r.required_ps.is_finite() {
+                req[ep.node.index()] = [r.required_ps; 2];
+            }
+        }
+        for &node in self.graph.topo_order().iter().rev() {
+            for &ai in self.graph.fanin(node) {
+                let from = self.graph.arc(ai).from;
+                for tr in Transition::BOTH {
+                    let r_child = req[node.index()][tr.index()];
+                    if !r_child.is_finite() {
+                        continue;
+                    }
+                    let d = self.delays.mean[ai as usize][tr.index()]
+                        + self.config.n_sigma * self.delays.sigma[ai as usize][tr.index()];
+                    for ptr in input_transitions(self.delays.sense[ai as usize], tr) {
+                        let slot = &mut req[from.index()][ptr.index()];
+                        *slot = slot.min(r_child - d);
+                    }
+                }
+            }
+        }
+        (0..n)
+            .map(|v| {
+                let mut worst = f64::INFINITY;
+                for tr in Transition::BOTH {
+                    if let Some(top) = self.arrivals[v][tr.index()].first() {
+                        let s = req[v][tr.index()] - top.corner(self.config.n_sigma);
+                        worst = worst.min(s);
+                    }
+                }
+                worst
+            })
+            .collect()
+    }
+}
+
+#[inline]
+fn rss(a: f64, b: f64) -> f64 {
+    (a * a + b * b).sqrt()
+}
+
+/// Input transitions that can cause output transition `out` through an arc
+/// of the given sense (paper Algorithm 1, line 9, extended to non-unate).
+#[inline]
+pub fn input_transitions(sense: TimingSense, out: Transition) -> &'static [Transition] {
+    match sense {
+        TimingSense::PositiveUnate => match out {
+            Transition::Rise => &[Transition::Rise],
+            Transition::Fall => &[Transition::Fall],
+        },
+        TimingSense::NegativeUnate => match out {
+            Transition::Rise => &[Transition::Fall],
+            Transition::Fall => &[Transition::Rise],
+        },
+        TimingSense::NonUnate => &Transition::BOTH,
+    }
+}
+
+/// Reduces a candidate list to a unique-startpoint map sorted by descending
+/// corner: window-pruned beyond `keep_min`, capped at `cap`.
+fn reduce_map(
+    cands: &mut Vec<SpArrival>,
+    n_sigma: f64,
+    cap: usize,
+    keep_min: usize,
+    window: f64,
+) -> SpMap {
+    if cands.is_empty() {
+        return Vec::new();
+    }
+    // Unique per startpoint: keep the max corner.
+    cands.sort_unstable_by(|a, b| {
+        a.sp.cmp(&b.sp)
+            .then(b.corner(n_sigma).total_cmp(&a.corner(n_sigma)))
+    });
+    cands.dedup_by_key(|e| e.sp);
+    // Sort by criticality.
+    cands.sort_unstable_by(|a, b| b.corner(n_sigma).total_cmp(&a.corner(n_sigma)));
+    let best = cands[0].corner(n_sigma);
+    let mut out: SpMap = Vec::with_capacity(cands.len().min(cap));
+    for (i, e) in cands.iter().enumerate() {
+        if i >= cap {
+            break;
+        }
+        if i >= keep_min && best - e.corner(n_sigma) > window {
+            break;
+        }
+        out.push(*e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+
+    fn engine(seed: u64) -> (Design, RefSta) {
+        let d = generate_design(&GeneratorConfig::small("sta", seed));
+        let sta = RefSta::new(&d, StaConfig::default()).expect("build");
+        (d, sta)
+    }
+
+    #[test]
+    fn full_update_produces_finite_report() {
+        let (d, mut sta) = engine(1);
+        let report = sta.full_update(&d);
+        assert!(report.wns_ps.is_finite());
+        assert!(report.tns_ps <= 0.0);
+        assert_eq!(report.endpoints.len(), sta.graph().endpoints().len());
+        assert_eq!(
+            report.n_violations,
+            report.endpoints.iter().filter(|e| e.slack_ps < 0.0).count()
+        );
+    }
+
+    #[test]
+    fn tns_is_sum_of_negative_slacks() {
+        let (d, mut sta) = engine(2);
+        let report = sta.full_update(&d);
+        let sum: f64 = report
+            .endpoints
+            .iter()
+            .map(|e| e.slack_ps.min(0.0))
+            .sum();
+        assert!((sum - report.tns_ps).abs() < 1e-9);
+        assert!(report.wns_ps <= report.endpoints.iter().map(|e| e.slack_ps).fold(f64::INFINITY, f64::min) + 1e-9);
+    }
+
+    #[test]
+    fn arrival_maps_have_unique_sorted_startpoints() {
+        let (d, mut sta) = engine(3);
+        sta.full_update(&d);
+        let n_sigma = sta.config().n_sigma;
+        for v in 0..sta.graph().num_nodes() {
+            for map in sta.arrivals(NodeId(v as u32)) {
+                let mut seen = std::collections::HashSet::new();
+                let mut prev = f64::INFINITY;
+                for e in map {
+                    assert!(seen.insert(e.sp), "duplicate sp in map");
+                    let c = e.corner(n_sigma);
+                    assert!(c <= prev + 1e-9, "map not sorted by corner");
+                    prev = c;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_grow_along_paths() {
+        let (d, mut sta) = engine(4);
+        sta.full_update(&d);
+        for arc in sta.graph().arcs() {
+            let from_best = sta.arrival_corner(arc.from, Transition::Rise);
+            let to_best = sta
+                .arrival_corner(arc.to, Transition::Rise)
+                .or(sta.arrival_corner(arc.to, Transition::Fall));
+            if let (Some(f), Some(t)) = (from_best, to_best) {
+                // The destination's worst arrival is at least as late as
+                // any single fanin contribution could be early; weak sanity
+                // bound: arrivals are positive and finite.
+                assert!(f.is_finite() && t.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn cppr_credit_never_hurts_slack() {
+        let d = generate_design(&GeneratorConfig::small("cppr", 5));
+        let mut with = RefSta::new(&d, StaConfig::default()).expect("build");
+        let with_report = with.full_update(&d);
+        let mut cfg = StaConfig::default();
+        cfg.cppr_enabled = false;
+        let mut without = RefSta::new(&d, cfg).expect("build");
+        let without_report = without.full_update(&d);
+        for (a, b) in with_report.endpoints.iter().zip(&without_report.endpoints) {
+            assert!(
+                a.slack_ps >= b.slack_ps - 1e-9,
+                "CPPR must not make slack worse: {} vs {}",
+                a.slack_ps,
+                b.slack_ps
+            );
+        }
+        assert!(with_report.tns_ps >= without_report.tns_ps - 1e-9);
+    }
+
+    #[test]
+    fn false_path_removes_violation() {
+        let (d, mut sta) = engine(6);
+        let report = sta.full_update(&d);
+        // Take the worst endpoint and false-path its worst startpoint.
+        let worst = report
+            .endpoints
+            .iter()
+            .min_by(|a, b| a.slack_ps.total_cmp(&b.slack_ps))
+            .copied()
+            .expect("has endpoints");
+        let sp = worst.worst_sp.expect("worst sp");
+        sta.exceptions_mut().add_false_path(sp, worst.ep);
+        let after = sta.full_update(&d);
+        assert!(
+            after.endpoints[worst.ep.index()].slack_ps >= worst.slack_ps - 1e-9,
+            "false path cannot worsen the endpoint"
+        );
+        // The previously-worst startpoint must no longer be reported.
+        assert_ne!(after.endpoints[worst.ep.index()].worst_sp, Some(sp));
+    }
+
+    #[test]
+    fn multicycle_relaxes_required_time() {
+        let (d, mut sta) = engine(7);
+        let report = sta.full_update(&d);
+        let worst = report
+            .endpoints
+            .iter()
+            .min_by(|a, b| a.slack_ps.total_cmp(&b.slack_ps))
+            .copied()
+            .expect("has endpoints");
+        let sp = worst.worst_sp.expect("worst sp");
+        sta.exceptions_mut().add_multicycle(sp, worst.ep, 2);
+        let after = sta.full_update(&d);
+        let after_ep = after.endpoints[worst.ep.index()];
+        assert!(
+            after_ep.slack_ps > worst.slack_ps,
+            "an extra cycle must improve the endpoint ({} -> {})",
+            worst.slack_ps,
+            after_ep.slack_ps
+        );
+    }
+
+    #[test]
+    fn node_slacks_match_endpoint_slacks_at_endpoints() {
+        let (d, mut sta) = engine(9);
+        let report = sta.full_update(&d);
+        let slacks = sta.node_slacks();
+        for (i, info) in sta.ep_infos().iter().enumerate() {
+            let ep_slack = report.endpoints[i].slack_ps;
+            if !ep_slack.is_finite() {
+                continue;
+            }
+            assert!(
+                (slacks[info.node.index()] - ep_slack).abs() < 1e-9,
+                "endpoint node slack {} vs report {}",
+                slacks[info.node.index()],
+                ep_slack
+            );
+        }
+        // The backward pass subtracts full per-arc corners (Σσ) while the
+        // forward pass accumulates sigma in quadrature, so upstream node
+        // slacks are conservatively pessimistic: the global minimum can
+        // only undershoot WNS, never overshoot it.
+        let min_node = slacks.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(min_node <= report.wns_ps + 1e-9);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        /// Relaxing the clock period by Δ shifts every finite endpoint
+        /// slack by exactly Δ (single-cycle paths, no multicycle): the
+        /// launch/capture structure is period-independent.
+        #[test]
+        fn period_relaxation_shifts_slack_exactly(seed in 0u64..200, extra in 1.0f64..500.0) {
+            let mut cfg = GeneratorConfig::small("prop_sta", seed);
+            cfg.clock_period_ps = 400.0;
+            let d1 = generate_design(&cfg);
+            cfg.clock_period_ps = 400.0 + extra;
+            let d2 = generate_design(&cfg);
+            let mut s1 = RefSta::new(&d1, StaConfig::default()).expect("build");
+            let mut s2 = RefSta::new(&d2, StaConfig::default()).expect("build");
+            let r1 = s1.full_update(&d1);
+            let r2 = s2.full_update(&d2);
+            for (a, b) in r1.endpoints.iter().zip(&r2.endpoints) {
+                if a.slack_ps.is_finite() && b.slack_ps.is_finite() {
+                    proptest::prop_assert!(
+                        (b.slack_ps - a.slack_ps - extra).abs() < 1e-6,
+                        "slack shift {} != extra {extra}",
+                        b.slack_ps - a.slack_ps
+                    );
+                }
+            }
+        }
+
+        /// The pruning window is sound: widening `sp_cap` never changes
+        /// any endpoint's worst slack (the windowed golden is exact).
+        #[test]
+        fn widening_sp_cap_never_changes_slack(seed in 0u64..200) {
+            let d = generate_design(&GeneratorConfig::small("prop_cap", seed));
+            let mut narrow_cfg = StaConfig::default();
+            narrow_cfg.sp_cap = 16;
+            let mut wide_cfg = StaConfig::default();
+            wide_cfg.sp_cap = 512;
+            let mut narrow = RefSta::new(&d, narrow_cfg).expect("build");
+            let mut wide = RefSta::new(&d, wide_cfg).expect("build");
+            let rn = narrow.full_update(&d);
+            let rw = wide.full_update(&d);
+            for (a, b) in rn.endpoints.iter().zip(&rw.endpoints) {
+                if a.slack_ps.is_finite() || b.slack_ps.is_finite() {
+                    proptest::prop_assert!((a.slack_ps - b.slack_ps).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let (d, mut a) = engine(8);
+        let (_, mut b) = engine(8);
+        let ra = a.full_update(&d);
+        let rb = b.full_update(&d);
+        assert_eq!(ra.wns_ps, rb.wns_ps);
+        assert_eq!(ra.tns_ps, rb.tns_ps);
+    }
+}

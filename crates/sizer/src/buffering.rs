@@ -1,0 +1,233 @@
+//! INSTA-Buffer: gradient-guided buffer insertion — the paper's stated
+//! future work ("In the future, we aim to investigate INSTA for buffering
+//! and restructuring"), prototyped here on the same timing-gradient
+//! machinery as INSTA-Size.
+//!
+//! The per-arc gradient identifies *which* interconnect hurts TNS; the
+//! Elmore model says *how much* splitting helps (halving the quadratic
+//! R·C/2 term). Each round, the highest `|gradient| × wire delay` net
+//! arcs get a buffer inserted at the wire midpoint; the batch is accepted
+//! only if the signoff TNS improves (topology changed, so the evaluation
+//! is a fresh full analysis).
+
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_liberty::GateClass;
+use insta_netlist::{Design, TimingArcKind, WireRc};
+use insta_refsta::{RefSta, StaConfig};
+use std::time::Instant;
+
+/// Configuration of the buffering prototype.
+#[derive(Debug, Clone)]
+pub struct BufferingConfig {
+    /// Insertion rounds (gradients refresh between rounds).
+    pub rounds: usize,
+    /// Buffers inserted per round.
+    pub buffers_per_round: usize,
+    /// Minimum branch Elmore delay (ps) for a wire to be a candidate.
+    pub min_wire_delay_ps: f64,
+    /// Drive strength of inserted buffers.
+    pub buffer_drive: u32,
+    /// INSTA engine settings for gradient identification.
+    pub engine: InstaConfig,
+}
+
+impl Default for BufferingConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 4,
+            buffers_per_round: 8,
+            min_wire_delay_ps: 5.0,
+            buffer_drive: 4,
+            engine: InstaConfig {
+                lse_tau: 1.0,
+                ..InstaConfig::default()
+            },
+        }
+    }
+}
+
+/// Outcome of a buffering run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferingOutcome {
+    /// WNS before (ps).
+    pub wns_before_ps: f64,
+    /// WNS after (ps).
+    pub wns_after_ps: f64,
+    /// TNS before (ps).
+    pub tns_before_ps: f64,
+    /// TNS after (ps).
+    pub tns_after_ps: f64,
+    /// Buffers committed.
+    pub buffers_added: usize,
+    /// Wall-clock runtime (s).
+    pub runtime_s: f64,
+}
+
+/// Runs gradient-guided buffer insertion on `design`.
+///
+/// Each round is transactional: candidates are applied to a clone and the
+/// clone replaces the design only if signoff TNS improves.
+///
+/// # Panics
+///
+/// Panics if the library has no buffer family.
+pub fn insta_buffer(design: &mut Design, cfg: &BufferingConfig) -> BufferingOutcome {
+    let t_start = Instant::now();
+    let lib = design.library_arc();
+    let buf_cell = lib
+        .family_member(GateClass::Buf, cfg.buffer_drive)
+        .or_else(|| lib.family(GateClass::Buf).last().copied())
+        .expect("library has buffers");
+
+    let mut golden = RefSta::new(design, StaConfig::default()).expect("acyclic design");
+    let before = golden.full_update(design);
+    let mut current = before.clone();
+    let mut added = 0usize;
+
+    for round in 0..cfg.rounds {
+        if current.n_violations == 0 {
+            break;
+        }
+        // Timing gradients from INSTA.
+        let mut engine = InstaEngine::new(golden.export_insta_init(), cfg.engine.clone());
+        engine.propagate();
+        engine.forward_lse();
+        engine.backward_tns();
+        let grads = engine.arc_gradients();
+
+        // Candidate net arcs: long wires carrying gradient, scored by
+        // |gradient| × branch delay.
+        let graph = golden.graph();
+        let mut cands: Vec<(f64, insta_netlist::NetId, usize)> = Vec::new();
+        for (ai, arc) in graph.arcs().iter().enumerate() {
+            let TimingArcKind::Net { net, sink_pos } = arc.kind else {
+                continue;
+            };
+            let g = grads[ai].abs();
+            if g == 0.0 {
+                continue;
+            }
+            let wire = design.net(net).sink_wires[sink_pos as usize];
+            let sink_cap = design.pin_cap_ff(design.net(net).sinks[sink_pos as usize]);
+            let elmore = wire.res_kohm * (wire.cap_ff / 2.0 + sink_cap);
+            if elmore < cfg.min_wire_delay_ps {
+                continue;
+            }
+            cands.push((g * elmore, net, sink_pos as usize));
+        }
+        cands.sort_by(|a, b| b.0.total_cmp(&a.0));
+        cands.truncate(cfg.buffers_per_round);
+        if cands.is_empty() {
+            break;
+        }
+
+        // Transactional application: build the buffered clone.
+        let mut trial = design.clone();
+        let mut inserted = 0usize;
+        for (bi, &(_, net, sink_pos)) in cands.iter().enumerate() {
+            // Snapshot the branch before surgery (sink positions shift as
+            // sinks are removed, so re-resolve by pin id).
+            let sink = design.net(net).sinks[sink_pos];
+            let wire = design.net(net).sink_wires[sink_pos];
+            if trial.pin(sink).net != Some(net) {
+                continue; // another insertion already rewired this sink
+            }
+            let buf = trial.add_cell(format!("ibuf_r{round}_{bi}"), buf_cell);
+            let buf_in = trial.cell_pin(buf, "A");
+            let buf_out = trial.cell_pin(buf, "Y");
+            let half = WireRc {
+                res_kohm: wire.res_kohm / 2.0,
+                cap_ff: wire.cap_ff / 2.0,
+            };
+            trial.disconnect_sink(net, sink);
+            // Buffer input joins the original net on the first half-wire…
+            trial.attach_sink(net, buf_in, half);
+            // …and the second half becomes a new net to the sink.
+            trial.connect_with_wires(
+                format!("ibuf_net_r{round}_{bi}"),
+                buf_out,
+                vec![sink],
+                vec![half],
+            );
+            inserted += 1;
+        }
+        trial.validate().expect("buffered netlist stays valid");
+
+        // Fresh signoff of the trial (topology changed).
+        let mut trial_sta = RefSta::new(&trial, StaConfig::default()).expect("acyclic");
+        let trial_report = trial_sta.full_update(&trial);
+        if trial_report.tns_ps > current.tns_ps {
+            added += inserted;
+            *design = trial;
+            golden = trial_sta;
+            current = trial_report;
+        } else {
+            break; // no further benefit
+        }
+    }
+
+    BufferingOutcome {
+        wns_before_ps: before.wns_ps,
+        wns_after_ps: current.wns_ps,
+        tns_before_ps: before.tns_ps,
+        tns_after_ps: current.tns_ps,
+        buffers_added: added,
+        runtime_s: t_start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+
+    /// Long-wire designs violate through interconnect; buffering must
+    /// recover TNS.
+    #[test]
+    fn buffering_improves_wire_dominated_timing() {
+        let mut cfg = GeneratorConfig::small("buf", 5);
+        cfg.mean_wire_um = 120.0; // very long wires
+        cfg.clock_period_ps = 900.0;
+        let mut design = generate_design(&cfg);
+        let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
+        let before = sta.full_update(&design);
+        assert!(before.n_violations > 0, "need wire-dominated violations");
+
+        let cells_before = design.cells().len();
+        let out = insta_buffer(&mut design, &BufferingConfig::default());
+        assert!(out.buffers_added > 0, "long wires must attract buffers");
+        assert_eq!(design.cells().len(), cells_before + out.buffers_added);
+        assert!(
+            out.tns_after_ps > out.tns_before_ps,
+            "TNS must improve: {} -> {}",
+            out.tns_before_ps,
+            out.tns_after_ps
+        );
+        design.validate().expect("valid after surgery");
+    }
+
+    /// A clean design is left untouched.
+    #[test]
+    fn clean_design_gets_no_buffers() {
+        let mut cfg = GeneratorConfig::small("buf", 7);
+        cfg.clock_period_ps = 50_000.0;
+        let mut design = generate_design(&cfg);
+        let out = insta_buffer(&mut design, &BufferingConfig::default());
+        assert_eq!(out.buffers_added, 0);
+        assert_eq!(out.tns_after_ps, 0.0);
+    }
+
+    /// The committed result is reproducible from scratch.
+    #[test]
+    fn outcome_matches_fresh_analysis() {
+        let mut cfg = GeneratorConfig::small("buf", 9);
+        cfg.mean_wire_um = 100.0;
+        cfg.clock_period_ps = 900.0;
+        let mut design = generate_design(&cfg);
+        let out = insta_buffer(&mut design, &BufferingConfig::default());
+        let mut fresh = RefSta::new(&design, StaConfig::default()).expect("build");
+        let report = fresh.full_update(&design);
+        assert!((report.tns_ps - out.tns_after_ps).abs() < 1e-6);
+        assert!((report.wns_ps - out.wns_after_ps).abs() < 1e-6);
+    }
+}

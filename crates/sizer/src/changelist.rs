@@ -1,0 +1,101 @@
+//! Deterministic resize changelists.
+//!
+//! Fig. 7 of the paper compares three engines replaying "the exact same
+//! changelist". This module produces such changelists: seeded random
+//! resizes of combinational (non-clock) cells, biased toward upsizing —
+//! the moves a power/timing recovery loop makes.
+
+use insta_liberty::GateClass;
+use insta_netlist::{CellId, Design};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One committed resize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeOp {
+    /// The cell to resize.
+    pub cell: CellId,
+    /// The replacement library cell (same gate-class family).
+    pub to: insta_liberty::LibCellId,
+}
+
+/// Generates `n` deterministic resize operations on distinct eligible
+/// cells (combinational, non-clock-buffer, with at least two family
+/// members).
+///
+/// # Panics
+///
+/// Panics if the design has fewer than `n` eligible cells.
+pub fn random_changelist(design: &Design, n: usize, seed: u64) -> Vec<ResizeOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lib = design.library();
+    let mut eligible: Vec<CellId> = (0..design.cells().len() as u32)
+        .map(CellId)
+        .filter(|&c| {
+            let lc = design.lib_cell_of(c);
+            !lc.is_sequential()
+                && lc.class != GateClass::ClkBuf
+                && lib.family(lc.class).len() >= 2
+        })
+        .collect();
+    assert!(
+        eligible.len() >= n,
+        "requested {n} ops but only {} eligible cells",
+        eligible.len()
+    );
+    // Partial Fisher–Yates to pick n distinct cells deterministically.
+    for i in 0..n {
+        let j = rng.gen_range(i..eligible.len());
+        eligible.swap(i, j);
+    }
+    eligible
+        .into_iter()
+        .take(n)
+        .map(|cell| {
+            let lc = design.lib_cell_of(cell);
+            let fam = lib.family(lc.class);
+            let cur = fam
+                .iter()
+                .position(|&id| lib.cell(id).drive == lc.drive)
+                .unwrap_or(0);
+            // Bias toward upsizing; fall back to downsizing at the top.
+            let to = if cur + 1 < fam.len() && rng.gen_bool(0.8) {
+                fam[cur + 1]
+            } else if cur > 0 {
+                fam[cur - 1]
+            } else {
+                fam[cur + 1]
+            };
+            ResizeOp { cell, to }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+
+    #[test]
+    fn ops_are_distinct_valid_and_deterministic() {
+        let d = generate_design(&GeneratorConfig::small("cl", 1));
+        let a = random_changelist(&d, 10, 7);
+        let b = random_changelist(&d, 10, 7);
+        assert_eq!(a, b);
+        let cells: std::collections::HashSet<CellId> = a.iter().map(|o| o.cell).collect();
+        assert_eq!(cells.len(), 10);
+        for op in &a {
+            let old = d.lib_cell_of(op.cell);
+            let new = d.library().cell(op.to);
+            assert_eq!(old.class, new.class);
+            assert_ne!(old.drive, new.drive);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eligible cells")]
+    fn too_many_ops_panics() {
+        let d = generate_design(&GeneratorConfig::small("cl", 2));
+        random_changelist(&d, 1_000_000, 1);
+    }
+}

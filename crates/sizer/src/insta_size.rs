@@ -1,0 +1,289 @@
+//! INSTA-Size: gradient-based gate sizing (paper §III-H).
+//!
+//! One backward pass on INSTA's TNS yields every stage's timing gradient;
+//! stages above a magnitude threshold are visited in descending order.
+//! For each stage, `estimate_eco` scores every family member, the best
+//! candidate is committed, INSTA is re-annotated and re-propagated, and
+//! the commit is rolled back if TNS degrades. A committed stage blocks its
+//! 3-hop neighbourhood for the rest of the round, matching the paper's
+//! interference mitigation (`estimate_eco` assumes frozen neighbours).
+
+use crate::stage::{cell_neighborhood, stage_gradients};
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_netlist::{CellId, Design, NodeId, TimingArcKind};
+use insta_refsta::eco::ArcDelta;
+use insta_refsta::{estimate_eco, RefSta};
+use insta_liberty::Transition;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Configuration of INSTA-Size.
+#[derive(Debug, Clone)]
+pub struct InstaSizeConfig {
+    /// Gradient-magnitude threshold as a fraction of the round's largest
+    /// stage gradient.
+    pub grad_threshold_frac: f64,
+    /// Maximum stages visited per round.
+    pub max_stages_per_round: usize,
+    /// Optimization rounds (gradient refresh between rounds).
+    pub rounds: usize,
+    /// Neighbourhood blocking radius in cell hops (paper: 3).
+    pub block_hops: usize,
+    /// INSTA engine settings (`lse_tau` is the paper's τ; 0.01 in §IV-C).
+    pub engine: InstaConfig,
+}
+
+impl Default for InstaSizeConfig {
+    fn default() -> Self {
+        Self {
+            grad_threshold_frac: 0.005,
+            max_stages_per_round: 400,
+            rounds: 12,
+            block_hops: 3,
+            engine: InstaConfig {
+                lse_tau: 0.01,
+                ..InstaConfig::default()
+            },
+        }
+    }
+}
+
+/// Outcome of a sizing run (shared by both sizers; Table II's rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeOutcome {
+    /// WNS before optimization (ps).
+    pub wns_before_ps: f64,
+    /// WNS after optimization (ps).
+    pub wns_after_ps: f64,
+    /// TNS before optimization (ps).
+    pub tns_before_ps: f64,
+    /// TNS after optimization (ps).
+    pub tns_after_ps: f64,
+    /// Violating endpoints before.
+    pub violations_before: usize,
+    /// Violating endpoints after.
+    pub violations_after: usize,
+    /// Number of cells whose size changed at the end.
+    pub cells_sized: usize,
+    /// Total wall-clock runtime (s).
+    pub runtime_s: f64,
+    /// Backward-kernel runtime accumulated over the run (s) — the paper's
+    /// `bRT` column.
+    pub backward_runtime_s: f64,
+}
+
+/// Reads exact replacement annotations for the given graph arcs from the
+/// reference engine's current state (used to sync INSTA after rollbacks).
+fn deltas_from_golden(golden: &RefSta, arcs: impl Iterator<Item = u32>) -> Vec<ArcDelta> {
+    let delays = golden.delays();
+    arcs.map(|a| ArcDelta {
+        arc: a,
+        mean: delays.mean[a as usize],
+        sigma: delays.sigma[a as usize],
+    })
+    .collect()
+}
+
+/// The graph arcs belonging to a cell's stage (its cell arcs plus the net
+/// arcs it drives) — re-synced from the golden engine after commits.
+fn stage_arcs(design: &Design, golden: &RefSta, cell: CellId) -> Vec<u32> {
+    let graph = golden.graph();
+    let mut arcs = Vec::new();
+    for &pin in &design.cell(cell).pins {
+        let Some(node) = graph.node_of(pin) else { continue };
+        for &ai in graph.fanin(node) {
+            arcs.push(ai);
+        }
+        if design.pin(pin).is_driver() {
+            for &ai in graph.fanout(node) {
+                if matches!(graph.arc(ai).kind, TimingArcKind::Net { .. }) {
+                    arcs.push(ai);
+                }
+            }
+        }
+    }
+    arcs
+}
+
+/// Runs INSTA-Size on `design`, using `golden` for `estimate_eco` and
+/// exact delay refresh. Returns the outcome evaluated by the golden engine
+/// (the signoff view of Table II).
+pub fn insta_size(
+    design: &mut Design,
+    golden: &mut RefSta,
+    cfg: &InstaSizeConfig,
+) -> SizeOutcome {
+    let t_start = Instant::now();
+    let before = golden.full_update(design);
+    let original: Vec<insta_liberty::LibCellId> =
+        design.cells().iter().map(|c| c.lib_cell).collect();
+
+    let mut engine = InstaEngine::new(golden.export_insta_init(), cfg.engine.clone());
+    let mut backward_s = 0.0;
+    let lib = design.library_arc();
+
+    for _round in 0..cfg.rounds {
+        engine.propagate();
+        engine.forward_lse();
+        let t_b = Instant::now();
+        engine.backward_tns();
+        backward_s += t_b.elapsed().as_secs_f64();
+
+        let stages = stage_gradients(design, golden.graph(), &engine);
+        let Some(max_mag) = stages.first().map(|s| s.magnitude) else {
+            break; // no gradient flow → nothing to fix
+        };
+        let threshold = max_mag * cfg.grad_threshold_frac;
+        let mut blocked: HashSet<CellId> = HashSet::new();
+        let mut committed_this_round = 0usize;
+
+        for stage in stages.iter().take(cfg.max_stages_per_round) {
+            if stage.magnitude < threshold {
+                break;
+            }
+            if blocked.contains(&stage.cell) {
+                continue;
+            }
+            let cur_lib = design.cell(stage.cell).lib_cell;
+            let class = design.lib_cell_of(stage.cell).class;
+            // estimate_eco every family member; keep the best estimate.
+            let best = lib
+                .family(class)
+                .iter()
+                .copied()
+                .filter(|&cand| cand != cur_lib)
+                .map(|cand| (cand, estimate_eco(design, golden, stage.cell, cand)))
+                .min_by(|a, b| a.1.stage_delta_ps.total_cmp(&b.1.stage_delta_ps));
+            let Some((cand, est)) = best else { continue };
+            if est.stage_delta_ps >= 0.0 {
+                continue; // no candidate improves the stage
+            }
+
+            let tns_prev = engine.report().tns_ps;
+            design.resize_cell(stage.cell, cand);
+            golden.incremental_update(design, &[stage.cell]);
+            // Sync INSTA from the (now exact) golden annotation of the
+            // whole stage — tighter than the raw estimate.
+            let sync = deltas_from_golden(golden, stage_arcs(design, golden, stage.cell).into_iter());
+            let report = engine.update_timing(&sync);
+            if report.tns_ps < tns_prev {
+                // TNS degraded → roll back (paper §III-H).
+                design.resize_cell(stage.cell, cur_lib);
+                golden.incremental_update(design, &[stage.cell]);
+                let undo =
+                    deltas_from_golden(golden, stage_arcs(design, golden, stage.cell).into_iter());
+                engine.update_timing(&undo);
+                continue;
+            }
+            committed_this_round += 1;
+            blocked.extend(cell_neighborhood(design, stage.cell, cfg.block_hops));
+        }
+        if committed_this_round == 0 {
+            break;
+        }
+    }
+
+    let after = golden.full_update(design);
+    let cells_sized = design
+        .cells()
+        .iter()
+        .zip(&original)
+        .filter(|(c, &orig)| c.lib_cell != orig)
+        .count();
+    SizeOutcome {
+        wns_before_ps: before.wns_ps,
+        wns_after_ps: after.wns_ps,
+        tns_before_ps: before.tns_ps,
+        tns_after_ps: after.tns_ps,
+        violations_before: before.n_violations,
+        violations_after: after.n_violations,
+        cells_sized,
+        runtime_s: t_start.elapsed().as_secs_f64(),
+        backward_runtime_s: backward_s,
+    }
+}
+
+/// Convenience: the per-endpoint slack vector of the golden engine (used
+/// by flows comparing sizers on identical metrics).
+pub fn golden_slacks(golden: &RefSta) -> Vec<f64> {
+    golden
+        .report()
+        .endpoints
+        .iter()
+        .map(|e| e.slack_ps)
+        .collect()
+}
+
+/// The worst data transition helper re-exported for reporting.
+pub fn transition_name(tr: Transition) -> &'static str {
+    match tr {
+        Transition::Rise => "rise",
+        Transition::Fall => "fall",
+    }
+}
+
+/// A node-id helper used by reports (original graph node of an endpoint).
+pub fn endpoint_node(golden: &RefSta, ep: usize) -> NodeId {
+    golden.ep_infos()[ep].node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+    use insta_refsta::StaConfig;
+
+    fn violating_design(seed: u64) -> Design {
+        let mut cfg = GeneratorConfig::small("isz", seed);
+        cfg.clock_period_ps = 170.0;
+        generate_design(&cfg)
+    }
+
+    #[test]
+    fn insta_size_improves_tns_with_few_cells() {
+        let mut design = violating_design(7);
+        let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+        let before = golden.full_update(&design);
+        assert!(before.n_violations > 0, "need violations to fix");
+        let outcome = insta_size(&mut design, &mut golden, &InstaSizeConfig::default());
+        assert!(
+            outcome.tns_after_ps > outcome.tns_before_ps,
+            "TNS must improve: {} -> {}",
+            outcome.tns_before_ps,
+            outcome.tns_after_ps
+        );
+        assert!(outcome.cells_sized > 0);
+        assert!(
+            outcome.cells_sized < design.cells().len() / 4,
+            "gradient targeting must touch few cells"
+        );
+        assert!(outcome.backward_runtime_s > 0.0);
+    }
+
+    #[test]
+    fn committed_design_matches_outcome_metrics() {
+        let mut design = violating_design(9);
+        let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+        golden.full_update(&design);
+        let outcome = insta_size(&mut design, &mut golden, &InstaSizeConfig::default());
+        // Re-verify from scratch: the outcome metrics must be reproducible
+        // from the committed design alone.
+        let mut fresh = RefSta::new(&design, StaConfig::default()).expect("build");
+        let report = fresh.full_update(&design);
+        assert!((report.tns_ps - outcome.tns_after_ps).abs() < 1e-6);
+        assert!((report.wns_ps - outcome.wns_after_ps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clean_design_is_left_untouched() {
+        let mut cfg = GeneratorConfig::small("isz", 11);
+        cfg.clock_period_ps = 50_000.0;
+        let mut design = generate_design(&cfg);
+        let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+        let before = golden.full_update(&design);
+        assert_eq!(before.n_violations, 0);
+        let outcome = insta_size(&mut design, &mut golden, &InstaSizeConfig::default());
+        assert_eq!(outcome.cells_sized, 0);
+        assert_eq!(outcome.tns_after_ps, 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Timing-constrained power recovery — the flow Application 1's evaluator
+//! actually serves (paper §IV-B: "a commercial gate sizing flow for
+//! timing-constrained power optimization").
+//!
+//! Cells with positive slack headroom are downsized greedily (largest
+//! leakage saving first); each candidate is scored with `estimate_eco`,
+//! committed, evaluated with INSTA's fast full-graph propagation, and
+//! rolled back if TNS degrades below the floor. Leakage falls; timing is
+//! held.
+
+use crate::insta_size::SizeOutcome;
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_liberty::GateClass;
+use insta_netlist::{CellId, Design};
+use insta_refsta::eco::ArcDelta;
+use insta_refsta::{estimate_eco, RefSta};
+use std::time::Instant;
+
+/// Configuration of the power-recovery flow.
+#[derive(Debug, Clone)]
+pub struct PowerRecoveryConfig {
+    /// Passes over the candidate list.
+    pub max_passes: usize,
+    /// TNS degradation tolerance below the starting TNS (ps; 0 = hold the
+    /// line exactly).
+    pub tns_margin_ps: f64,
+    /// INSTA engine settings for the per-commit evaluation.
+    pub engine: InstaConfig,
+}
+
+impl Default for PowerRecoveryConfig {
+    fn default() -> Self {
+        Self {
+            max_passes: 3,
+            tns_margin_ps: 0.0,
+            engine: InstaConfig {
+                top_k: 8,
+                ..InstaConfig::default()
+            },
+        }
+    }
+}
+
+/// Outcome of a power-recovery run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerOutcome {
+    /// Timing summary (before/after, via the golden engine).
+    pub timing: SizeOutcome,
+    /// Total leakage before (library units).
+    pub leakage_before: f64,
+    /// Total leakage after.
+    pub leakage_after: f64,
+    /// Number of downsizing commits.
+    pub cells_downsized: usize,
+}
+
+impl PowerOutcome {
+    /// Fractional leakage recovered.
+    pub fn recovery_frac(&self) -> f64 {
+        if self.leakage_before > 0.0 {
+            1.0 - self.leakage_after / self.leakage_before
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Reads exact replacement annotations for the given arcs from the golden
+/// engine (post-commit synchronization of INSTA).
+fn sync_deltas(golden: &RefSta, arcs: &[u32]) -> Vec<ArcDelta> {
+    let delays = golden.delays();
+    arcs.iter()
+        .map(|&a| ArcDelta {
+            arc: a,
+            mean: delays.mean[a as usize],
+            sigma: delays.sigma[a as usize],
+        })
+        .collect()
+}
+
+/// Runs timing-constrained power recovery on `design`.
+///
+/// The golden engine provides `estimate_eco` and exact commits; INSTA is
+/// the per-commit evaluator (the Application-1 role).
+pub fn power_recover(
+    design: &mut Design,
+    golden: &mut RefSta,
+    cfg: &PowerRecoveryConfig,
+) -> PowerOutcome {
+    let t_start = Instant::now();
+    let before = golden.full_update(design);
+    let leakage_before = design.total_leakage();
+    let tns_floor = before.tns_ps - cfg.tns_margin_ps;
+    let mut engine = InstaEngine::new(golden.export_insta_init(), cfg.engine.clone());
+    engine.propagate();
+    let lib = design.library_arc();
+    let mut downsized = 0usize;
+
+    for _pass in 0..cfg.max_passes {
+        // Candidates: combinational non-clock cells above minimum drive,
+        // sorted by the leakage saved by one downsizing notch.
+        let mut cands: Vec<(f64, CellId, insta_liberty::LibCellId)> = Vec::new();
+        for i in 0..design.cells().len() as u32 {
+            let c = CellId(i);
+            let lc = design.lib_cell_of(c);
+            if lc.is_sequential() || lc.class == GateClass::ClkBuf {
+                continue;
+            }
+            let fam = lib.family(lc.class);
+            let Some(pos) = fam.iter().position(|&id| lib.cell(id).drive == lc.drive)
+            else {
+                continue;
+            };
+            if pos == 0 {
+                continue; // already minimum drive
+            }
+            let smaller = fam[pos - 1];
+            let saving = lc.leakage - lib.cell(smaller).leakage;
+            if saving > 0.0 {
+                cands.push((saving, c, smaller));
+            }
+        }
+        cands.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut committed = 0usize;
+        for (_, cell, smaller) in cands {
+            let cur = design.cell(cell).lib_cell;
+            let est = estimate_eco(design, golden, cell, smaller);
+            // Commit, evaluate with INSTA, roll back on TNS floor breach.
+            design.resize_cell(cell, smaller);
+            golden.incremental_update(design, &[cell]);
+            let arcs: Vec<u32> = est.arc_deltas.iter().map(|d| d.arc).collect();
+            let report = engine.update_timing(&sync_deltas(golden, &arcs));
+            if report.tns_ps < tns_floor {
+                design.resize_cell(cell, cur);
+                golden.incremental_update(design, &[cell]);
+                engine.update_timing(&sync_deltas(golden, &arcs));
+                continue;
+            }
+            committed += 1;
+        }
+        downsized += committed;
+        if committed == 0 {
+            break;
+        }
+    }
+
+    let after = golden.full_update(design);
+    PowerOutcome {
+        timing: SizeOutcome {
+            wns_before_ps: before.wns_ps,
+            wns_after_ps: after.wns_ps,
+            tns_before_ps: before.tns_ps,
+            tns_after_ps: after.tns_ps,
+            violations_before: before.n_violations,
+            violations_after: after.n_violations,
+            cells_sized: downsized,
+            runtime_s: t_start.elapsed().as_secs_f64(),
+            backward_runtime_s: 0.0,
+        },
+        leakage_before,
+        leakage_after: design.total_leakage(),
+        cells_downsized: downsized,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+    use insta_refsta::StaConfig;
+
+    /// A relaxed design has headroom: leakage must drop without breaking
+    /// timing.
+    #[test]
+    fn recovers_leakage_without_breaking_timing() {
+        let mut cfg = GeneratorConfig::small("pwr", 5);
+        cfg.clock_period_ps = 2000.0; // generous headroom
+        cfg.drive_choices = vec![4]; // start oversized
+        let mut design = generate_design(&cfg);
+        let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+        let before = golden.full_update(&design);
+        assert_eq!(before.n_violations, 0);
+
+        let out = power_recover(&mut design, &mut golden, &PowerRecoveryConfig::default());
+        assert!(out.cells_downsized > 0, "headroom must be harvested");
+        assert!(
+            out.leakage_after < out.leakage_before,
+            "leakage {} -> {}",
+            out.leakage_before,
+            out.leakage_after
+        );
+        assert!(out.recovery_frac() > 0.2, "got {}", out.recovery_frac());
+        assert_eq!(
+            out.timing.violations_after, 0,
+            "power recovery must hold timing (WNS {})",
+            out.timing.wns_after_ps
+        );
+    }
+
+    /// With a tight clock there is no headroom: the flow must hold the TNS
+    /// floor rather than trade timing for power.
+    #[test]
+    fn holds_the_tns_floor_under_pressure() {
+        let mut cfg = GeneratorConfig::small("pwr", 9);
+        cfg.clock_period_ps = 170.0; // violating
+        let mut design = generate_design(&cfg);
+        let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+        let before = golden.full_update(&design);
+        assert!(before.n_violations > 0);
+
+        let out = power_recover(&mut design, &mut golden, &PowerRecoveryConfig::default());
+        assert!(
+            out.timing.tns_after_ps >= before.tns_ps - 1e-6,
+            "TNS floor breached: {} -> {}",
+            before.tns_ps,
+            out.timing.tns_after_ps
+        );
+    }
+
+    /// The outcome metrics are reproducible from the committed design.
+    #[test]
+    fn outcome_matches_fresh_analysis() {
+        let mut cfg = GeneratorConfig::small("pwr", 11);
+        cfg.clock_period_ps = 1500.0;
+        cfg.drive_choices = vec![2, 4];
+        let mut design = generate_design(&cfg);
+        let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+        golden.full_update(&design);
+        let out = power_recover(&mut design, &mut golden, &PowerRecoveryConfig::default());
+        let mut fresh = RefSta::new(&design, StaConfig::default()).expect("build");
+        let report = fresh.full_update(&design);
+        assert!((report.tns_ps - out.timing.tns_after_ps).abs() < 1e-6);
+        assert!((design.total_leakage() - out.leakage_after).abs() < 1e-9);
+    }
+}

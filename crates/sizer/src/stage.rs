@@ -1,0 +1,150 @@
+//! Stages, stage gradients, and neighbourhood blocking.
+//!
+//! Paper §III-H: "a backward pass on the TNS metric … yields the timing
+//! gradient of each *stage* (i.e., the gradient sum of a cell arc and its
+//! driving net arc)". A stage here is a cell together with the net it
+//! drives: its gradient aggregates the cell's input→output arc gradients
+//! and the gradients of the net arcs leaving its output pins.
+
+use insta_engine::InstaEngine;
+use insta_netlist::{CellId, Design, TimingArcKind, TimingGraph};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Gradient magnitude of one sizing stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageGradient {
+    /// The stage's cell.
+    pub cell: CellId,
+    /// |∂TNS/∂(stage delay)| — larger means more timing-critical.
+    pub magnitude: f64,
+}
+
+/// Computes per-stage gradient magnitudes from a completed backward pass.
+///
+/// Returns stages with non-zero gradient, sorted by descending magnitude.
+/// Sequential and clock-network cells are excluded (they are not sizing
+/// candidates in this flow).
+pub fn stage_gradients(
+    design: &Design,
+    graph: &TimingGraph,
+    engine: &InstaEngine,
+) -> Vec<StageGradient> {
+    let arc_grads = engine.arc_gradients();
+    let mut per_cell: HashMap<CellId, f64> = HashMap::new();
+    for (ai, arc) in graph.arcs().iter().enumerate() {
+        let g = arc_grads[ai];
+        if g == 0.0 {
+            continue;
+        }
+        match arc.kind {
+            TimingArcKind::Cell { cell, .. } => {
+                *per_cell.entry(cell).or_insert(0.0) += g.abs();
+            }
+            TimingArcKind::Net { net, .. } => {
+                // Attribute the driven-net arc to the driving cell.
+                let driver = design.net(net).driver;
+                if let Some(cell) = design.pin(driver).cell {
+                    *per_cell.entry(cell).or_insert(0.0) += g.abs();
+                }
+            }
+        }
+    }
+    let mut stages: Vec<StageGradient> = per_cell
+        .into_iter()
+        .filter(|&(cell, _)| {
+            let lc = design.lib_cell_of(cell);
+            !lc.is_sequential() && lc.class != insta_liberty::GateClass::ClkBuf
+        })
+        .map(|(cell, magnitude)| StageGradient { cell, magnitude })
+        .collect();
+    stages.sort_by(|a, b| {
+        b.magnitude
+            .total_cmp(&a.magnitude)
+            .then(a.cell.cmp(&b.cell))
+    });
+    stages
+}
+
+/// Cells within `hops` net-adjacency hops of `center` (inclusive) — the
+/// interference region INSTA-Size blocks after committing a stage (the
+/// paper uses 3 hops, aligning with `estimate_eco`'s fixed-neighbourhood
+/// assumption).
+pub fn cell_neighborhood(design: &Design, center: CellId, hops: usize) -> HashSet<CellId> {
+    let mut seen: HashSet<CellId> = HashSet::new();
+    let mut queue: VecDeque<(CellId, usize)> = VecDeque::new();
+    seen.insert(center);
+    queue.push_back((center, 0));
+    while let Some((cell, d)) = queue.pop_front() {
+        if d >= hops {
+            continue;
+        }
+        for &pin in &design.cell(cell).pins {
+            let Some(net) = design.pin(pin).net else {
+                continue;
+            };
+            let n = design.net(net);
+            for &other_pin in std::iter::once(&n.driver).chain(&n.sinks) {
+                if let Some(other) = design.pin(other_pin).cell {
+                    if seen.insert(other) {
+                        queue.push_back((other, d + 1));
+                    }
+                }
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insta_engine::{InstaConfig, InstaEngine};
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+    use insta_refsta::{RefSta, StaConfig};
+
+    fn violating_setup() -> (Design, RefSta, InstaEngine) {
+        let mut cfg = GeneratorConfig::small("stage", 5);
+        cfg.clock_period_ps = 150.0;
+        let d = generate_design(&cfg);
+        let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
+        let report = sta.full_update(&d);
+        assert!(report.n_violations > 0);
+        let mut eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default());
+        eng.propagate();
+        eng.forward_lse();
+        eng.backward_tns();
+        (d, sta, eng)
+    }
+
+    #[test]
+    fn stages_are_sorted_and_exclude_sequentials() {
+        let (d, sta, eng) = violating_setup();
+        let stages = stage_gradients(&d, sta.graph(), &eng);
+        assert!(!stages.is_empty(), "violating design must have stages");
+        for w in stages.windows(2) {
+            assert!(w[0].magnitude >= w[1].magnitude);
+        }
+        for s in &stages {
+            assert!(!d.lib_cell_of(s.cell).is_sequential());
+            assert!(s.magnitude > 0.0);
+        }
+    }
+
+    #[test]
+    fn neighborhood_grows_with_hops() {
+        let d = generate_design(&GeneratorConfig::small("nbr", 3));
+        let center = CellId(
+            d.cells()
+                .iter()
+                .position(|c| !d.library().cell(c.lib_cell).is_sequential())
+                .expect("comb cell") as u32,
+        );
+        let h0 = cell_neighborhood(&d, center, 0);
+        let h1 = cell_neighborhood(&d, center, 1);
+        let h3 = cell_neighborhood(&d, center, 3);
+        assert_eq!(h0.len(), 1);
+        assert!(h1.len() >= h0.len());
+        assert!(h3.len() >= h1.len());
+        assert!(h3.contains(&center));
+    }
+}

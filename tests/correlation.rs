@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: the paper's tool-accuracy pipeline
+//! (generator → reference engine → export → INSTA → correlation).
+
+use insta_sta::engine::{pearson, InstaConfig, InstaEngine, MismatchStats};
+use insta_sta::netlist::generator::{generate_design, GeneratorConfig};
+use insta_sta::refsta::{RefSta, StaConfig};
+
+fn golden_slacks(sta: &RefSta) -> Vec<f64> {
+    sta.report().endpoints.iter().map(|e| e.slack_ps).collect()
+}
+
+/// The Table-I claim at integration scope: a medium design, default
+/// Top-K=32, near-perfect endpoint-slack correlation.
+#[test]
+fn insta_correlates_with_reference_on_medium_design() {
+    let mut cfg = GeneratorConfig::medium("int_corr", 71);
+    cfg.clock_period_ps = 520.0;
+    let design = generate_design(&cfg);
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    let report = golden.full_update(&design);
+    assert!(report.n_violations > 0, "exercise the violating regime");
+
+    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+    let insta_report = engine.propagate().clone();
+    let stats = MismatchStats::compute(&insta_report.slacks, &golden_slacks(&golden));
+    assert!(
+        stats.correlation > 0.9999,
+        "correlation {} below the paper's regime",
+        stats.correlation
+    );
+    assert!(stats.worst_abs_ps < 1.0, "worst mismatch {}", stats.worst_abs_ps);
+    assert!((insta_report.tns_ps - report.tns_ps).abs() < 1e-6);
+    assert_eq!(insta_report.n_violations, report.n_violations);
+}
+
+/// Fig. 6's contrast: Top-K=1 without CPPR is pessimistic but still
+/// highly correlated; correlation improves monotonically with K.
+#[test]
+fn correlation_improves_with_top_k() {
+    let mut cfg = GeneratorConfig::medium("int_topk", 73);
+    cfg.clock_period_ps = 540.0;
+    let design = generate_design(&cfg);
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let init = golden.export_insta_init();
+    let exact = golden_slacks(&golden);
+
+    let mut worst_errors = Vec::new();
+    for k in [1usize, 4, 16, 64] {
+        let mut engine = InstaEngine::new(
+            init.clone(),
+            InstaConfig {
+                top_k: k,
+                ..InstaConfig::default()
+            },
+        );
+        let r = engine.propagate().clone();
+        let stats = MismatchStats::compute(&r.slacks, &exact);
+        assert!(stats.correlation > 0.999, "K={k}: corr {}", stats.correlation);
+        worst_errors.push(stats.worst_abs_ps);
+    }
+    for w in worst_errors.windows(2) {
+        assert!(w[1] <= w[0] + 1e-9, "error must shrink with K: {worst_errors:?}");
+    }
+    assert!(worst_errors.last().unwrap() < &1e-9, "large K must be exact");
+}
+
+/// The no-CPPR mode (Fig. 6 left) never reports optimistic slacks.
+#[test]
+fn no_cppr_mode_is_uniformly_pessimistic() {
+    let design = generate_design(&GeneratorConfig::medium("int_nocppr", 79));
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let exact = golden_slacks(&golden);
+    let mut engine = InstaEngine::new(
+        golden.export_insta_init(),
+        InstaConfig {
+            top_k: 1,
+            cppr: false,
+            ..InstaConfig::default()
+        },
+    );
+    let r = engine.propagate().clone();
+    for (i, (&got, &want)) in r.slacks.iter().zip(&exact).enumerate() {
+        assert!(
+            got <= want + 1e-9,
+            "endpoint {i}: no-CPPR slack {got} optimistic vs exact {want}"
+        );
+    }
+}
+
+/// Correlation survives netlist perturbation + re-export (the
+/// re-synchronization path the paper describes for accuracy recovery).
+#[test]
+fn resync_restores_exact_correlation_after_edits() {
+    let mut design = generate_design(&GeneratorConfig::medium("int_resync", 83));
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    // Commit a batch of resizes.
+    let ops = insta_sta::sizer::random_changelist(&design, 12, 5);
+    for op in &ops {
+        design.resize_cell(op.cell, op.to);
+    }
+    golden.full_update(&design);
+    // Fresh export = re-synchronization.
+    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+    let r = engine.propagate().clone();
+    let stats = MismatchStats::compute(&r.slacks, &golden_slacks(&golden));
+    assert!(stats.worst_abs_ps < 1e-9, "resync must be exact: {stats}");
+}
+
+/// Plain pearson on the slack vectors (used by the repro harness) agrees
+/// with the MismatchStats wrapper.
+#[test]
+fn pearson_and_mismatch_stats_agree() {
+    let design = generate_design(&GeneratorConfig::small("int_pear", 5));
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+    let r = engine.propagate().clone();
+    let exact = golden_slacks(&golden);
+    let stats = MismatchStats::compute(&r.slacks, &exact);
+    let finite: (Vec<f64>, Vec<f64>) = r
+        .slacks
+        .iter()
+        .zip(&exact)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(&a, &b)| (a, b))
+        .unzip();
+    let direct = pearson(&finite.0, &finite.1).unwrap_or(f64::NAN);
+    assert!((stats.correlation - direct).abs() < 1e-12 || (stats.correlation.is_nan() && direct.is_nan()));
+}

@@ -1,0 +1,41 @@
+//! Cross-crate integration test: hold analysis parity between the INSTA
+//! engine and the reference engine at medium scale.
+
+use insta_sta::engine::{hold_attributes, InstaConfig, InstaEngine};
+use insta_sta::netlist::generator::{generate_design, GeneratorConfig};
+use insta_sta::refsta::{RefSta, StaConfig};
+
+#[test]
+fn insta_hold_matches_reference_on_medium_design() {
+    let mut cfg = GeneratorConfig::medium("hold_ix", 41);
+    cfg.clock_period_ps = 700.0;
+    let design = generate_design(&cfg);
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let golden_hold = golden.hold_update(&design);
+
+    let attrs = hold_attributes(&design, &golden);
+    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+    let report = engine.propagate_hold(&attrs);
+
+    assert_eq!(report.slacks.len(), golden_hold.endpoints.len());
+    let mut finite = 0usize;
+    for (i, g) in golden_hold.endpoints.iter().enumerate() {
+        if g.slack_ps.is_finite() {
+            finite += 1;
+            assert!(
+                (report.slacks[i] - g.slack_ps).abs() < 1e-9,
+                "ep {i}: insta {} vs golden {}",
+                report.slacks[i],
+                g.slack_ps
+            );
+        }
+    }
+    assert!(finite > 50, "medium design must constrain many flop endpoints");
+    assert!((report.wns_ps - golden_hold.wns_ps).abs() < 1e-9);
+    assert!((report.tns_ps - golden_hold.tns_ps).abs() < 1e-9);
+
+    // Setup analysis still works on the same engine afterwards.
+    let setup = engine.propagate().clone();
+    assert_eq!(setup.slacks.len(), report.slacks.len());
+}

@@ -1,0 +1,112 @@
+//! Cross-crate integration tests for the interchange front ends: the full
+//! (Verilog, SPEF, SDC, snapshot) loop a downstream flow would run.
+
+use insta_sta::engine::{InstaConfig, InstaEngine, MismatchStats};
+use insta_sta::netlist::generator::{generate_design, GeneratorConfig};
+use insta_sta::netlist::spef::{annotate_spef, write_spef};
+use insta_sta::netlist::verilog::{parse_verilog, write_verilog};
+use insta_sta::refsta::export::{load_init, save_init};
+use insta_sta::refsta::sdc::apply_sdc;
+use insta_sta::refsta::{RefSta, StaConfig};
+
+/// Verilog + SPEF reconstruct a design whose reference timing matches the
+/// original *exactly*, endpoint for endpoint.
+#[test]
+fn verilog_spef_round_trip_is_timing_exact() {
+    let mut cfg = GeneratorConfig::medium("ix", 51);
+    cfg.clock_period_ps = 520.0;
+    let original = generate_design(&cfg);
+    let vl = write_verilog(&original);
+    let spef = write_spef(&original);
+
+    let mut rebuilt = parse_verilog(&vl, original.library_arc(), "clk", 520.0)
+        .expect("verilog parses");
+    let annotated = annotate_spef(&mut rebuilt, &spef).expect("spef annotates");
+    assert_eq!(annotated, rebuilt.nets().len(), "every net annotated");
+
+    let mut sta_a = RefSta::new(&original, StaConfig::default()).expect("build a");
+    let mut sta_b = RefSta::new(&rebuilt, StaConfig::default()).expect("build b");
+    let ra = sta_a.full_update(&original);
+    let rb = sta_b.full_update(&rebuilt);
+    assert_eq!(ra.endpoints.len(), rb.endpoints.len());
+    // Endpoint identity can be permuted by parsing order; compare sorted
+    // slack vectors (they must be identical multisets) and the design
+    // metrics exactly.
+    let mut sa: Vec<f64> = ra.endpoints.iter().map(|e| e.slack_ps).collect();
+    let mut sb: Vec<f64> = rb.endpoints.iter().map(|e| e.slack_ps).collect();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    for (a, b) in sa.iter().zip(&sb) {
+        assert!(
+            (a - b).abs() < 1e-9 || (!a.is_finite() && !b.is_finite()),
+            "slack mismatch {a} vs {b}"
+        );
+    }
+    assert!((ra.wns_ps - rb.wns_ps).abs() < 1e-9);
+    assert!((ra.tns_ps - rb.tns_ps).abs() < 1e-9);
+}
+
+/// The INSTA snapshot written from a rebuilt (Verilog+SPEF) design drives
+/// an engine that matches the original design's reference slacks.
+#[test]
+fn snapshot_from_rebuilt_design_matches_original_reference() {
+    let mut cfg = GeneratorConfig::small("ix2", 53);
+    cfg.clock_period_ps = 300.0;
+    let original = generate_design(&cfg);
+    let vl = write_verilog(&original);
+    let spef = write_spef(&original);
+    let mut rebuilt =
+        parse_verilog(&vl, original.library_arc(), "clk", 300.0).expect("verilog");
+    annotate_spef(&mut rebuilt, &spef).expect("spef");
+
+    let mut sta = RefSta::new(&rebuilt, StaConfig::default()).expect("build");
+    sta.full_update(&rebuilt);
+    let path = std::env::temp_dir().join("insta_ix_snapshot.json");
+    save_init(&sta.export_insta_init(), &path).expect("save");
+    let mut engine = InstaEngine::new(load_init(&path).expect("load"), InstaConfig::default());
+    let report = engine.propagate().clone();
+    std::fs::remove_file(&path).ok();
+
+    // Reference view of the *original* design.
+    let mut sta_orig = RefSta::new(&original, StaConfig::default()).expect("build");
+    let orig = sta_orig.full_update(&original);
+    let mut a: Vec<f64> = report.slacks.clone();
+    let mut b: Vec<f64> = orig.endpoints.iter().map(|e| e.slack_ps).collect();
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
+    let finite: (Vec<f64>, Vec<f64>) = a
+        .iter()
+        .zip(&b)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .unzip();
+    let stats = MismatchStats::compute(&finite.0, &finite.1);
+    assert!(stats.worst_abs_ps < 1e-9, "snapshot chain drifted: {stats}");
+}
+
+/// SDC constraints applied to a rebuilt design behave identically to the
+/// same constraints on the original.
+#[test]
+fn sdc_is_stable_across_the_interchange() {
+    let mut cfg = GeneratorConfig::small("ix3", 57);
+    cfg.clock_period_ps = 300.0;
+    let original = generate_design(&cfg);
+    let vl = write_verilog(&original);
+    let spef = write_spef(&original);
+    let mut rebuilt =
+        parse_verilog(&vl, original.library_arc(), "clk", 300.0).expect("verilog");
+    annotate_spef(&mut rebuilt, &spef).expect("spef");
+
+    let sdc = "create_clock -name core -period 5000 [get_ports clk]\nset_input_delay 100 [all_inputs]\n";
+    let run = |design: &insta_sta::netlist::Design| -> (f64, f64) {
+        let mut sta = RefSta::new(design, StaConfig::default()).expect("build");
+        sta.full_update(design);
+        apply_sdc(&mut sta, design, sdc).expect("sdc");
+        let r = sta.full_update(design);
+        (r.wns_ps, r.tns_ps)
+    };
+    let (wns_a, tns_a) = run(&original);
+    let (wns_b, tns_b) = run(&rebuilt);
+    assert!((wns_a - wns_b).abs() < 1e-9, "{wns_a} vs {wns_b}");
+    assert!((tns_a - tns_b).abs() < 1e-9);
+}
