@@ -290,7 +290,8 @@ impl Tape {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use insta_support::prop::{for_all, gens, Config};
+    use insta_support::prop_assert;
 
     /// Central-difference gradient check of a scalar function of one leaf.
     fn gradcheck(
@@ -426,31 +427,57 @@ mod tests {
         t.add(a, b);
     }
 
-    proptest! {
-        /// lse upper-bounds max and is within tau*ln(n).
-        #[test]
-        fn lse_bounds(xs in proptest::collection::vec(-50.0f64..50.0, 1..10), tau in 0.05f64..5.0) {
-            let mut t = Tape::new();
-            let n = xs.len() as f64;
-            let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let x = t.leaf(xs);
-            let l = t.lse(x, tau);
-            let v = t.scalar(l);
-            prop_assert!(v >= m - 1e-9);
-            prop_assert!(v <= m + tau * n.ln() + 1e-9);
-        }
+    /// lse upper-bounds max and is within tau*ln(n).
+    #[test]
+    fn lse_bounds() {
+        for_all(
+            Config::cases(64).seed(0xA9_7AE0),
+            |rng| {
+                (
+                    gens::f64_vec(rng, -50.0..50.0, 1..10),
+                    rng.gen_range(0.05f64..5.0),
+                )
+            },
+            |(xs, tau)| {
+                let mut t = Tape::new();
+                let n = xs.len() as f64;
+                let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let x = t.leaf(xs.clone());
+                let l = t.lse(x, *tau);
+                let v = t.scalar(l);
+                prop_assert!(v >= m - 1e-9, "lse {v} below max {m}");
+                prop_assert!(
+                    v <= m + tau * n.ln() + 1e-9,
+                    "lse {v} above bound {}",
+                    m + tau * n.ln()
+                );
+                Ok(())
+            },
+        );
+    }
 
-        /// Linearity: grad of sum(scale(x, c)) is c everywhere.
-        #[test]
-        fn scale_sum_gradient(xs in proptest::collection::vec(-10.0f64..10.0, 1..12), c in -3.0f64..3.0) {
-            let mut t = Tape::new();
-            let x = t.leaf(xs.clone());
-            let y = t.scale(x, c);
-            let s = t.sum(y);
-            t.backward(s);
-            for &g in t.grad(x) {
-                prop_assert!((g - c).abs() < 1e-12);
-            }
-        }
+    /// Linearity: grad of sum(scale(x, c)) is c everywhere.
+    #[test]
+    fn scale_sum_gradient() {
+        for_all(
+            Config::cases(64).seed(0xA9_7AE1),
+            |rng| {
+                (
+                    gens::f64_vec(rng, -10.0..10.0, 1..12),
+                    rng.gen_range(-3.0f64..3.0),
+                )
+            },
+            |(xs, c)| {
+                let mut t = Tape::new();
+                let x = t.leaf(xs.clone());
+                let y = t.scale(x, *c);
+                let s = t.sum(y);
+                t.backward(s);
+                for &g in t.grad(x) {
+                    prop_assert!((g - c).abs() < 1e-12, "grad {g} != {c}");
+                }
+                Ok(())
+            },
+        );
     }
 }

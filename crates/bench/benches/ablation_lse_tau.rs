@@ -1,26 +1,23 @@
 //! §III-F ablation: the differentiable (LSE) forward pass versus the
 //! evaluation (hard-max Top-K) pass, and LSE cost across temperatures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use insta_bench::block_specs;
 use insta_engine::{InstaConfig, InstaEngine};
 use insta_refsta::{RefSta, StaConfig};
+use insta_support::timer::{black_box, Harness};
 
-fn bench_lse(c: &mut Criterion) {
+fn main() {
     let spec = &block_specs()[4]; // block-5
     let design = spec.build();
     let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
     golden.full_update(&design);
     let init = golden.export_insta_init();
 
-    let mut group = c.benchmark_group("ablation_lse");
-    group.sample_size(10);
+    let mut h = Harness::new("ablation_lse");
     let mut engine = InstaEngine::new(init.clone(), InstaConfig::default());
-    group.bench_function("hard_max_topk32", |b| {
-        b.iter(|| {
-            engine.propagate();
-            std::hint::black_box(engine.report().wns_ps)
-        })
+    h.bench("hard_max_topk32", || {
+        engine.propagate();
+        black_box(engine.report().wns_ps)
     });
     for tau in [0.01f64, 1.0, 10.0] {
         let mut engine = InstaEngine::new(
@@ -31,19 +28,10 @@ fn bench_lse(c: &mut Criterion) {
             },
         );
         engine.propagate();
-        group.bench_with_input(
-            BenchmarkId::new("lse_forward_tau", format!("{tau}")),
-            &tau,
-            |b, _| {
-                b.iter(|| {
-                    engine.forward_lse();
-                    std::hint::black_box(())
-                })
-            },
-        );
+        h.bench(format!("lse_forward/tau={tau}"), || {
+            engine.forward_lse();
+            black_box(())
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_lse);
-criterion_main!(benches);

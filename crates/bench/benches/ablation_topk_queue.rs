@@ -6,10 +6,9 @@
 //! the algorithm uses, because the heap variant needs an auxiliary
 //! startpoint index plus lazy-deletion housekeeping.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use insta_engine::topk::{Candidate, TopKQueue};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use insta_support::timer::{black_box, Harness};
+use insta_support::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -70,40 +69,33 @@ impl HeapTopK {
     }
 }
 
-fn bench_queues(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(5);
+fn main() {
+    let mut rng = Rng::seed_from_u64(5);
     let cands: Vec<(f64, u32)> = (0..4096)
-        .map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0..96u32)))
+        .map(|_| (rng.gen_range(0.0f64..1000.0), rng.gen_range(0u32..96)))
         .collect();
 
-    let mut group = c.benchmark_group("ablation_topk_queue");
+    let mut h = Harness::new("ablation_topk_queue");
     for k in [8usize, 32, 128] {
-        group.bench_with_input(BenchmarkId::new("fixed_list", k), &k, |b, &k| {
-            b.iter(|| {
-                let mut q = TopKQueue::new(k);
-                for &(a, sp) in &cands {
-                    q.push(Candidate {
-                        arrival: a,
-                        mean: a,
-                        sigma: 0.0,
-                        sp,
-                    });
-                }
-                std::hint::black_box(q.top().map(|c| c.arrival))
-            })
+        h.bench(format!("fixed_list/k={k}"), || {
+            let mut q = TopKQueue::new(k);
+            for &(a, sp) in &cands {
+                q.push(Candidate {
+                    arrival: a,
+                    mean: a,
+                    sigma: 0.0,
+                    sp,
+                });
+            }
+            black_box(q.top().map(|c| c.arrival))
         });
-        group.bench_with_input(BenchmarkId::new("binary_heap", k), &k, |b, &k| {
-            b.iter(|| {
-                let mut q = HeapTopK::new(k);
-                for &(a, sp) in &cands {
-                    q.push(a, sp);
-                }
-                std::hint::black_box(q.top())
-            })
+        h.bench(format!("binary_heap/k={k}"), || {
+            let mut q = HeapTopK::new(k);
+            for &(a, sp) in &cands {
+                q.push(a, sp);
+            }
+            black_box(q.top())
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_queues);
-criterion_main!(benches);

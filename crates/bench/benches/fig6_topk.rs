@@ -1,12 +1,12 @@
 //! Fig. 6 bench: full-graph INSTA propagation versus Top-K
 //! (the accuracy/runtime trade-off of CPPR handling).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use insta_bench::block_specs;
 use insta_engine::{InstaConfig, InstaEngine};
 use insta_refsta::{RefSta, StaConfig};
+use insta_support::timer::{black_box, Harness};
 
-fn bench_topk(c: &mut Criterion) {
+fn main() {
     // block-5 (the smallest Table-I block) keeps bench wall-time sane.
     let spec = &block_specs()[4];
     let design = spec.build();
@@ -14,8 +14,7 @@ fn bench_topk(c: &mut Criterion) {
     golden.full_update(&design);
     let init = golden.export_insta_init();
 
-    let mut group = c.benchmark_group("fig6_propagation_vs_topk");
-    group.sample_size(10);
+    let mut h = Harness::new("fig6_propagation_vs_topk");
     for k in [1usize, 8, 32, 128] {
         let mut engine = InstaEngine::new(
             init.clone(),
@@ -24,15 +23,10 @@ fn bench_topk(c: &mut Criterion) {
                 ..InstaConfig::default()
             },
         );
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                engine.propagate();
-                std::hint::black_box(engine.report().tns_ps)
-            })
+        h.bench(format!("propagate/k={k}"), || {
+            engine.propagate();
+            black_box(engine.report().tns_ps)
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_topk);
-criterion_main!(benches);

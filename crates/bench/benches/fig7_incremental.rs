@@ -1,13 +1,13 @@
 //! Fig. 7 bench: the per-iteration cost of the three sizing-flow
 //! evaluators on one committed resize.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use insta_bench::block_specs;
 use insta_engine::{InstaConfig, InstaEngine};
 use insta_refsta::{estimate_eco, RefSta, StaConfig};
 use insta_sizer::random_changelist;
+use insta_support::timer::{black_box, Harness};
 
-fn bench_evaluators(c: &mut Criterion) {
+fn main() {
     let spec = &block_specs()[4]; // block-5
     let mut design = spec.build();
     let op = random_changelist(&design, 1, 9)[0];
@@ -26,19 +26,15 @@ fn bench_evaluators(c: &mut Criterion) {
     let est = estimate_eco(&design, &incr, op.cell, op.to);
     design.resize_cell(op.cell, op.to);
 
-    let mut group = c.benchmark_group("fig7_per_iteration");
-    group.sample_size(10);
-    group.bench_function("reference_full", |b| {
-        b.iter(|| std::hint::black_box(full.full_update(&design).tns_ps))
+    let mut h = Harness::new("fig7_per_iteration");
+    h.bench("reference_full", || {
+        black_box(full.full_update(&design).tns_ps)
     });
-    group.bench_function("reference_incremental", |b| {
-        b.iter(|| std::hint::black_box(incr.incremental_update(&design, &[op.cell]).tns_ps))
+    h.bench("reference_incremental", || {
+        black_box(incr.incremental_update(&design, &[op.cell]).tns_ps)
     });
-    group.bench_function("insta_reannotate_propagate", |b| {
-        b.iter(|| std::hint::black_box(engine.update_timing(&est.arc_deltas).tns_ps))
+    h.bench("insta_reannotate_propagate", || {
+        black_box(engine.update_timing(&est.arc_deltas).tns_ps)
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_evaluators);
-criterion_main!(benches);

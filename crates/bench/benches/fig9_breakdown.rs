@@ -1,35 +1,29 @@
 //! Fig. 9 bench: the cost of one timing refresh per mode (the
 //! timer / transfer / gradient breakdown).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use insta_engine::InstaConfig;
 use insta_netlist::generator::{generate_design, GeneratorConfig};
 use insta_placer::{refresh_timing, PlacementDb, TimingMode};
 use insta_refsta::{RefSta, StaConfig};
+use insta_support::timer::{black_box, Harness};
 
-fn bench_refresh(c: &mut Criterion) {
+fn main() {
     let mut gen = GeneratorConfig::medium("bench_refresh", 7);
     gen.clock_period_ps = 1200.0;
     let mut design = generate_design(&gen);
     let db = PlacementDb::random(&design, 0.45, 3);
     let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
 
-    let mut group = c.benchmark_group("fig9_timing_refresh");
-    group.sample_size(10);
+    let mut h = Harness::new("fig9_timing_refresh");
     for (label, mode) in [
         ("timer_only", TimingMode::None),
         ("net_weighting", TimingMode::NetWeighting),
         ("insta_gradients", TimingMode::InstaPlace),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
-            b.iter(|| {
-                let r = refresh_timing(&mut design, &db, &mut sta, mode, &InstaConfig::default());
-                std::hint::black_box(r.tns_ps)
-            })
+        h.bench(format!("refresh/{label}"), || {
+            let r = refresh_timing(&mut design, &db, &mut sta, mode, &InstaConfig::default());
+            black_box(r.tns_ps)
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_refresh);
-criterion_main!(benches);

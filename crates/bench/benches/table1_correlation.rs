@@ -1,12 +1,12 @@
 //! Table I bench: reference full update vs INSTA propagation on one block
 //! (the `UT` and `runtime` columns).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use insta_bench::block_specs;
 use insta_engine::{InstaConfig, InstaEngine};
 use insta_refsta::{RefSta, StaConfig};
+use insta_support::timer::{black_box, Harness};
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     let spec = &block_specs()[4]; // block-5
     let design = spec.build();
     let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
@@ -14,27 +14,19 @@ fn bench_table1(c: &mut Criterion) {
     let init = golden.export_insta_init();
     let mut engine = InstaEngine::new(init, InstaConfig::default());
 
-    let mut group = c.benchmark_group("table1_block5");
-    group.sample_size(10);
-    group.bench_function("reference_full_update", |b| {
-        b.iter(|| std::hint::black_box(golden.full_update(&design).tns_ps))
+    let mut h = Harness::new("table1_block5");
+    h.bench("reference_full_update", || {
+        black_box(golden.full_update(&design).tns_ps)
     });
-    group.bench_function("insta_propagate_k32", |b| {
-        b.iter(|| {
-            engine.propagate();
-            std::hint::black_box(engine.report().tns_ps)
-        })
-    });
-    group.bench_function("insta_gradient_backward", |b| {
+    h.bench("insta_propagate_k32", || {
         engine.propagate();
-        engine.forward_lse();
-        b.iter(|| {
-            engine.backward_tns();
-            std::hint::black_box(engine.arc_gradients().len())
-        })
+        black_box(engine.report().tns_ps)
     });
-    group.finish();
+    engine.propagate();
+    engine.forward_lse();
+    h.bench("insta_gradient_backward", || {
+        engine.backward_tns();
+        black_box(engine.arc_gradients().len())
+    });
+    h.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

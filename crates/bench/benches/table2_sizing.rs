@@ -1,13 +1,13 @@
 //! Table II bench: one gradient-identification pass of INSTA-Size (the
 //! `bRT` column's content) versus one greedy pass of the reference sizer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use insta_engine::{InstaConfig, InstaEngine};
 use insta_netlist::generator::{generate_design, GeneratorConfig};
 use insta_refsta::{RefSta, StaConfig};
 use insta_sizer::stage_gradients;
+use insta_support::timer::{black_box, Harness};
 
-fn bench_sizing(c: &mut Criterion) {
+fn main() {
     let mut gen = GeneratorConfig::with_target_pins("bench_size", 201, 11_000);
     gen.clock_period_ps = 780.0;
     let design = generate_design(&gen);
@@ -23,20 +23,14 @@ fn bench_sizing(c: &mut Criterion) {
     engine.propagate();
     engine.forward_lse();
 
-    let mut group = c.benchmark_group("table2_gradient_identification");
-    group.sample_size(10);
-    group.bench_function("backward_tns", |b| {
-        b.iter(|| {
-            engine.backward_tns();
-            std::hint::black_box(())
-        })
-    });
-    group.bench_function("stage_ranking", |b| {
+    let mut h = Harness::new("table2_gradient_identification");
+    h.bench("backward_tns", || {
         engine.backward_tns();
-        b.iter(|| std::hint::black_box(stage_gradients(&design, golden.graph(), &engine).len()))
+        black_box(())
     });
-    group.finish();
+    engine.backward_tns();
+    h.bench("stage_ranking", || {
+        black_box(stage_gradients(&design, golden.graph(), &engine).len())
+    });
+    h.finish();
 }
-
-criterion_group!(benches, bench_sizing);
-criterion_main!(benches);

@@ -1,17 +1,16 @@
 //! Table III bench: a short placement run per mode (relative cost of the
 //! three placers).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use insta_netlist::generator::{generate_design, GeneratorConfig};
 use insta_placer::{place, PlacerConfig, PlacerMode};
+use insta_support::timer::{black_box, Harness};
 
-fn bench_placers(c: &mut Criterion) {
+fn main() {
     let mut gen = GeneratorConfig::medium("bench_place", 15);
     gen.clock_period_ps = 1500.0;
     gen.uniform_endpoint_taps = true;
 
-    let mut group = c.benchmark_group("table3_placement_modes");
-    group.sample_size(10);
+    let mut h = Harness::new("table3_placement_modes");
     for (label, mode) in [
         ("wirelength", PlacerMode::Wirelength),
         (
@@ -23,20 +22,15 @@ fn bench_placers(c: &mut Criterion) {
         ),
         ("insta_place", PlacerMode::InstaPlace { lambda_rc: 0.01 }),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
-            b.iter(|| {
-                let mut design = generate_design(&gen);
-                let cfg = PlacerConfig {
-                    iterations: 60,
-                    mode,
-                    ..PlacerConfig::default()
-                };
-                std::hint::black_box(place(&mut design, &cfg).hpwl_legal)
-            })
+        h.bench(format!("place/{label}"), || {
+            let mut design = generate_design(&gen);
+            let cfg = PlacerConfig {
+                iterations: 60,
+                mode,
+                ..PlacerConfig::default()
+            };
+            black_box(place(&mut design, &cfg).hpwl_legal)
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_placers);
-criterion_main!(benches);

@@ -172,7 +172,7 @@ fn sweep(st: &Static, state: &mut State, n_threads: usize) {
         }
 
         let chunk_nodes = len.div_ceil(nt);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut rest_nodes = cur;
             let mut rest_gf = gf;
             let mut s0 = base;
@@ -186,13 +186,12 @@ fn sweep(st: &Static, state: &mut State, n_threads: usize) {
                 rest_gf = rg;
                 let done_ref = &*done;
                 let gf_base = st.fanout_start[s0] as usize;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     backward_chunk(st, s0, s0..e0, done_ref, split, cn, cg, gf_base, weights);
                 });
                 s0 = e0;
             }
-        })
-        .expect("backward kernel worker panicked");
+        });
     }
 
     // ---- Scatter fanout-slot gradients back to arc order ----------------

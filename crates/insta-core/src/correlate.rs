@@ -94,7 +94,8 @@ impl std::fmt::Display for MismatchStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use insta_support::prop::{for_all, gens, Config};
+    use insta_support::prop_assert;
 
     #[test]
     fn pearson_of_identical_vectors_is_one() {
@@ -134,30 +135,46 @@ mod tests {
         assert!(s.contains("n=3"));
     }
 
-    proptest! {
-        /// Pearson is invariant under positive affine transforms.
-        #[test]
-        fn pearson_affine_invariance(
-            xs in proptest::collection::vec(-100.0f64..100.0, 3..20),
-            a in 0.1f64..10.0,
-            b in -50.0f64..50.0,
-        ) {
-            let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
-            if let Some(r) = pearson(&xs, &ys) {
-                prop_assert!((r - 1.0).abs() < 1e-6);
-            }
-        }
+    /// Pearson is invariant under positive affine transforms.
+    #[test]
+    fn pearson_affine_invariance() {
+        for_all(
+            Config::cases(64).seed(0xC0_44E1),
+            |rng| {
+                (
+                    gens::f64_vec(rng, -100.0..100.0, 3..20),
+                    rng.gen_range(0.1f64..10.0),
+                    rng.gen_range(-50.0f64..50.0),
+                )
+            },
+            |(xs, a, b)| {
+                let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+                if let Some(r) = pearson(xs, &ys) {
+                    prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+                }
+                Ok(())
+            },
+        );
+    }
 
-        /// |r| ≤ 1 always.
-        #[test]
-        fn pearson_is_bounded(
-            xs in proptest::collection::vec(-1e3f64..1e3, 2..30),
-            ys in proptest::collection::vec(-1e3f64..1e3, 2..30),
-        ) {
-            let n = xs.len().min(ys.len());
-            if let Some(r) = pearson(&xs[..n], &ys[..n]) {
-                prop_assert!(r.abs() <= 1.0 + 1e-9);
-            }
-        }
+    /// |r| ≤ 1 always.
+    #[test]
+    fn pearson_is_bounded() {
+        for_all(
+            Config::cases(64).seed(0xC0_44E2),
+            |rng| {
+                (
+                    gens::f64_vec(rng, -1e3..1e3, 2..30),
+                    gens::f64_vec(rng, -1e3..1e3, 2..30),
+                )
+            },
+            |(xs, ys)| {
+                let n = xs.len().min(ys.len());
+                if let Some(r) = pearson(&xs[..n], &ys[..n]) {
+                    prop_assert!(r.abs() <= 1.0 + 1e-9, "r = {r}");
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -70,7 +70,7 @@ pub(crate) fn forward_lse(st: &Static, state: &mut State, tau: f64, n_threads: u
         }
 
         let chunk_nodes = len.div_ceil(nt);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut rest_nodes = cur;
             let mut rest_weights = weights;
             let mut s0 = base;
@@ -85,13 +85,12 @@ pub(crate) fn forward_lse(st: &Static, state: &mut State, tau: f64, n_threads: u
                 rest_weights = rw;
                 let done_ref = &*done;
                 let w_base = st.fanin_start[s0] as usize;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     lse_chunk(st, tau, base, s0..e0, done_ref, cn, cw, w_base);
                 });
                 s0 = e0;
             }
-        })
-        .expect("lse kernel worker panicked");
+        });
     }
 }
 

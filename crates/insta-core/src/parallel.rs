@@ -39,17 +39,16 @@ where
         return;
     }
     let chunk = items.len().div_ceil(nt);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (ci, chunk_items) in items.chunks_mut(chunk).enumerate() {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (i, item) in chunk_items.iter_mut().enumerate() {
                     f(base + ci * chunk + i, item);
                 }
             });
         }
-    })
-    .expect("kernel worker panicked");
+    });
 }
 
 /// Like [`launch`] but over ranges instead of slices: calls
@@ -65,17 +64,16 @@ where
         return;
     }
     let chunk = len.div_ceil(nt);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut start = base;
         let end = base + len;
         while start < end {
             let stop = (start + chunk).min(end);
             let f = &f;
-            s.spawn(move |_| f(start..stop));
+            s.spawn(move || f(start..stop));
             start = stop;
         }
-    })
-    .expect("kernel worker panicked");
+    });
 }
 
 #[cfg(test)]

@@ -202,7 +202,8 @@ impl TopKQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use insta_support::prop::{for_all, Config};
+    use insta_support::prop_assert_eq;
 
     fn cand(arrival: f64, sp: u32) -> Candidate {
         Candidate {
@@ -277,46 +278,67 @@ mod tests {
         assert_eq!(q.top().unwrap().sp, 1);
     }
 
-    proptest! {
-        /// The queue must always hold the K largest arrivals over unique
-        /// startpoints, in descending order — compared against a brute-force
-        /// oracle.
-        #[test]
-        fn matches_brute_force_oracle(
-            cands in proptest::collection::vec((0u32..12, 0.0f64..100.0), 1..60),
-            k in 1usize..8,
-        ) {
-            let mut q = TopKQueue::new(k);
-            for &(sp, a) in &cands {
-                q.push(cand(a, sp));
-            }
-            // Oracle: max arrival per sp, then top-k desc.
-            let mut best: std::collections::HashMap<u32, f64> = Default::default();
-            for &(sp, a) in &cands {
-                let e = best.entry(sp).or_insert(f64::NEG_INFINITY);
-                if a > *e { *e = a; }
-            }
-            let mut want: Vec<(f64, u32)> =
-                best.into_iter().map(|(sp, a)| (a, sp)).collect();
-            want.sort_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
-            want.truncate(k);
-            let got: Vec<f64> = q.entries().map(|c| c.arrival).collect();
-            let want_arr: Vec<f64> = want.iter().map(|&(a, _)| a).collect();
-            prop_assert_eq!(got, want_arr);
-        }
+    /// The queue must always hold the K largest arrivals over unique
+    /// startpoints, in descending order — compared against a brute-force
+    /// oracle.
+    #[test]
+    fn matches_brute_force_oracle() {
+        for_all(
+            Config::cases(64).seed(0x70_9C01),
+            |rng| {
+                let n = rng.gen_range(1usize..60);
+                let cands: Vec<(u32, f64)> = (0..n)
+                    .map(|_| (rng.gen_range(0u32..12), rng.gen_range(0.0f64..100.0)))
+                    .collect();
+                (cands, rng.gen_range(1usize..8))
+            },
+            |(cands, k)| {
+                let k = (*k).max(1);
+                let mut q = TopKQueue::new(k);
+                for &(sp, a) in cands {
+                    q.push(cand(a, sp));
+                }
+                // Oracle: max arrival per sp, then top-k desc.
+                let mut best: std::collections::HashMap<u32, f64> = Default::default();
+                for &(sp, a) in cands {
+                    let e = best.entry(sp).or_insert(f64::NEG_INFINITY);
+                    if a > *e {
+                        *e = a;
+                    }
+                }
+                let mut want: Vec<(f64, u32)> =
+                    best.into_iter().map(|(sp, a)| (a, sp)).collect();
+                want.sort_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
+                want.truncate(k);
+                let got: Vec<f64> = q.entries().map(|c| c.arrival).collect();
+                let want_arr: Vec<f64> = want.iter().map(|&(a, _)| a).collect();
+                prop_assert_eq!(got, want_arr);
+                Ok(())
+            },
+        );
+    }
 
-        /// Startpoints in the queue are always unique.
-        #[test]
-        fn startpoints_stay_unique(
-            cands in proptest::collection::vec((0u32..6, 0.0f64..50.0), 1..40),
-        ) {
-            let mut q = TopKQueue::new(4);
-            for &(sp, a) in &cands {
-                q.push(cand(a, sp));
-            }
-            let sps: Vec<u32> = q.entries().map(|c| c.sp).collect();
-            let uniq: std::collections::HashSet<u32> = sps.iter().copied().collect();
-            prop_assert_eq!(sps.len(), uniq.len());
-        }
+    /// Startpoints in the queue are always unique.
+    #[test]
+    fn startpoints_stay_unique() {
+        for_all(
+            Config::cases(64).seed(0x70_9C02),
+            |rng| {
+                let n = rng.gen_range(1usize..40);
+                (0..n)
+                    .map(|_| (rng.gen_range(0u32..6), rng.gen_range(0.0f64..50.0)))
+                    .collect::<Vec<(u32, f64)>>()
+            },
+            |cands| {
+                let mut q = TopKQueue::new(4);
+                for &(sp, a) in cands {
+                    q.push(cand(a, sp));
+                }
+                let sps: Vec<u32> = q.entries().map(|c| c.sp).collect();
+                let uniq: std::collections::HashSet<u32> = sps.iter().copied().collect();
+                prop_assert_eq!(sps.len(), uniq.len());
+                Ok(())
+            },
+        );
     }
 }

@@ -1,0 +1,97 @@
+//! Serial vs multi-threaded determinism.
+//!
+//! The scoped-thread kernels split each level's output slice into disjoint
+//! chunks whose per-node computations read only the immutable `done`
+//! prefix, so thread count must never change a single bit of the results.
+//! These tests pin that contract on a design wide enough
+//! (`gates_per_level` > `PAR_THRESHOLD`) to actually exercise the
+//! multi-threaded path.
+
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_netlist::generator::{generate_design, GeneratorConfig};
+use insta_refsta::{RefSta, StaConfig};
+
+/// A design whose levels are wide enough to cross the engine's parallel
+/// dispatch threshold (512 nodes per level).
+fn wide_init() -> insta_refsta::export::InstaInit {
+    let mut cfg = GeneratorConfig::medium("det", 3);
+    cfg.gates_per_level = 600;
+    cfg.logic_levels = 6;
+    // Tight enough that several endpoints violate, so backward_tns has a
+    // nonzero gradient field to compare.
+    cfg.clock_period_ps = 360.0;
+    let d = generate_design(&cfg);
+    let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
+    sta.full_update(&d);
+    sta.export_insta_init()
+}
+
+fn engine(init: insta_refsta::export::InstaInit, n_threads: usize) -> InstaEngine {
+    InstaEngine::new(
+        init,
+        InstaConfig {
+            n_threads,
+            lse_tau: 0.5,
+            ..InstaConfig::default()
+        },
+    )
+}
+
+#[test]
+fn forward_backward_results_are_bit_identical_across_thread_counts() {
+    let init = wide_init();
+    let mut serial = engine(init.clone(), 1);
+    let mut parallel = engine(init, 4);
+
+    // Evaluation forward pass: arrivals and endpoint slacks.
+    let rs = serial.propagate().clone();
+    let rp = parallel.propagate().clone();
+    assert_eq!(rs.slacks.len(), rp.slacks.len());
+    assert!(!rs.slacks.is_empty());
+    for (i, (a, b)) in rs.slacks.iter().zip(&rp.slacks).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "slack {i}: {a} vs {b}");
+    }
+    assert_eq!(rs.wns_ps.to_bits(), rp.wns_ps.to_bits());
+    assert_eq!(rs.tns_ps.to_bits(), rp.tns_ps.to_bits());
+    assert_eq!(rs.n_violations, rp.n_violations);
+    for v in 0..serial.num_nodes() as u32 {
+        for rf in 0..2 {
+            let a = serial.arrival_at(v, rf);
+            let b = parallel.arrival_at(v, rf);
+            assert_eq!(
+                a.map(f64::to_bits),
+                b.map(f64::to_bits),
+                "arrival at node {v} rf {rf}: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    // Differentiable forward + backward: gradients.
+    serial.forward_lse();
+    parallel.forward_lse();
+    serial.backward_tns();
+    parallel.backward_tns();
+    let gs = serial.arc_gradients();
+    let gp = parallel.arc_gradients();
+    assert_eq!(gs.len(), gp.len());
+    let mut nonzero = 0usize;
+    for (i, (a, b)) in gs.iter().zip(&gp).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "gradient {i}: {a} vs {b}");
+        if *a != 0.0 {
+            nonzero += 1;
+        }
+    }
+    assert!(nonzero > 0, "backward pass must produce gradients");
+}
+
+#[test]
+fn thread_count_zero_matches_explicit_counts() {
+    let init = wide_init();
+    let mut auto = engine(init.clone(), 0); // all cores
+    let mut two = engine(init, 2);
+    let ra = auto.propagate().clone();
+    let rb = two.propagate().clone();
+    for (a, b) in ra.slacks.iter().zip(&rb.slacks) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

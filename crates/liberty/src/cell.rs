@@ -8,15 +8,14 @@
 //! reference flow derates with).
 
 use crate::table::NldmTable;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a [`LibCell`] within its [`Library`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LibCellId(pub u32);
 
 /// Identifier of a [`LibPin`] within its owning [`LibCell`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LibPinId(pub u32);
 
 impl LibCellId {
@@ -36,7 +35,7 @@ impl LibPinId {
 }
 
 /// Signal direction of a library pin.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PinDirection {
     /// Input pin.
     Input,
@@ -45,7 +44,7 @@ pub enum PinDirection {
 }
 
 /// Signal transition edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Transition {
     /// Rising edge.
     Rise,
@@ -79,7 +78,7 @@ impl Transition {
 
 /// Timing sense (unateness) of a combinational arc, as in Liberty
 /// `timing_sense`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TimingSense {
     /// Output follows input edge (buffer, AND, OR).
     PositiveUnate,
@@ -90,7 +89,7 @@ pub enum TimingSense {
 }
 
 /// Kind of a library timing arc.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArcKind {
     /// Combinational input→output arc.
     Combinational,
@@ -103,7 +102,7 @@ pub enum ArcKind {
 }
 
 /// A library pin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LibPin {
     /// Pin name, e.g. `"A"`, `"Y"`, `"CK"`.
     pub name: String,
@@ -119,7 +118,7 @@ pub struct LibPin {
 }
 
 /// A library timing arc between two pins of the same cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LibArc {
     /// Source pin (input, or clock pin for launch/check arcs).
     pub from: LibPinId,
@@ -180,7 +179,7 @@ impl LibArc {
 ///
 /// The class determines input arity and default unateness; drive strength is
 /// carried separately on [`LibCell::drive`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GateClass {
     /// Inverter.
     Inv,
@@ -309,7 +308,7 @@ impl std::fmt::Display for GateClass {
 }
 
 /// A library cell: pins, arcs, class, drive strength, and footprint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LibCell {
     /// Cell name, e.g. `"NAND2_X4"`.
     pub name: String,
@@ -414,7 +413,7 @@ impl LibCell {
 /// A *family* groups cells of the same [`GateClass`] across drive strengths;
 /// [`Library::family`] returns them sorted by drive, which is what the
 /// sizers iterate over.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Library {
     /// Library name.
     pub name: String,

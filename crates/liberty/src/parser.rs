@@ -729,28 +729,42 @@ library (x) {
         assert!(parse_library(src).is_err());
     }
 
-    proptest::proptest! {
-        /// The parser must never panic on arbitrary input — only return
-        /// structured errors.
-        #[test]
-        fn parser_never_panics_on_garbage(s in "[ -~\n]{0,200}") {
-            let _ = parse_library(&s);
-        }
+    /// The parser must never panic on arbitrary input — only return
+    /// structured errors.
+    #[test]
+    fn parser_never_panics_on_garbage() {
+        use insta_support::prop::{for_all, gens, Config};
+        for_all(
+            Config::cases(64).seed(0x11B_FA21),
+            |rng| gens::ascii_string(rng, 200),
+            |s| {
+                let _ = parse_library(s);
+                Ok(())
+            },
+        );
+    }
 
-        /// Fragments of valid Liberty truncated at arbitrary points also
-        /// must not panic.
-        #[test]
-        fn parser_never_panics_on_truncated_valid_input(cut in 0usize..4000) {
-            let lib = synth_library(&SynthLibraryConfig::default());
-            let text = write_library(&lib);
-            let cut = cut.min(text.len());
-            // Cut at a char boundary.
-            let mut c = cut;
-            while !text.is_char_boundary(c) {
-                c -= 1;
-            }
-            let _ = parse_library(&text[..c]);
-        }
+    /// Fragments of valid Liberty truncated at arbitrary points also
+    /// must not panic.
+    #[test]
+    fn parser_never_panics_on_truncated_valid_input() {
+        use insta_support::prop::{for_all, Config};
+        for_all(
+            Config::cases(64).seed(0x11B_FA22),
+            |rng| rng.gen_range(0usize..4000),
+            |&cut| {
+                let lib = synth_library(&SynthLibraryConfig::default());
+                let text = write_library(&lib);
+                let cut = cut.min(text.len());
+                // Cut at a char boundary.
+                let mut c = cut;
+                while !text.is_char_boundary(c) {
+                    c -= 1;
+                }
+                let _ = parse_library(&text[..c]);
+                Ok(())
+            },
+        );
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! segments outside it, which is the behaviour commercial delay calculators
 //! implement.
 
-use serde::{Deserialize, Serialize};
 
 /// A two-dimensional NLDM lookup table: `values[slew_idx][load_idx]`.
 ///
@@ -31,7 +30,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((t.lookup(30.0, 2.5) - 7.5).abs() < 1e-12);
 /// # Ok::<(), insta_liberty::table::BuildTableError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NldmTable {
     index_slew: Vec<f64>,
     index_load: Vec<f64>,

@@ -7,19 +7,18 @@
 //! checks structural invariants after construction.
 
 use insta_liberty::{GateClass, LibCell, LibCellId, LibPinId, Library, PinDirection};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Identifier of a [`Cell`] within a [`Design`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CellId(pub u32);
 
 /// Identifier of a [`Pin`] within a [`Design`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PinId(pub u32);
 
 /// Identifier of a [`Net`] within a [`Design`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetId(pub u32);
 
 impl CellId {
@@ -47,7 +46,7 @@ impl NetId {
 }
 
 /// What a pin is, in netlist terms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PinRole {
     /// A pin of an instantiated cell.
     CellPin,
@@ -60,7 +59,7 @@ pub enum PinRole {
 }
 
 /// A netlist pin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pin {
     /// Flat hierarchical name, e.g. `"u42/A"` or `"in[3]"`.
     pub name: String,
@@ -85,7 +84,7 @@ impl Pin {
 }
 
 /// A netlist cell instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     /// Instance name.
     pub name: String,
@@ -100,7 +99,7 @@ pub struct Cell {
 /// `res_kohm * cap_ff` yields picoseconds under the workspace unit
 /// convention. The Elmore delay of the branch seen by the sink is
 /// `res * (cap / 2 + sink_pin_cap)`.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WireRc {
     /// Branch resistance (kΩ).
     pub res_kohm: f64,
@@ -126,7 +125,7 @@ impl WireRc {
 }
 
 /// A netlist net: one driver, zero or more sinks, per-sink wire RC.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Net {
     /// Net name.
     pub name: String,
@@ -146,7 +145,7 @@ impl Net {
 }
 
 /// The single clock domain of a design.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClockDomain {
     /// Clock source pin (a [`PinRole::ClockSource`] port).
     pub source: PinId,

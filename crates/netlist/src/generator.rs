@@ -9,8 +9,7 @@
 
 use crate::design::{Design, PinId, WireRc};
 use insta_liberty::{synth_library, GateClass, Library, SynthLibraryConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use insta_support::Rng;
 use std::sync::Arc;
 
 /// Configuration of the synthetic design generator.
@@ -158,7 +157,7 @@ const CLASS_WEIGHTS: &[(GateClass, u32)] = &[
     (GateClass::Mux2, 5),
 ];
 
-fn sample_class(rng: &mut StdRng) -> GateClass {
+fn sample_class(rng: &mut Rng) -> GateClass {
     let total: u32 = CLASS_WEIGHTS.iter().map(|(_, w)| w).sum();
     let mut x = rng.gen_range(0..total);
     for &(c, w) in CLASS_WEIGHTS {
@@ -170,7 +169,7 @@ fn sample_class(rng: &mut StdRng) -> GateClass {
     GateClass::Inv
 }
 
-fn sample_wire(rng: &mut StdRng, cfg: &GeneratorConfig) -> WireRc {
+fn sample_wire(rng: &mut Rng, cfg: &GeneratorConfig) -> WireRc {
     // Exponential-ish length distribution, clamped.
     let u: f64 = rng.gen_range(0.0001_f64..1.0);
     let len = (-u.ln() * cfg.mean_wire_um).clamp(1.0, 8.0 * cfg.mean_wire_um);
@@ -198,7 +197,7 @@ pub fn generate_design(cfg: &GeneratorConfig) -> Design {
 /// Panics if the library is missing the gate classes the generator
 /// instantiates (any library from [`synth_library`] works).
 pub fn generate_design_with_library(cfg: &GeneratorConfig, lib: Arc<Library>) -> Design {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut design = Design::new(cfg.name.clone(), Arc::clone(&lib));
 
     let pick = |class: GateClass, drive: u32| {
@@ -431,38 +430,49 @@ mod tests {
         assert!(g.num_levels() >= 12);
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
-        /// Any small generator config yields a valid, acyclic design whose
-        /// levelization covers every node and whose arcs all increase
-        /// level.
-        #[test]
-        fn random_configs_generate_valid_levelized_designs(
-            seed in 0u64..1000,
-            flops in 4usize..24,
-            levels in 2usize..8,
-            gpl in 4usize..20,
-            hub in 0.0f64..0.2,
-        ) {
-            let mut cfg = GeneratorConfig::small("prop", seed);
-            cfg.n_flops = flops;
-            cfg.logic_levels = levels;
-            cfg.gates_per_level = gpl;
-            cfg.hub_fraction = hub;
-            cfg.hub_pick_prob = 0.3;
-            let d = generate_design(&cfg);
-            proptest::prop_assert!(d.validate().is_ok());
-            let g = TimingGraph::build(&d).expect("acyclic by construction");
-            let mut covered = 0usize;
-            for l in 0..g.num_levels() {
-                covered += g.level(l).len();
-            }
-            proptest::prop_assert_eq!(covered, g.num_nodes());
-            for arc in g.arcs() {
-                proptest::prop_assert!(g.level_of(arc.from) < g.level_of(arc.to));
-            }
-            proptest::prop_assert_eq!(g.clock_tree().ck_pins().count(), flops);
-        }
+    /// Any small generator config yields a valid, acyclic design whose
+    /// levelization covers every node and whose arcs all increase
+    /// level.
+    #[test]
+    fn random_configs_generate_valid_levelized_designs() {
+        use insta_support::prop::{for_all, Config};
+        use insta_support::{prop_assert, prop_assert_eq};
+        for_all(
+            Config::cases(8).seed(0x6E4_C0F1),
+            |rng| {
+                (
+                    rng.gen_range(0u64..1000),
+                    rng.gen_range(4usize..24),
+                    rng.gen_range(2usize..8),
+                    rng.gen_range(4usize..20),
+                    rng.gen_range(0.0f64..0.2),
+                )
+            },
+            |&(seed, flops, levels, gpl, hub)| {
+                // Shrinking can push structural knobs below the generator's
+                // minimums; clamp back into the generated ranges.
+                let (flops, levels, gpl) = (flops.max(4), levels.max(2), gpl.max(4));
+                let mut cfg = GeneratorConfig::small("prop", seed);
+                cfg.n_flops = flops;
+                cfg.logic_levels = levels;
+                cfg.gates_per_level = gpl;
+                cfg.hub_fraction = hub;
+                cfg.hub_pick_prob = 0.3;
+                let d = generate_design(&cfg);
+                prop_assert!(d.validate().is_ok());
+                let g = TimingGraph::build(&d).expect("acyclic by construction");
+                let mut covered = 0usize;
+                for l in 0..g.num_levels() {
+                    covered += g.level(l).len();
+                }
+                prop_assert_eq!(covered, g.num_nodes());
+                for arc in g.arcs() {
+                    prop_assert!(g.level_of(arc.from) < g.level_of(arc.to));
+                }
+                prop_assert_eq!(g.clock_tree().ck_pins().count(), flops);
+                Ok(())
+            },
+        );
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! what couples placement to the timing engines.
 
 use insta_netlist::{Design, PinId, WireRc};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use insta_support::Rng;
 use std::collections::HashMap;
 
 /// Wire resistance per micron used when deriving RC from placement
@@ -52,7 +51,7 @@ impl PlacementDb {
             target_utilization > 0.0 && target_utilization <= 1.0,
             "utilization must be in (0, 1]"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let row_height = 1.0;
         let widths: Vec<f64> = design
             .cells()

@@ -6,17 +6,17 @@
 //! slack evaluation: false pairs are skipped, multicycle pairs get extra
 //! capture cycles.
 
-use serde::{Deserialize, Serialize};
+use insta_support::json::{obj, FromJson, Json, JsonError, ToJson};
 use std::collections::{HashMap, HashSet};
 
 /// Identifier of a timing startpoint (a flop launch or primary input), in
 /// the order of the timing graph's source list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpId(pub u32);
 
 /// Identifier of a timing endpoint (a flop D pin or primary output), in the
 /// order of the timing graph's endpoint list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EpId(pub u32);
 
 impl SpId {
@@ -36,7 +36,7 @@ impl EpId {
 }
 
 /// A set of timing exceptions.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExceptionSet {
     false_paths: HashSet<(SpId, EpId)>,
     multicycle: HashMap<(SpId, EpId), u32>,
@@ -106,6 +106,55 @@ impl ExceptionSet {
     }
 }
 
+/// Snapshot encoding: `{"false_paths": [[sp, ep], …], "multicycle":
+/// [[sp, ep, n], …]}`, sorted so two equal sets serialize identically
+/// (the backing hash containers iterate in arbitrary order).
+impl ToJson for ExceptionSet {
+    fn to_json(&self) -> Json {
+        let mut fp: Vec<(SpId, EpId)> = self.false_paths.iter().copied().collect();
+        fp.sort_unstable();
+        let mut mc: Vec<((SpId, EpId), u32)> =
+            self.multicycle.iter().map(|(&k, &v)| (k, v)).collect();
+        mc.sort_unstable();
+        obj([
+            (
+                "false_paths",
+                Json::Arr(
+                    fp.into_iter()
+                        .map(|(sp, ep)| [sp.0, ep.0].to_json())
+                        .collect(),
+                ),
+            ),
+            (
+                "multicycle",
+                Json::Arr(
+                    mc.into_iter()
+                        .map(|((sp, ep), n)| [sp.0, ep.0, n].to_json())
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ExceptionSet {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut set = ExceptionSet::new();
+        for pair in v.field("false_paths")?.as_arr()? {
+            let [sp, ep] = <[u32; 2]>::from_json(pair)?;
+            set.add_false_path(SpId(sp), EpId(ep));
+        }
+        for triple in v.field("multicycle")?.as_arr()? {
+            let [sp, ep, n] = <[u32; 3]>::from_json(triple)?;
+            if n == 0 {
+                return Err(JsonError::decode("multicycle factor must be at least 1"));
+            }
+            set.add_multicycle(SpId(sp), EpId(ep), n);
+        }
+        Ok(set)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +199,40 @@ mod tests {
         e.add_multicycle(SpId(2), EpId(2), 3);
         assert_eq!(e.false_paths().count(), 1);
         assert_eq!(e.multicycle_paths().next(), Some(((SpId(2), EpId(2)), 3)));
+    }
+
+    #[test]
+    fn json_round_trips_and_is_deterministic() {
+        let mut e = ExceptionSet::new();
+        for i in 0..20 {
+            e.add_false_path(SpId(i), EpId(19 - i));
+            e.add_multicycle(SpId(i), EpId(i), 2 + i % 3);
+        }
+        let text = e.to_json().to_string();
+        // Re-encoding an equal set built in a different insertion order
+        // yields the same bytes.
+        let mut e2 = ExceptionSet::new();
+        for i in (0..20).rev() {
+            e2.add_multicycle(SpId(i), EpId(i), 2 + i % 3);
+            e2.add_false_path(SpId(i), EpId(19 - i));
+        }
+        assert_eq!(e2.to_json().to_string(), text);
+        let back =
+            ExceptionSet::from_json(&insta_support::json::parse(&text).expect("parse"))
+                .expect("decode");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn json_decode_rejects_bad_shapes() {
+        for bad in [
+            r#"{"false_paths":[[1]],"multicycle":[]}"#,
+            r#"{"false_paths":[],"multicycle":[[1,2,0]]}"#,
+            r#"{"false_paths":[]}"#,
+            r#"{"false_paths":[[1,-2]],"multicycle":[]}"#,
+        ] {
+            let v = insta_support::json::parse(bad).expect("parse");
+            assert!(ExceptionSet::from_json(&v).is_err(), "accepted {bad}");
+        }
     }
 }

@@ -17,7 +17,7 @@
 use crate::exceptions::ExceptionSet;
 use crate::sta::RefSta;
 use insta_liberty::{TimingSense, Transition};
-use serde::{Deserialize, Serialize};
+use insta_support::json::{obj, FromJson, Json, JsonError, ToJson};
 use std::path::Path;
 
 /// Sentinel for "no clock leaf" (primary-input startpoints, primary-output
@@ -25,7 +25,7 @@ use std::path::Path;
 pub const NO_LEAF: u32 = u32::MAX;
 
 /// One exported (possibly expanded) fanin arc.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExportedArc {
     /// Parent node index.
     pub parent: u32,
@@ -42,7 +42,7 @@ pub struct ExportedArc {
 }
 
 /// Launch initialization of one startpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SourceInit {
     /// Source node.
     pub node: u32,
@@ -55,7 +55,7 @@ pub struct SourceInit {
 }
 
 /// Endpoint attributes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EndpointInit {
     /// Endpoint node.
     pub node: u32,
@@ -69,7 +69,7 @@ pub struct EndpointInit {
 
 /// Everything INSTA needs to propagate timing — the "one-time
 /// initialization from a reference timing engine" of Fig. 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstaInit {
     /// Number of graph nodes.
     pub n_nodes: usize,
@@ -128,13 +128,130 @@ impl InstaInit {
     }
 }
 
+// ---- Snapshot JSON encoding ----------------------------------------------
+//
+// One flat object per struct, field names matching the Rust fields, so a
+// snapshot stays self-describing and diff-able. All floats use shortest
+// round-trip encoding (see `insta_support::json`), which is what makes the
+// round-trip test bit-exact.
+
+impl ToJson for ExportedArc {
+    fn to_json(&self) -> Json {
+        obj([
+            ("parent", self.parent.to_json()),
+            ("mean", self.mean.to_json()),
+            ("sigma", self.sigma.to_json()),
+            ("negative_unate", self.negative_unate.to_json()),
+            ("source_arc", self.source_arc.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExportedArc {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            parent: v.get("parent")?,
+            mean: v.get("mean")?,
+            sigma: v.get("sigma")?,
+            negative_unate: v.get("negative_unate")?,
+            source_arc: v.get("source_arc")?,
+        })
+    }
+}
+
+impl ToJson for SourceInit {
+    fn to_json(&self) -> Json {
+        obj([
+            ("node", self.node.to_json()),
+            ("sp", self.sp.to_json()),
+            ("mean", self.mean.to_json()),
+            ("sigma", self.sigma.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SourceInit {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            node: v.get("node")?,
+            sp: v.get("sp")?,
+            mean: v.get("mean")?,
+            sigma: v.get("sigma")?,
+        })
+    }
+}
+
+impl ToJson for EndpointInit {
+    fn to_json(&self) -> Json {
+        obj([
+            ("node", self.node.to_json()),
+            ("ep", self.ep.to_json()),
+            ("required_base", self.required_base.to_json()),
+            ("leaf", self.leaf.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EndpointInit {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            node: v.get("node")?,
+            ep: v.get("ep")?,
+            required_base: v.get("required_base")?,
+            leaf: v.get("leaf")?,
+        })
+    }
+}
+
+impl ToJson for InstaInit {
+    fn to_json(&self) -> Json {
+        obj([
+            ("n_nodes", self.n_nodes.to_json()),
+            ("level_start", self.level_start.to_json()),
+            ("order", self.order.to_json()),
+            ("fanin_start", self.fanin_start.to_json()),
+            ("fanin", self.fanin.to_json()),
+            ("sources", self.sources.to_json()),
+            ("endpoints", self.endpoints.to_json()),
+            ("sp_leaf", self.sp_leaf.to_json()),
+            ("clock_parent", self.clock_parent.to_json()),
+            ("clock_depth", self.clock_depth.to_json()),
+            ("clock_credit", self.clock_credit.to_json()),
+            ("n_sigma", self.n_sigma.to_json()),
+            ("period_ps", self.period_ps.to_json()),
+            ("exceptions", self.exceptions.to_json()),
+        ])
+    }
+}
+
+impl FromJson for InstaInit {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            n_nodes: v.get("n_nodes")?,
+            level_start: v.get("level_start")?,
+            order: v.get("order")?,
+            fanin_start: v.get("fanin_start")?,
+            fanin: v.get("fanin")?,
+            sources: v.get("sources")?,
+            endpoints: v.get("endpoints")?,
+            sp_leaf: v.get("sp_leaf")?,
+            clock_parent: v.get("clock_parent")?,
+            clock_depth: v.get("clock_depth")?,
+            clock_credit: v.get("clock_credit")?,
+            n_sigma: v.get("n_sigma")?,
+            period_ps: v.get("period_ps")?,
+            exceptions: v.get("exceptions")?,
+        })
+    }
+}
+
 /// Error persisting or loading an [`InstaInit`] snapshot.
 #[derive(Debug)]
 pub enum SnapshotError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// Malformed snapshot contents.
-    Format(serde_json::Error),
+    Format(JsonError),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -163,9 +280,7 @@ impl std::error::Error for SnapshotError {
 ///
 /// Returns [`SnapshotError::Io`] on filesystem failures.
 pub fn save_init(init: &InstaInit, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-    let file = std::fs::File::create(path).map_err(SnapshotError::Io)?;
-    let writer = std::io::BufWriter::new(file);
-    serde_json::to_writer(writer, init).map_err(SnapshotError::Format)
+    std::fs::write(path, init.to_json().to_string()).map_err(SnapshotError::Io)
 }
 
 /// Loads an initialization snapshot from disk.
@@ -175,9 +290,9 @@ pub fn save_init(init: &InstaInit, path: impl AsRef<Path>) -> Result<(), Snapsho
 /// Returns [`SnapshotError::Io`] on filesystem failures and
 /// [`SnapshotError::Format`] on malformed contents.
 pub fn load_init(path: impl AsRef<Path>) -> Result<InstaInit, SnapshotError> {
-    let file = std::fs::File::open(path).map_err(SnapshotError::Io)?;
-    let reader = std::io::BufReader::new(file);
-    serde_json::from_reader(reader).map_err(SnapshotError::Format)
+    let text = std::fs::read_to_string(path).map_err(SnapshotError::Io)?;
+    let value = insta_support::json::parse(&text).map_err(SnapshotError::Format)?;
+    InstaInit::from_json(&value).map_err(SnapshotError::Format)
 }
 
 impl RefSta {

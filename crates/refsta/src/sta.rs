@@ -773,18 +773,40 @@ mod tests {
         let (d, mut sta) = engine(9);
         let report = sta.full_update(&d);
         let slacks = sta.node_slacks();
+        let mut exact = 0usize;
         for (i, info) in sta.ep_infos().iter().enumerate() {
-            let ep_slack = report.endpoints[i].slack_ps;
-            if !ep_slack.is_finite() {
+            let ep = report.endpoints[i];
+            if !ep.slack_ps.is_finite() {
                 continue;
             }
+            // The node view pairs the worst-slack entry's required time
+            // with the top-corner arrival, which can come from a different
+            // startpoint whose CPPR credit differs — so at endpoints it is
+            // conservative (never optimistic), and exact whenever the
+            // top-corner entry is also the worst-slack entry.
+            let node_slack = slacks[info.node.index()];
             assert!(
-                (slacks[info.node.index()] - ep_slack).abs() < 1e-9,
-                "endpoint node slack {} vs report {}",
-                slacks[info.node.index()],
-                ep_slack
+                node_slack <= ep.slack_ps + 1e-9,
+                "endpoint node slack {node_slack} optimistic vs report {}",
+                ep.slack_ps
             );
+            let n_sigma = sta.config().n_sigma;
+            let maps = sta.arrivals(info.node);
+            let top = Transition::BOTH
+                .iter()
+                .filter_map(|tr| maps[tr.index()].first())
+                .map(|e| (e.corner(n_sigma), Some(SpId(e.sp))))
+                .max_by(|a, b| a.0.total_cmp(&b.0));
+            if top == Some((ep.arrival_ps, ep.worst_sp)) {
+                assert!(
+                    (node_slack - ep.slack_ps).abs() < 1e-9,
+                    "endpoint node slack {node_slack} vs report {}",
+                    ep.slack_ps
+                );
+                exact += 1;
+            }
         }
+        assert!(exact > 0, "no endpoint exercised the exact case");
         // The backward pass subtracts full per-arc corners (Σσ) while the
         // forward pass accumulates sigma in quadrature, so upstream node
         // slacks are conservatively pessimistic: the global minimum can
@@ -793,52 +815,72 @@ mod tests {
         assert!(min_node <= report.wns_ps + 1e-9);
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
-        /// Relaxing the clock period by Δ shifts every finite endpoint
-        /// slack by exactly Δ (single-cycle paths, no multicycle): the
-        /// launch/capture structure is period-independent.
-        #[test]
-        fn period_relaxation_shifts_slack_exactly(seed in 0u64..200, extra in 1.0f64..500.0) {
-            let mut cfg = GeneratorConfig::small("prop_sta", seed);
-            cfg.clock_period_ps = 400.0;
-            let d1 = generate_design(&cfg);
-            cfg.clock_period_ps = 400.0 + extra;
-            let d2 = generate_design(&cfg);
-            let mut s1 = RefSta::new(&d1, StaConfig::default()).expect("build");
-            let mut s2 = RefSta::new(&d2, StaConfig::default()).expect("build");
-            let r1 = s1.full_update(&d1);
-            let r2 = s2.full_update(&d2);
-            for (a, b) in r1.endpoints.iter().zip(&r2.endpoints) {
-                if a.slack_ps.is_finite() && b.slack_ps.is_finite() {
-                    proptest::prop_assert!(
-                        (b.slack_ps - a.slack_ps - extra).abs() < 1e-6,
-                        "slack shift {} != extra {extra}",
-                        b.slack_ps - a.slack_ps
-                    );
+    /// Relaxing the clock period by Δ shifts every finite endpoint
+    /// slack by exactly Δ (single-cycle paths, no multicycle): the
+    /// launch/capture structure is period-independent.
+    #[test]
+    fn period_relaxation_shifts_slack_exactly() {
+        use insta_support::prop::{for_all, Config};
+        use insta_support::prop_assert;
+        for_all(
+            Config::cases(6).seed(0x57A_0641),
+            |rng| (rng.gen_range(0u64..200), rng.gen_range(1.0f64..500.0)),
+            |&(seed, extra)| {
+                let mut cfg = GeneratorConfig::small("prop_sta", seed);
+                cfg.clock_period_ps = 400.0;
+                let d1 = generate_design(&cfg);
+                cfg.clock_period_ps = 400.0 + extra;
+                let d2 = generate_design(&cfg);
+                let mut s1 = RefSta::new(&d1, StaConfig::default()).expect("build");
+                let mut s2 = RefSta::new(&d2, StaConfig::default()).expect("build");
+                let r1 = s1.full_update(&d1);
+                let r2 = s2.full_update(&d2);
+                for (a, b) in r1.endpoints.iter().zip(&r2.endpoints) {
+                    if a.slack_ps.is_finite() && b.slack_ps.is_finite() {
+                        prop_assert!(
+                            (b.slack_ps - a.slack_ps - extra).abs() < 1e-6,
+                            "slack shift {} != extra {extra}",
+                            b.slack_ps - a.slack_ps
+                        );
+                    }
                 }
-            }
-        }
+                Ok(())
+            },
+        );
+    }
 
-        /// The pruning window is sound: widening `sp_cap` never changes
-        /// any endpoint's worst slack (the windowed golden is exact).
-        #[test]
-        fn widening_sp_cap_never_changes_slack(seed in 0u64..200) {
-            let d = generate_design(&GeneratorConfig::small("prop_cap", seed));
-            let mut narrow_cfg = StaConfig::default();
-            narrow_cfg.sp_cap = 16;
-            let mut wide_cfg = StaConfig::default();
-            wide_cfg.sp_cap = 512;
-            let mut narrow = RefSta::new(&d, narrow_cfg).expect("build");
-            let mut wide = RefSta::new(&d, wide_cfg).expect("build");
-            let rn = narrow.full_update(&d);
-            let rw = wide.full_update(&d);
-            for (a, b) in rn.endpoints.iter().zip(&rw.endpoints) {
-                if a.slack_ps.is_finite() || b.slack_ps.is_finite() {
-                    proptest::prop_assert!((a.slack_ps - b.slack_ps).abs() < 1e-9);
+    /// The pruning window is sound: widening `sp_cap` never changes
+    /// any endpoint's worst slack (the windowed golden is exact).
+    #[test]
+    fn widening_sp_cap_never_changes_slack() {
+        use insta_support::prop::{for_all, Config};
+        use insta_support::prop_assert;
+        for_all(
+            Config::cases(6).seed(0x57A_0642),
+            |rng| rng.gen_range(0u64..200),
+            |&seed| {
+                let d = generate_design(&GeneratorConfig::small("prop_cap", seed));
+                let mut narrow_cfg = StaConfig::default();
+                narrow_cfg.sp_cap = 16;
+                let mut wide_cfg = StaConfig::default();
+                wide_cfg.sp_cap = 512;
+                let mut narrow = RefSta::new(&d, narrow_cfg).expect("build");
+                let mut wide = RefSta::new(&d, wide_cfg).expect("build");
+                let rn = narrow.full_update(&d);
+                let rw = wide.full_update(&d);
+                for (a, b) in rn.endpoints.iter().zip(&rw.endpoints) {
+                    if a.slack_ps.is_finite() || b.slack_ps.is_finite() {
+                        prop_assert!(
+                            (a.slack_ps - b.slack_ps).abs() < 1e-9,
+                            "sp_cap changed slack: {} vs {}",
+                            a.slack_ps,
+                            b.slack_ps
+                        );
+                    }
                 }
-            }
-        }
+                Ok(())
+            },
+        );
     }
 
     #[test]

@@ -7,8 +7,7 @@
 
 use insta_liberty::GateClass;
 use insta_netlist::{CellId, Design};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use insta_support::Rng;
 
 /// One committed resize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +26,7 @@ pub struct ResizeOp {
 ///
 /// Panics if the design has fewer than `n` eligible cells.
 pub fn random_changelist(design: &Design, n: usize, seed: u64) -> Vec<ResizeOp> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let lib = design.library();
     let mut eligible: Vec<CellId> = (0..design.cells().len() as u32)
         .map(CellId)

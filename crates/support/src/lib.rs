@@ -1,0 +1,27 @@
+//! Workspace support utilities with **zero external dependencies**.
+//!
+//! The INSTA reproduction is built to compile and test on any machine with
+//! a bare Rust toolchain and no network access (see the "Hermetic build"
+//! section of the README). This crate provides the in-tree replacements
+//! for the external crates a workspace like this would normally pull in:
+//!
+//! * [`rng`] — a deterministic xoshiro256++ PRNG seeded via SplitMix64
+//!   (replaces `rand::rngs::StdRng` in the netlist generator, placement
+//!   DB, sizer changelists, and bench ablations),
+//! * [`json`] — a minimal JSON value model, parser, and writer with
+//!   [`json::ToJson`]/[`json::FromJson`] traits (replaces
+//!   `serde`/`serde_json` in the snapshot interchange),
+//! * [`prop`] — a seeded property-testing harness with shrink-on-failure
+//!   (replaces `proptest` in the workspace's property suites),
+//! * [`timer`] — a `std::time::Instant` benchmark harness (replaces
+//!   `criterion` in `crates/bench`).
+
+pub mod json;
+pub mod prop;
+pub mod rng;
+pub mod timer;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use prop::{for_all, Config as PropConfig, Shrink};
+pub use rng::Rng;
+pub use timer::{black_box, Harness};

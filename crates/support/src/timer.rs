@@ -1,0 +1,199 @@
+//! A `std::time::Instant` benchmark harness.
+//!
+//! Replaces criterion in `crates/bench`: each bench target is an ordinary
+//! binary (`harness = false`) that builds a [`Harness`], registers
+//! closures with [`Harness::bench`], and prints a fixed-width table on
+//! [`Harness::finish`]. Measurement is deliberately simple — warm up, then
+//! time batches until a wall-clock budget is spent — because the paper
+//! reproductions compare orders of magnitude, not nanoseconds.
+//!
+//! Set `INSTA_BENCH_FAST=1` to run every bench with a tiny budget (used by
+//! `scripts/ci.sh` to smoke-test that bench binaries still execute).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name bench code expects.
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (criterion-style `group/param` labels encouraged).
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u64,
+    /// Mean wall time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Slowest observed iteration.
+    pub max: Duration,
+}
+
+/// A benchmark suite: measures closures and renders a summary table.
+pub struct Harness {
+    suite: String,
+    budget: Duration,
+    warmup: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Creates a harness with the default per-bench budget (~1 s measure,
+    /// ~0.3 s warmup), or a minimal budget when `INSTA_BENCH_FAST` is set.
+    pub fn new(suite: impl Into<String>) -> Self {
+        let fast = std::env::var_os("INSTA_BENCH_FAST").is_some();
+        Self {
+            suite: suite.into(),
+            budget: if fast {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(1000)
+            },
+            warmup: if fast {
+                Duration::ZERO
+            } else {
+                Duration::from_millis(300)
+            },
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the measurement budget.
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Measures `f` and records the result. The closure's return value is
+    /// passed through [`black_box`] so the work is not optimized away.
+    pub fn bench<R>(&mut self, name: impl Into<String>, mut f: impl FnMut() -> R) {
+        let name = name.into();
+        // Warmup: run until the warmup budget is spent (at least once).
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            if start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        // Measure individual iterations until the budget is spent.
+        let mut iters: u64 = 0;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        while total < self.budget {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            iters += 1;
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        let m = Measurement {
+            name,
+            iters,
+            mean: total / (iters as u32).max(1),
+            min,
+            max,
+        };
+        eprintln!(
+            "  {:<44} {:>12} mean  {:>12} min  ({} iters)",
+            m.name,
+            fmt_duration(m.mean),
+            fmt_duration(m.min),
+            m.iters
+        );
+        self.results.push(m);
+    }
+
+    /// Records an already-measured duration (for one-shot phases measured
+    /// inline, e.g. a single full-update that is too slow to repeat).
+    pub fn record(&mut self, name: impl Into<String>, elapsed: Duration) {
+        let m = Measurement {
+            name: name.into(),
+            iters: 1,
+            mean: elapsed,
+            min: elapsed,
+            max: elapsed,
+        };
+        eprintln!(
+            "  {:<44} {:>12} (one-shot)",
+            m.name,
+            fmt_duration(m.mean)
+        );
+        self.results.push(m);
+    }
+
+    /// Prints the summary table and returns the measurements.
+    pub fn finish(self) -> Vec<Measurement> {
+        println!("\n== {} ==", self.suite);
+        println!(
+            "{:<44} {:>12} {:>12} {:>12} {:>8}",
+            "benchmark", "mean", "min", "max", "iters"
+        );
+        for m in &self.results {
+            println!(
+                "{:<44} {:>12} {:>12} {:>12} {:>8}",
+                m.name,
+                fmt_duration(m.mean),
+                fmt_duration(m.min),
+                fmt_duration(m.max),
+                m.iters
+            );
+        }
+        self.results
+    }
+}
+
+/// Human-readable duration with an adaptive unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut h = Harness::new("unit").budget(Duration::from_millis(5));
+        let mut acc = 0u64;
+        h.bench("add", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        let results = h.finish();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].iters >= 1);
+        assert!(results[0].min <= results[0].mean);
+        assert!(results[0].mean <= results[0].max);
+    }
+
+    #[test]
+    fn record_is_one_shot() {
+        let mut h = Harness::new("unit");
+        h.record("phase", Duration::from_millis(3));
+        let r = h.finish();
+        assert_eq!(r[0].iters, 1);
+        assert_eq!(r[0].mean, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).contains(" s"));
+    }
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI gate for the hermetic workspace. Run from the repo root.
+#
+# Everything runs with --offline: the workspace must never need registry
+# access. A new third-party dependency will fail this script at build time.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release, offline)"
+cargo build --workspace --release --offline
+
+echo "==> tests (offline)"
+cargo test -q --workspace --offline
+
+echo "==> benches compile (offline)"
+cargo build --release --offline --benches -p insta-bench
+
+echo "==> quickstart smoke run"
+cargo run -q --release --offline --example quickstart
+
+echo "==> ci.sh: all gates passed"

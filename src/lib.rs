@@ -61,5 +61,8 @@ pub use insta_netlist as netlist;
 pub use insta_placer as placer;
 /// Reference signoff engine (re-export of `insta-refsta`).
 pub use insta_refsta as refsta;
+/// Hermetic std-only support kit: PRNG, JSON, property tests, bench timer
+/// (re-export of `insta-support`).
+pub use insta_support as support;
 /// Gate-sizing systems (re-export of `insta-sizer`).
 pub use insta_sizer as sizer;

@@ -14,7 +14,7 @@ fn golden_slacks(sta: &RefSta) -> Vec<f64> {
 #[test]
 fn insta_correlates_with_reference_on_medium_design() {
     let mut cfg = GeneratorConfig::medium("int_corr", 71);
-    cfg.clock_period_ps = 520.0;
+    cfg.clock_period_ps = 480.0;
     let design = generate_design(&cfg);
     let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
     let report = golden.full_update(&design);

@@ -84,6 +84,66 @@ fn snapshot_from_rebuilt_design_matches_original_reference() {
     assert!(stats.worst_abs_ps < 1e-9, "snapshot chain drifted: {stats}");
 }
 
+/// Saving and reloading a snapshot is lossless: an engine built from the
+/// reloaded init re-propagates to bit-identical endpoint slacks.
+#[test]
+fn snapshot_reload_repropagates_bit_identically() {
+    let mut cfg = GeneratorConfig::medium("ix4", 61);
+    cfg.clock_period_ps = 480.0;
+    let design = generate_design(&cfg);
+    let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
+    sta.full_update(&design);
+    let init = sta.export_insta_init();
+
+    let path = std::env::temp_dir().join("insta_ix4_snapshot.json");
+    save_init(&init, &path).expect("save");
+    let reloaded = load_init(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let mut direct = InstaEngine::new(init, InstaConfig::default());
+    let mut via_disk = InstaEngine::new(reloaded, InstaConfig::default());
+    let ra = direct.propagate();
+    let rb = via_disk.propagate();
+    assert_eq!(ra.slacks.len(), rb.slacks.len());
+    assert!(!ra.slacks.is_empty());
+    for (i, (a, b)) in ra.slacks.iter().zip(&rb.slacks).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "endpoint {i}: {a} vs {b}");
+    }
+    assert_eq!(ra.wns_ps.to_bits(), rb.wns_ps.to_bits());
+    assert_eq!(ra.tns_ps.to_bits(), rb.tns_ps.to_bits());
+}
+
+/// Malformed snapshots — valid JSON with the wrong shape, not just garbage
+/// bytes — are reported as format errors rather than panicking or loading
+/// a half-initialised engine.
+#[test]
+fn malformed_snapshots_report_format_errors() {
+    use insta_sta::refsta::export::SnapshotError;
+    let cases: &[(&str, &str)] = &[
+        ("empty object", "{}"),
+        ("wrong root type", "[1, 2, 3]"),
+        ("field with wrong type", r#"{"period_ps": "fast"}"#),
+        ("truncated document", r#"{"period_ps": 500.0, "#),
+        ("trailing garbage", r#"{} {}"#),
+    ];
+    for (label, text) in cases {
+        let path = std::env::temp_dir().join(format!(
+            "insta_ix4_bad_{}.json",
+            label.replace(' ', "_")
+        ));
+        std::fs::write(&path, text).expect("write");
+        let err = load_init(&path).expect_err(label);
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(err, SnapshotError::Format(_)),
+            "{label}: expected Format error, got {err:?}"
+        );
+    }
+    let missing = std::env::temp_dir().join("insta_ix4_definitely_missing.json");
+    let err = load_init(&missing).expect_err("missing file");
+    assert!(matches!(err, SnapshotError::Io(_)), "got {err:?}");
+}
+
 /// SDC constraints applied to a rebuilt design behave identically to the
 /// same constraints on the original.
 #[test]
