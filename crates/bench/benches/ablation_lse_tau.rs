@@ -14,7 +14,7 @@ fn main() {
     let init = golden.export_insta_init();
 
     let mut h = Harness::new("ablation_lse");
-    let mut engine = InstaEngine::new(init.clone(), InstaConfig::default());
+    let mut engine = InstaEngine::new(init.clone(), InstaConfig::default()).expect("valid snapshot");
     h.bench("hard_max_topk32", || {
         engine.propagate();
         black_box(engine.report().wns_ps)
@@ -26,7 +26,7 @@ fn main() {
                 lse_tau: tau,
                 ..InstaConfig::default()
             },
-        );
+        ).expect("valid snapshot");
         engine.propagate();
         h.bench(format!("lse_forward/tau={tau}"), || {
             engine.forward_lse();

@@ -22,7 +22,7 @@ fn main() {
                 top_k: k,
                 ..InstaConfig::default()
             },
-        );
+        ).expect("valid snapshot");
         h.bench(format!("propagate/k={k}"), || {
             engine.propagate();
             black_box(engine.report().tns_ps)

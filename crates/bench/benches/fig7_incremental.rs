@@ -21,7 +21,7 @@ fn main() {
             top_k: 8,
             ..InstaConfig::default()
         },
-    );
+    ).expect("valid snapshot");
     engine.propagate();
     let est = estimate_eco(&design, &incr, op.cell, op.to);
     design.resize_cell(op.cell, op.to);

@@ -12,7 +12,7 @@ fn main() {
     let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
     golden.full_update(&design);
     let init = golden.export_insta_init();
-    let mut engine = InstaEngine::new(init, InstaConfig::default());
+    let mut engine = InstaEngine::new(init, InstaConfig::default()).expect("valid snapshot");
 
     let mut h = Harness::new("table1_block5");
     h.bench("reference_full_update", || {

@@ -19,7 +19,7 @@ fn main() {
             lse_tau: 0.01,
             ..InstaConfig::default()
         },
-    );
+    ).expect("valid snapshot");
     engine.propagate();
     engine.forward_lse();
 

@@ -47,7 +47,7 @@ fn fig6() {
                 cppr,
                 ..InstaConfig::default()
             },
-        );
+        ).expect("valid snapshot");
         let t = Instant::now();
         let report = eng.propagate().clone();
         let dt = t.elapsed().as_secs_f64();
@@ -76,7 +76,7 @@ fn table1() {
         golden.full_update(&design);
         let ut = t.elapsed().as_secs_f64();
         let exact = golden_slack_vec(&golden);
-        let mut eng = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+        let mut eng = InstaEngine::new(golden.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
         // Warm once, then time the propagation proper.
         eng.propagate();
         let t = Instant::now();

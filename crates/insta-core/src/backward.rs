@@ -13,7 +13,9 @@
 //! consume.
 
 use crate::engine::{InstaEngine, State, Static};
-use crate::parallel::{resolve_threads, PAR_THRESHOLD};
+use crate::error::{InstaError, Kernel, RuntimeIncident};
+use crate::parallel::{chaos, resolve_threads, PanicCell, PAR_THRESHOLD};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 impl InstaEngine {
     /// Backpropagates ∂TNS/∂(arc delay) from the last evaluation report
@@ -25,14 +27,38 @@ impl InstaEngine {
     ///
     /// # Panics
     ///
-    /// Panics if no evaluation report exists.
+    /// Panics if no evaluation report exists, or if a worker panic could
+    /// not be contained (see
+    /// [`try_backward_tns`](InstaEngine::try_backward_tns)).
     pub fn backward_tns(&mut self) {
+        if let Err(e) = self.try_backward_tns() {
+            panic!("backward_tns failed: {e}");
+        }
+    }
+
+    /// Fallible [`backward_tns`](InstaEngine::backward_tns) with the same
+    /// worker-panic containment contract as
+    /// [`try_propagate`](InstaEngine::try_propagate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no evaluation report exists (a call-order bug, not an
+    /// input fault).
+    pub fn try_backward_tns(&mut self) -> Result<(), InstaError> {
         let report = self
             .state
             .report
             .clone()
             .expect("propagate() must run before backward_tns()");
-        backward(&self.st, &mut self.state, &report, self.cfg.lse_tau, self.cfg.n_threads);
+        self.last_incident = None;
+        match backward(&self.st, &mut self.state, &report, self.cfg.lse_tau, self.cfg.n_threads)
+        {
+            Ok(incident) => {
+                self.last_incident = incident;
+                Ok(())
+            }
+            Err(incident) => Err(InstaError::Runtime(incident)),
+        }
     }
 
     /// Backpropagates a smooth **WNS** objective instead of TNS: endpoint
@@ -44,8 +70,24 @@ impl InstaEngine {
     ///
     /// # Panics
     ///
-    /// Panics if no evaluation report exists.
+    /// Panics if no evaluation report exists, or if a worker panic could
+    /// not be contained (see
+    /// [`try_backward_wns`](InstaEngine::try_backward_wns)).
     pub fn backward_wns(&mut self) {
+        if let Err(e) = self.try_backward_wns() {
+            panic!("backward_wns failed: {e}");
+        }
+    }
+
+    /// Fallible [`backward_wns`](InstaEngine::backward_wns) with the same
+    /// worker-panic containment contract as
+    /// [`try_propagate`](InstaEngine::try_propagate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no evaluation report exists (a call-order bug, not an
+    /// input fault).
+    pub fn try_backward_wns(&mut self) -> Result<(), InstaError> {
         let report = self
             .state
             .report
@@ -86,7 +128,14 @@ impl InstaEngine {
                 state.grad_arrival[v * 2 + 1] = -w * wf;
             }
         }
-        sweep(st, state, self.cfg.n_threads);
+        self.last_incident = None;
+        match sweep(st, state, self.cfg.n_threads) {
+            Ok(incident) => {
+                self.last_incident = incident;
+                Ok(())
+            }
+            Err(incident) => Err(InstaError::Runtime(incident)),
+        }
     }
 
     /// ∂TNS/∂(delay) per *graph* arc (aggregated over non-unate expansion
@@ -123,7 +172,7 @@ pub(crate) fn backward(
     report: &crate::metrics::InstaReport,
     tau: f64,
     n_threads: usize,
-) {
+) -> Result<Option<RuntimeIncident>, RuntimeIncident> {
     state.grad_arrival.fill(0.0);
     for g in state.grad_fanout.iter_mut() {
         *g = [0.0; 2];
@@ -143,15 +192,20 @@ pub(crate) fn backward(
         state.grad_arrival[v * 2 + 1] = -wf;
     }
 
-    sweep(st, state, n_threads);
+    sweep(st, state, n_threads)
 }
 
 /// The shared reverse level sweep (pull from children) plus the final
 /// scatter of fanout-slot gradients back into arc order. Seeds must
 /// already be planted in `state.grad_arrival`.
-fn sweep(st: &Static, state: &mut State, n_threads: usize) {
+fn sweep(
+    st: &Static,
+    state: &mut State,
+    n_threads: usize,
+) -> Result<Option<RuntimeIncident>, RuntimeIncident> {
     let nt = resolve_threads(n_threads);
     let n_levels = st.num_levels();
+    let mut recovered: Option<RuntimeIncident> = None;
     for l in (0..n_levels.saturating_sub(1)).rev() {
         let r = st.level_range(l);
         let (base, len) = (r.start, r.len());
@@ -159,45 +213,104 @@ fn sweep(st: &Static, state: &mut State, n_threads: usize) {
             continue;
         }
         let split = (base + len) * 2;
-        let (head, done) = state.grad_arrival.split_at_mut(split);
-        let cur = &mut head[base * 2..];
         let arc_lo = st.fanout_start[base] as usize;
         let arc_hi = st.fanout_start[base + len] as usize;
-        let gf = &mut state.grad_fanout[arc_lo..arc_hi];
-        let weights = &state.lse_weight;
+        // `backward_chunk` *accumulates* onto the endpoint seeds already
+        // planted in the window, so a serial retry must restore them; the
+        // snapshot is only taken on the parallel path.
+        let mut seed_copy: Option<Vec<f64>> = None;
+        let panicked = {
+            let (head, done) = state.grad_arrival.split_at_mut(split);
+            let cur = &mut head[base * 2..];
+            let gf = &mut state.grad_fanout[arc_lo..arc_hi];
+            let weights = &state.lse_weight;
 
-        if nt <= 1 || len < PAR_THRESHOLD {
-            backward_chunk(st, base, base..base + len, done, split, cur, gf, arc_lo, weights);
-            continue;
-        }
-
-        let chunk_nodes = len.div_ceil(nt);
-        std::thread::scope(|scope| {
-            let mut rest_nodes = cur;
-            let mut rest_gf = gf;
-            let mut s0 = base;
-            while s0 < base + len {
-                let e0 = (s0 + chunk_nodes).min(base + len);
-                let take_nodes = (e0 - s0) * 2;
-                let take_arcs = st.fanout_start[e0] as usize - st.fanout_start[s0] as usize;
-                let (cn, rn) = rest_nodes.split_at_mut(take_nodes);
-                let (cg, rg) = rest_gf.split_at_mut(take_arcs);
-                rest_nodes = rn;
-                rest_gf = rg;
-                let done_ref = &*done;
-                let gf_base = st.fanout_start[s0] as usize;
-                scope.spawn(move || {
-                    backward_chunk(st, s0, s0..e0, done_ref, split, cn, cg, gf_base, weights);
+            if nt <= 1 || len < PAR_THRESHOLD {
+                backward_chunk(st, base, base..base + len, done, split, cur, gf, arc_lo, weights);
+                None
+            } else {
+                seed_copy = Some(cur.to_vec());
+                let chunk_nodes = len.div_ceil(nt);
+                let cell = PanicCell::new();
+                std::thread::scope(|scope| {
+                    let mut rest_nodes = cur;
+                    let mut rest_gf = gf;
+                    let mut s0 = base;
+                    while s0 < base + len {
+                        let e0 = (s0 + chunk_nodes).min(base + len);
+                        let take_nodes = (e0 - s0) * 2;
+                        let take_arcs =
+                            st.fanout_start[e0] as usize - st.fanout_start[s0] as usize;
+                        let (cn, rn) = rest_nodes.split_at_mut(take_nodes);
+                        let (cg, rg) = rest_gf.split_at_mut(take_arcs);
+                        rest_nodes = rn;
+                        rest_gf = rg;
+                        let done_ref = &*done;
+                        let gf_base = st.fanout_start[s0] as usize;
+                        let cell = &cell;
+                        scope.spawn(move || {
+                            cell.run(s0..e0, || {
+                                chaos::maybe_panic(Kernel::Backward, l);
+                                backward_chunk(
+                                    st, s0, s0..e0, done_ref, split, cn, cg, gf_base, weights,
+                                );
+                            });
+                        });
+                        s0 = e0;
+                    }
                 });
-                s0 = e0;
+                cell.take()
             }
-        });
+        };
+        if let Some((chunk, message)) = panicked {
+            let incident = RuntimeIncident {
+                kernel: Kernel::Backward,
+                level: l,
+                chunk,
+                message,
+                serial_retry_failed: false,
+            };
+            let seeds = seed_copy.expect("snapshot taken on the parallel path");
+            let retry = catch_unwind(AssertUnwindSafe(|| {
+                state.grad_arrival[base * 2..split].copy_from_slice(&seeds);
+                for g in state.grad_fanout[arc_lo..arc_hi].iter_mut() {
+                    *g = [0.0; 2];
+                }
+                chaos::maybe_panic(Kernel::Backward, l);
+                let (head, done) = state.grad_arrival.split_at_mut(split);
+                backward_chunk(
+                    st,
+                    base,
+                    base..base + len,
+                    done,
+                    split,
+                    &mut head[base * 2..],
+                    &mut state.grad_fanout[arc_lo..arc_hi],
+                    arc_lo,
+                    &state.lse_weight,
+                );
+            }));
+            match retry {
+                Ok(()) => {
+                    recovered.get_or_insert(incident);
+                }
+                Err(_) => {
+                    return Err(RuntimeIncident {
+                        serial_retry_failed: true,
+                        ..incident
+                    })
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        crate::health::debug_assert_grad_level_clean(st, state, l);
     }
 
     // ---- Scatter fanout-slot gradients back to arc order ----------------
     for (slot, &arc) in st.fanout_arc.iter().enumerate() {
         state.grad_arc[arc as usize] = state.grad_fanout[slot];
     }
+    Ok(recovered)
 }
 
 /// Numerically stable 2-way softmax over possibly-(-inf) inputs.
@@ -278,7 +391,7 @@ mod tests {
                 lse_tau: tau,
                 ..InstaConfig::default()
             },
-        );
+        ).expect("valid snapshot");
         eng.propagate();
         eng.forward_lse();
         eng.backward_tns();
@@ -363,7 +476,7 @@ mod tests {
         let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
         let report = sta.full_update(&d);
         assert_eq!(report.n_violations, 0, "design must be clean");
-        let mut eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default());
+        let mut eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
         eng.propagate();
         eng.forward_lse();
         eng.backward_tns();

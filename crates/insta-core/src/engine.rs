@@ -9,6 +9,8 @@
 //! `done` / `current` regions and run each level's pins in parallel with no
 //! synchronization and no unsafe code.
 
+use crate::error::{InstaError, RuntimeIncident};
+use crate::validate::{self, Issue, ValidationMode, ValidationReport};
 use insta_refsta::export::{EndpointInit, InstaInit, SourceInit, NO_LEAF};
 use insta_refsta::ExceptionSet;
 
@@ -27,6 +29,11 @@ pub struct InstaConfig {
     /// Whether endpoint evaluation applies CPPR credit (Fig. 6 contrasts
     /// Top-K=1 without CPPR against Top-K=128 with it).
     pub cppr: bool,
+    /// How [`InstaEngine::new`] treats the incoming snapshot: `Strict`
+    /// (validate, reject anything broken — the default), `Repair`
+    /// (validate and fix what is locally fixable), or `Trust` (skip
+    /// validation entirely, zero overhead).
+    pub validation: ValidationMode,
 }
 
 impl Default for InstaConfig {
@@ -36,6 +43,7 @@ impl Default for InstaConfig {
             n_threads: 0,
             lse_tau: 1.0,
             cppr: true,
+            validation: ValidationMode::Strict,
         }
     }
 }
@@ -169,16 +177,51 @@ pub struct InstaEngine {
     pub(crate) st: Static,
     pub(crate) state: State,
     pub(crate) cfg: InstaConfig,
+    /// Report of the construction-time validation pass (`None` in
+    /// [`ValidationMode::Trust`]).
+    validation: Option<ValidationReport>,
+    /// The worker-panic incident of the most recent kernel pass, if it
+    /// had one that serial re-execution recovered from.
+    pub(crate) last_incident: Option<RuntimeIncident>,
 }
 
 impl InstaEngine {
     /// Builds the engine from a reference snapshot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cfg.top_k == 0`.
-    pub fn new(init: InstaInit, cfg: InstaConfig) -> Self {
-        assert!(cfg.top_k > 0, "top_k must be positive");
+    /// Returns [`InstaError::Validate`] when the configuration is invalid
+    /// (`top_k == 0`, non-positive `lse_tau`) or — in `Strict`/`Repair`
+    /// modes — when the snapshot violates the engine's contract (see
+    /// [`crate::validate`]). In [`ValidationMode::Trust`] the snapshot is
+    /// not inspected at all and a malformed one panics exactly as before
+    /// validation existed.
+    pub fn new(mut init: InstaInit, cfg: InstaConfig) -> Result<Self, InstaError> {
+        let mut config_issues = ValidationReport::default();
+        if cfg.top_k == 0 {
+            config_issues.record(Issue::BadConfig {
+                message: "top_k must be positive".into(),
+            });
+        }
+        if !(cfg.lse_tau > 0.0) {
+            config_issues.record(Issue::BadConfig {
+                message: format!("lse_tau must be positive, got {}", cfg.lse_tau),
+            });
+        }
+        if config_issues.total() > 0 {
+            return Err(InstaError::Validate(config_issues));
+        }
+        let validation = match cfg.validation {
+            ValidationMode::Trust => None,
+            ValidationMode::Strict => {
+                let report = validate::validate(&init);
+                if report.rejects_strict() {
+                    return Err(InstaError::Validate(report));
+                }
+                Some(report)
+            }
+            ValidationMode::Repair => Some(validate::repair(&mut init)?),
+        };
         let n = init.n_nodes;
         // Renumbering: new id = position in level-major order.
         let mut new_id = vec![0u32; n];
@@ -277,7 +320,29 @@ impl InstaEngine {
             grad_fanout: vec![[0.0; 2]; n_exp],
             report: None,
         };
-        Self { st, state, cfg }
+        Ok(Self {
+            st,
+            state,
+            cfg,
+            validation,
+            last_incident: None,
+        })
+    }
+
+    /// The construction-time validation report: `None` in
+    /// [`ValidationMode::Trust`], otherwise the issues found (and, in
+    /// Repair mode, fixed) before the engine accepted the snapshot.
+    pub fn validation_report(&self) -> Option<&ValidationReport> {
+        self.validation.as_ref()
+    }
+
+    /// The worker-panic incident of the most recent kernel pass, if that
+    /// pass had one that the serial re-execution fallback recovered from
+    /// (`None` after an undisturbed pass). Unrecoverable panics surface as
+    /// [`InstaError::Runtime`] from the `try_*` kernel entry points
+    /// instead.
+    pub fn last_incident(&self) -> Option<&RuntimeIncident> {
+        self.last_incident.as_ref()
     }
 
     /// The Top-K capacity.
@@ -337,11 +402,13 @@ impl InstaEngine {
             .iter()
             .position(|&o| o == orig_node)?;
         let idx = (v * 2 + rf) * self.state.k;
-        let a = self.state.topk_arrival[idx];
-        if a == f64::NEG_INFINITY {
+        // "Unreached" is decided by the startpoint sentinel, not by the
+        // arrival value: −∞ is a representable arrival (e.g. a −∞ launch
+        // time), while NO_SP can only mean the slot was never filled.
+        if self.state.topk_sp[idx] == crate::topk::NO_SP {
             None
         } else {
-            Some(a)
+            Some(self.state.topk_arrival[idx])
         }
     }
 }
@@ -380,7 +447,8 @@ mod tests {
                 top_k: k,
                 ..InstaConfig::default()
             },
-        );
+        )
+        .expect("valid snapshot");
         (d, sta, engine)
     }
 
@@ -446,17 +514,59 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "top_k must be positive")]
-    fn zero_top_k_panics() {
+    fn zero_top_k_is_a_typed_config_error() {
         let d = generate_design(&GeneratorConfig::small("eng", 5));
         let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
         sta.full_update(&d);
-        InstaEngine::new(
+        let err = InstaEngine::new(
             sta.export_insta_init(),
             InstaConfig {
                 top_k: 0,
                 ..InstaConfig::default()
             },
-        );
+        )
+        .expect_err("top_k = 0 must be rejected");
+        assert_eq!(err.category(), "validate");
+        assert!(err.to_string().contains("top_k"), "{err}");
+    }
+
+    #[test]
+    fn strict_mode_records_a_clean_report_and_trust_skips_it() {
+        let (_d, sta, eng) = build_engine(6, 4);
+        let report = eng.validation_report().expect("strict validates");
+        assert!(report.is_clean(), "{report}");
+        let trusted = InstaEngine::new(
+            sta.export_insta_init(),
+            InstaConfig {
+                validation: crate::validate::ValidationMode::Trust,
+                ..InstaConfig::default()
+            },
+        )
+        .expect("trusted snapshot");
+        assert!(trusted.validation_report().is_none());
+    }
+
+    #[test]
+    fn strict_rejects_a_poisoned_snapshot_and_repair_accepts_it() {
+        let d = generate_design(&GeneratorConfig::small("eng", 7));
+        let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
+        sta.full_update(&d);
+        let mut init = sta.export_insta_init();
+        init.fanin[0].sigma[0] = -1.0;
+        init.fanin[1].mean[1] = f64::NAN;
+        let err = InstaEngine::new(init.clone(), InstaConfig::default())
+            .expect_err("strict must reject");
+        assert_eq!(err.category(), "validate");
+        let eng = InstaEngine::new(
+            init,
+            InstaConfig {
+                validation: crate::validate::ValidationMode::Repair,
+                ..InstaConfig::default()
+            },
+        )
+        .expect("repairable");
+        let report = eng.validation_report().expect("repair reports");
+        assert_eq!(report.n_repaired, report.n_repairable);
+        assert!(report.n_repaired >= 2, "{report}");
     }
 }

@@ -1,0 +1,245 @@
+//! The workspace-wide typed error taxonomy for untrusted-input paths.
+//!
+//! INSTA's front door is a snapshot cloned from an external signoff tool:
+//! millions of μ/σ values, levelized CSR indices, and endpoint attributes
+//! that can be truncated, mis-levelized, or numerically poisoned before
+//! they reach the engine. Every failure on that path maps onto one of four
+//! variants:
+//!
+//! * [`InstaError::Ingest`] — the bytes never became a snapshot: I/O
+//!   failures, malformed JSON (with line/column/byte offset), or schema
+//!   decode mismatches.
+//! * [`InstaError::Validate`] — the snapshot decoded but violates the
+//!   structural or numeric contract (see [`crate::validate`]); carries the
+//!   full issue list.
+//! * [`InstaError::Numeric`] — propagation state got poisoned: the first
+//!   non-finite arrival/gradient, localized to a node, level, and
+//!   transition.
+//! * [`InstaError::Runtime`] — a data-parallel worker panicked; carries
+//!   the kernel, level, and chunk range, and whether the serial
+//!   re-execution fallback also failed.
+
+use insta_refsta::export::SnapshotError;
+use insta_support::json::JsonError;
+
+/// Which propagation kernel an error originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// The evaluation forward pass (Algorithm 1).
+    Forward,
+    /// The differentiable LSE forward pass.
+    ForwardLse,
+    /// The gradient backward sweep.
+    Backward,
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Kernel::Forward => "forward",
+            Kernel::ForwardLse => "forward_lse",
+            Kernel::Backward => "backward",
+        })
+    }
+}
+
+/// Which state array a numeric poison was found in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonedArray {
+    /// Top-K corner arrivals.
+    TopKArrival,
+    /// Top-K means.
+    TopKMean,
+    /// Top-K sigmas.
+    TopKSigma,
+    /// Smooth (LSE) arrivals.
+    LseArrival,
+    /// ∂TNS/∂arrival node gradients.
+    GradArrival,
+    /// ∂TNS/∂delay arc gradients.
+    GradArc,
+}
+
+impl std::fmt::Display for PoisonedArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PoisonedArray::TopKArrival => "top-k arrival",
+            PoisonedArray::TopKMean => "top-k mean",
+            PoisonedArray::TopKSigma => "top-k sigma",
+            PoisonedArray::LseArrival => "lse arrival",
+            PoisonedArray::GradArrival => "arrival gradient",
+            PoisonedArray::GradArc => "arc gradient",
+        })
+    }
+}
+
+/// Typed error of the INSTA engine's untrusted-input and runtime paths.
+#[derive(Debug)]
+pub enum InstaError {
+    /// The input never became a snapshot: I/O, malformed JSON (line,
+    /// column, and byte offset live in the wrapped [`JsonError`]), or a
+    /// schema decode failure.
+    Ingest {
+        /// What was being ingested (e.g. a file path).
+        context: String,
+        /// The underlying failure.
+        source: SnapshotError,
+    },
+    /// The snapshot decoded but violates the engine's structural/numeric
+    /// contract.
+    Validate(crate::validate::ValidationReport),
+    /// Propagation state is numerically poisoned.
+    Numeric {
+        /// The kernel or check that found the poison.
+        kernel: Kernel,
+        /// Which array holds the first non-finite value.
+        array: PoisonedArray,
+        /// Renumbered (level-major) node index.
+        node: u32,
+        /// Original graph node id (for correlation with the design).
+        orig_node: u32,
+        /// Timing level of the node.
+        level: usize,
+        /// Transition (0 = rise, 1 = fall).
+        rf: u8,
+        /// The offending value.
+        value: f64,
+    },
+    /// A data-parallel worker panicked.
+    Runtime(RuntimeIncident),
+}
+
+/// Everything known about one worker panic: where it happened and whether
+/// the serial re-execution fallback restored the level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeIncident {
+    /// The kernel whose worker failed.
+    pub kernel: Kernel,
+    /// The timing level being processed.
+    pub level: usize,
+    /// Node range of the failed chunk.
+    pub chunk: std::ops::Range<usize>,
+    /// The panic payload, if it was a string.
+    pub message: String,
+    /// Whether the serial re-execution of the level also failed
+    /// (`true` means the engine state for that level is unusable).
+    pub serial_retry_failed: bool,
+}
+
+impl std::fmt::Display for RuntimeIncident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panic in {} kernel at level {}, nodes {}..{}{}: {}",
+            self.kernel,
+            self.level,
+            self.chunk.start,
+            self.chunk.end,
+            if self.serial_retry_failed {
+                " (serial re-execution also failed)"
+            } else {
+                " (recovered by serial re-execution)"
+            },
+            self.message
+        )
+    }
+}
+
+impl InstaError {
+    /// Convenience constructor for ingest failures with context.
+    pub fn ingest(context: impl Into<String>, source: SnapshotError) -> Self {
+        InstaError::Ingest {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Short machine-readable category name (log/metric key).
+    pub fn category(&self) -> &'static str {
+        match self {
+            InstaError::Ingest { .. } => "ingest",
+            InstaError::Validate(_) => "validate",
+            InstaError::Numeric { .. } => "numeric",
+            InstaError::Runtime(_) => "runtime",
+        }
+    }
+}
+
+impl std::fmt::Display for InstaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstaError::Ingest { context, source } => {
+                write!(f, "ingest failed ({context}): {source}")
+            }
+            InstaError::Validate(report) => write!(f, "snapshot validation failed: {report}"),
+            InstaError::Numeric {
+                kernel,
+                array,
+                node,
+                orig_node,
+                level,
+                rf,
+                value,
+            } => write!(
+                f,
+                "numeric poison in {kernel}: {array} = {value} at node {node} \
+                 (orig {orig_node}), level {level}, {}",
+                if *rf == 0 { "rise" } else { "fall" }
+            ),
+            InstaError::Runtime(incident) => incident.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for InstaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InstaError::Ingest { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for InstaError {
+    fn from(e: SnapshotError) -> Self {
+        InstaError::ingest("snapshot", e)
+    }
+}
+
+impl From<JsonError> for InstaError {
+    fn from(e: JsonError) -> Self {
+        InstaError::ingest("snapshot json", SnapshotError::Format(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_site() {
+        let e = InstaError::Runtime(RuntimeIncident {
+            kernel: Kernel::Forward,
+            level: 7,
+            chunk: 512..1024,
+            message: "index out of bounds".into(),
+            serial_retry_failed: false,
+        });
+        let text = e.to_string();
+        assert!(text.contains("level 7"), "{text}");
+        assert!(text.contains("512..1024"), "{text}");
+        assert!(text.contains("recovered"), "{text}");
+        assert_eq!(e.category(), "runtime");
+    }
+
+    #[test]
+    fn ingest_preserves_the_json_position() {
+        let parse_err = insta_support::json::parse("{ bad").unwrap_err();
+        let offset = parse_err.offset;
+        let e = InstaError::from(parse_err);
+        assert_eq!(e.category(), "ingest");
+        let text = e.to_string();
+        assert!(text.contains(&format!("byte {offset}")), "{text}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -14,31 +14,56 @@
 //! window that scoped worker threads process in disjoint chunks.
 
 use crate::engine::{InstaEngine, State, Static};
-use crate::parallel::{resolve_threads, PAR_THRESHOLD};
+use crate::error::{InstaError, Kernel, RuntimeIncident};
+use crate::parallel::{chaos, resolve_threads, PanicCell, PAR_THRESHOLD};
 use crate::topk::{update_topk_slices, Candidate, NO_SP};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 impl InstaEngine {
     /// Runs the evaluation forward pass (Algorithm 1) over every level and
     /// refreshes the endpoint report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panic could not be contained (see
+    /// [`try_propagate`](InstaEngine::try_propagate) for the fallible
+    /// variant).
     pub fn propagate(&mut self) -> &crate::metrics::InstaReport {
-        forward(&self.st, &mut self.state, self.cfg.n_threads);
+        if let Err(e) = self.try_propagate() {
+            panic!("propagate failed: {e}");
+        }
+        self.state.report.as_ref().expect("just set")
+    }
+
+    /// Fallible [`propagate`](InstaEngine::propagate): a data-parallel
+    /// worker panic is contained, the level is re-executed serially
+    /// (bit-identical — level windows are pure functions of earlier
+    /// levels), and the incident is recorded in
+    /// [`last_incident`](InstaEngine::last_incident). Only when the serial
+    /// re-execution *also* fails does this return
+    /// [`InstaError::Runtime`]; the engine state is then unusable until
+    /// the next successful pass.
+    pub fn try_propagate(&mut self) -> Result<&crate::metrics::InstaReport, InstaError> {
+        self.last_incident = None;
+        match forward(&self.st, &mut self.state, self.cfg.n_threads) {
+            Ok(incident) => self.last_incident = incident,
+            Err(incident) => return Err(InstaError::Runtime(incident)),
+        }
         let report = crate::metrics::evaluate(&self.st, &self.state, self.cfg.cppr);
         self.state.report = Some(report);
-        self.state.report.as_ref().expect("just set")
+        Ok(self.state.report.as_ref().expect("just set"))
     }
 }
 
-pub(crate) fn forward(st: &Static, state: &mut State, n_threads: usize) {
+/// Applies the startpoint launch arrivals (cloned from the reference tool)
+/// for sources whose node lies in `range`.
+fn seed_sources(st: &Static, state: &mut State, range: std::ops::Range<usize>) {
     let k = state.k;
-    let stride = 2 * k;
-
-    // Reset the final Top-K structures (pre-kernel initialization).
-    state.topk_arrival.fill(f64::NEG_INFINITY);
-    state.topk_sp.fill(NO_SP);
-
-    // Startpoint launch arrivals (cloned from the reference tool).
     for s in &st.sources {
         let v = s.node as usize;
+        if !range.contains(&v) {
+            continue;
+        }
         for rf in 0..2 {
             let idx = (v * 2 + rf) * k;
             state.topk_mean[idx] = s.mean[rf];
@@ -47,57 +72,133 @@ pub(crate) fn forward(st: &Static, state: &mut State, n_threads: usize) {
             state.topk_sp[idx] = s.sp;
         }
     }
+}
+
+pub(crate) fn forward(
+    st: &Static,
+    state: &mut State,
+    n_threads: usize,
+) -> Result<Option<RuntimeIncident>, RuntimeIncident> {
+    let k = state.k;
+    let stride = 2 * k;
+
+    // Reset the final Top-K structures (pre-kernel initialization).
+    state.topk_arrival.fill(f64::NEG_INFINITY);
+    state.topk_sp.fill(NO_SP);
+    seed_sources(st, state, 0..st.n);
 
     let nt = resolve_threads(n_threads);
+    let mut recovered: Option<RuntimeIncident> = None;
     for l in 1..st.num_levels() {
         let r = st.level_range(l);
         let (base, len) = (r.start, r.len());
         if len == 0 {
             continue;
         }
-        let split = base * stride;
-        let (arr_done, arr_cur) = state.topk_arrival.split_at_mut(split);
-        let (mean_done, mean_cur) = state.topk_mean.split_at_mut(split);
-        let (sigma_done, sigma_cur) = state.topk_sigma.split_at_mut(split);
-        let (sp_done, sp_cur) = state.topk_sp.split_at_mut(split);
-        let arr_cur = &mut arr_cur[..len * stride];
-        let mean_cur = &mut mean_cur[..len * stride];
-        let sigma_cur = &mut sigma_cur[..len * stride];
-        let sp_cur = &mut sp_cur[..len * stride];
+        let panicked = {
+            let split = base * stride;
+            let (arr_done, arr_cur) = state.topk_arrival.split_at_mut(split);
+            let (mean_done, mean_cur) = state.topk_mean.split_at_mut(split);
+            let (sigma_done, sigma_cur) = state.topk_sigma.split_at_mut(split);
+            let (sp_done, sp_cur) = state.topk_sp.split_at_mut(split);
+            let arr_cur = &mut arr_cur[..len * stride];
+            let mean_cur = &mut mean_cur[..len * stride];
+            let sigma_cur = &mut sigma_cur[..len * stride];
+            let sp_cur = &mut sp_cur[..len * stride];
 
-        let _ = arr_done; // corner arrivals are recomputed from mean/sigma
-        if nt <= 1 || len < PAR_THRESHOLD {
-            level_chunk(
-                st, k, base, mean_done, sigma_done, sp_done, arr_cur, mean_cur, sigma_cur,
-                sp_cur,
-            );
-            continue;
-        }
-
-        // Carve the current window into per-thread chunks (node granular).
-        let chunk_nodes = len.div_ceil(nt);
-        let chunk_elems = chunk_nodes * stride;
-        std::thread::scope(|scope| {
-            let mut rest = (arr_cur, mean_cur, sigma_cur, sp_cur);
-            let mut cbase = base;
-            loop {
-                let take = chunk_elems.min(rest.0.len());
-                if take == 0 {
-                    break;
-                }
-                let (a, ra) = rest.0.split_at_mut(take);
-                let (m, rm) = rest.1.split_at_mut(take);
-                let (sg, rs) = rest.2.split_at_mut(take);
-                let (sp, rsp) = rest.3.split_at_mut(take);
-                rest = (ra, rm, rs, rsp);
-                let (md, sd, spd) = (&*mean_done, &*sigma_done, &*sp_done);
-                scope.spawn(move || {
-                    level_chunk(st, k, cbase, md, sd, spd, a, m, sg, sp);
+            let _ = arr_done; // corner arrivals are recomputed from mean/sigma
+            if nt <= 1 || len < PAR_THRESHOLD {
+                level_chunk(
+                    st, k, base, mean_done, sigma_done, sp_done, arr_cur, mean_cur, sigma_cur,
+                    sp_cur,
+                );
+                None
+            } else {
+                // Carve the current window into per-thread chunks (node
+                // granular). A panicking chunk is contained by the cell;
+                // its siblings finish normally and the scope joins clean.
+                let chunk_nodes = len.div_ceil(nt);
+                let chunk_elems = chunk_nodes * stride;
+                let cell = PanicCell::new();
+                std::thread::scope(|scope| {
+                    let mut rest = (arr_cur, mean_cur, sigma_cur, sp_cur);
+                    let mut cbase = base;
+                    loop {
+                        let take = chunk_elems.min(rest.0.len());
+                        if take == 0 {
+                            break;
+                        }
+                        let (a, ra) = rest.0.split_at_mut(take);
+                        let (m, rm) = rest.1.split_at_mut(take);
+                        let (sg, rs) = rest.2.split_at_mut(take);
+                        let (sp, rsp) = rest.3.split_at_mut(take);
+                        rest = (ra, rm, rs, rsp);
+                        let (md, sd, spd) = (&*mean_done, &*sigma_done, &*sp_done);
+                        let cell = &cell;
+                        scope.spawn(move || {
+                            cell.run(cbase..cbase + take / stride, || {
+                                chaos::maybe_panic(Kernel::Forward, l);
+                                level_chunk(st, k, cbase, md, sd, spd, a, m, sg, sp);
+                            });
+                        });
+                        cbase += take / stride;
+                    }
                 });
-                cbase += take / stride;
+                cell.take()
             }
-        });
+        };
+        if let Some((chunk, message)) = panicked {
+            let incident = RuntimeIncident {
+                kernel: Kernel::Forward,
+                level: l,
+                chunk,
+                message,
+                serial_retry_failed: false,
+            };
+            // Serial re-execution: reset the window to its post-global-
+            // reset state (the partial chunk writes become invisible),
+            // re-apply launch seeds landing inside it, and recompute from
+            // the untouched earlier levels.
+            let retry = catch_unwind(AssertUnwindSafe(|| {
+                let w = base * stride..(base + len) * stride;
+                state.topk_arrival[w.clone()].fill(f64::NEG_INFINITY);
+                state.topk_sp[w].fill(NO_SP);
+                seed_sources(st, state, base..base + len);
+                chaos::maybe_panic(Kernel::Forward, l);
+                let split = base * stride;
+                let (_, arr_cur) = state.topk_arrival.split_at_mut(split);
+                let (mean_done, mean_cur) = state.topk_mean.split_at_mut(split);
+                let (sigma_done, sigma_cur) = state.topk_sigma.split_at_mut(split);
+                let (sp_done, sp_cur) = state.topk_sp.split_at_mut(split);
+                level_chunk(
+                    st,
+                    k,
+                    base,
+                    mean_done,
+                    sigma_done,
+                    sp_done,
+                    &mut arr_cur[..len * stride],
+                    &mut mean_cur[..len * stride],
+                    &mut sigma_cur[..len * stride],
+                    &mut sp_cur[..len * stride],
+                );
+            }));
+            match retry {
+                Ok(()) => {
+                    recovered.get_or_insert(incident);
+                }
+                Err(_) => {
+                    return Err(RuntimeIncident {
+                        serial_retry_failed: true,
+                        ..incident
+                    })
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        crate::health::debug_assert_topk_level_clean(st, state, l);
     }
+    Ok(recovered)
 }
 
 /// Processes a chunk of one level's nodes — the per-thread body of
@@ -222,7 +323,7 @@ mod tests {
                 top_k: k,
                 ..InstaConfig::default()
             },
-        );
+        ).expect("valid snapshot");
         (sta, eng)
     }
 
@@ -264,7 +365,7 @@ mod tests {
                 cppr: false,
                 ..InstaConfig::default()
             },
-        );
+        ).expect("valid snapshot");
         let report = eng.propagate().clone();
         for (i, g) in golden.endpoints.iter().enumerate() {
             assert!(
@@ -291,7 +392,7 @@ mod tests {
                     top_k: k,
                     ..InstaConfig::default()
                 },
-            );
+            ).expect("valid snapshot");
             let r = eng.propagate().clone();
             let err: f64 = golden
                 .endpoints
@@ -330,7 +431,7 @@ mod tests {
                         top_k: 64,
                         ..InstaConfig::default()
                     },
-                );
+                ).expect("valid snapshot");
                 let report = eng.propagate().clone();
                 for (i, g) in golden.endpoints.iter().enumerate() {
                     if g.slack_ps.is_finite() {

@@ -310,7 +310,7 @@ mod tests {
         let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
         sta.full_update(&d);
         let attrs = hold_attributes(&d, &sta);
-        let eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default());
+        let eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
         (d, sta, eng, attrs)
     }
 

@@ -57,7 +57,7 @@ mod tests {
         let mut design = generate_design(&GeneratorConfig::small("incr", 31));
         let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
         golden.full_update(&design);
-        let mut eng = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+        let mut eng = InstaEngine::new(golden.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
         let before = eng.propagate().clone();
 
         // Pick a loaded comb cell and upsize it.
@@ -98,7 +98,7 @@ mod tests {
         let design = generate_design(&GeneratorConfig::small("incr", 33));
         let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
         golden.full_update(&design);
-        let mut eng = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+        let mut eng = InstaEngine::new(golden.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
         let before = eng.propagate().clone();
         let cell = CellId(
             design
@@ -124,7 +124,7 @@ mod tests {
         let design = generate_design(&GeneratorConfig::small("incr", 35));
         let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
         golden.full_update(&design);
-        let mut eng = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+        let mut eng = InstaEngine::new(golden.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
         eng.reannotate(&[insta_refsta::eco::ArcDelta {
             arc: u32::MAX,
             mean: [0.0; 2],

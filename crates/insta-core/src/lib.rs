@@ -30,6 +30,10 @@
 //!   an extension beyond the paper's setup-only scope).
 //! * [`correlate`] — correlation and mismatch statistics used by the
 //!   paper's Fig. 6 / Table I style comparisons.
+//! * [`error`] — the typed error taxonomy ([`InstaError`]) of the
+//!   untrusted-input and runtime paths.
+//! * [`validate`] — snapshot validation with Strict / Repair / Trust
+//!   modes (see DESIGN.md "Error taxonomy and failure policy").
 //!
 //! # Examples
 //!
@@ -42,26 +46,31 @@
 //! let mut golden = RefSta::new(&design, StaConfig::default())?;
 //! golden.full_update(&design);
 //!
-//! let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+//! let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default())?;
 //! engine.propagate();
 //! let report = engine.report();
 //! assert_eq!(report.slacks.len(), golden.report().endpoints.len());
-//! # Ok::<(), insta_netlist::BuildGraphError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod backward;
 pub mod correlate;
 pub mod engine;
+pub mod error;
 pub mod forward;
+pub mod health;
 pub mod hold;
 pub mod incremental;
 pub mod lse;
 pub mod metrics;
 pub mod parallel;
 pub mod topk;
+pub mod validate;
 
 pub use correlate::{pearson, MismatchStats};
 pub use engine::{InstaConfig, InstaEngine};
+pub use error::{InstaError, Kernel, PoisonedArray, RuntimeIncident};
 pub use hold::{hold_attributes, HoldAttributes};
 pub use metrics::InstaReport;
 pub use topk::TopKQueue;
+pub use validate::{ValidationMode, ValidationReport};

@@ -16,13 +16,36 @@
 //! kernel. As τ → 0 the pass converges to the evaluation maximum.
 
 use crate::engine::{InstaEngine, State, Static};
-use crate::parallel::{resolve_threads, PAR_THRESHOLD};
+use crate::error::{InstaError, Kernel, RuntimeIncident};
+use crate::parallel::{chaos, resolve_threads, PanicCell, PAR_THRESHOLD};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 impl InstaEngine {
     /// Runs the differentiable forward pass, filling per-node smooth
     /// arrivals and per-arc softmax weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panic could not be contained (see
+    /// [`try_forward_lse`](InstaEngine::try_forward_lse)).
     pub fn forward_lse(&mut self) {
-        forward_lse(&self.st, &mut self.state, self.cfg.lse_tau, self.cfg.n_threads);
+        if let Err(e) = self.try_forward_lse() {
+            panic!("forward_lse failed: {e}");
+        }
+    }
+
+    /// Fallible [`forward_lse`](InstaEngine::forward_lse) with the same
+    /// worker-panic containment contract as
+    /// [`try_propagate`](InstaEngine::try_propagate).
+    pub fn try_forward_lse(&mut self) -> Result<(), InstaError> {
+        self.last_incident = None;
+        match forward_lse(&self.st, &mut self.state, self.cfg.lse_tau, self.cfg.n_threads) {
+            Ok(incident) => {
+                self.last_incident = incident;
+                Ok(())
+            }
+            Err(incident) => Err(InstaError::Runtime(incident)),
+        }
     }
 
     /// The smooth (LSE) corner arrival at a renumbered node, `None` when
@@ -34,64 +57,128 @@ impl InstaEngine {
     }
 }
 
-pub(crate) fn forward_lse(st: &Static, state: &mut State, tau: f64, n_threads: usize) {
+/// Applies the corner launch arrivals for sources whose node lies in
+/// `range`.
+fn seed_lse_sources(st: &Static, state: &mut State, range: std::ops::Range<usize>) {
+    for s in &st.sources {
+        let v = s.node as usize;
+        if !range.contains(&v) {
+            continue;
+        }
+        for rf in 0..2 {
+            state.lse_arrival[v * 2 + rf] = s.mean[rf] + st.n_sigma * s.sigma[rf];
+        }
+    }
+}
+
+pub(crate) fn forward_lse(
+    st: &Static,
+    state: &mut State,
+    tau: f64,
+    n_threads: usize,
+) -> Result<Option<RuntimeIncident>, RuntimeIncident> {
     debug_assert!(tau > 0.0);
     state.lse_arrival.fill(f64::NEG_INFINITY);
     for w in state.lse_weight.iter_mut() {
         *w = [0.0; 2];
     }
-    // Source initialization with corner launch arrivals.
-    for s in &st.sources {
-        let v = s.node as usize;
-        for rf in 0..2 {
-            state.lse_arrival[v * 2 + rf] = s.mean[rf] + st.n_sigma * s.sigma[rf];
-        }
-    }
+    seed_lse_sources(st, state, 0..st.n);
 
     let nt = resolve_threads(n_threads);
+    let mut recovered: Option<RuntimeIncident> = None;
     for l in 1..st.num_levels() {
         let r = st.level_range(l);
         let (base, len) = (r.start, r.len());
         if len == 0 {
             continue;
         }
-        let node_split = base * 2;
-        let (done, cur_all) = state.lse_arrival.split_at_mut(node_split);
-        let cur = &mut cur_all[..len * 2];
         // The level's fanin arcs are contiguous because arcs are stored in
         // renumbered-child order.
         let arc_lo = st.fanin_start[base] as usize;
         let arc_hi = st.fanin_start[base + len] as usize;
-        let weights = &mut state.lse_weight[arc_lo..arc_hi];
+        let panicked = {
+            let node_split = base * 2;
+            let (done, cur_all) = state.lse_arrival.split_at_mut(node_split);
+            let cur = &mut cur_all[..len * 2];
+            let weights = &mut state.lse_weight[arc_lo..arc_hi];
 
-        if nt <= 1 || len < PAR_THRESHOLD {
-            lse_chunk(st, tau, base, base..base + len, done, cur, weights, arc_lo);
-            continue;
-        }
-
-        let chunk_nodes = len.div_ceil(nt);
-        std::thread::scope(|scope| {
-            let mut rest_nodes = cur;
-            let mut rest_weights = weights;
-            let mut s0 = base;
-            while s0 < base + len {
-                let e0 = (s0 + chunk_nodes).min(base + len);
-                let take_nodes = (e0 - s0) * 2;
-                let take_arcs =
-                    st.fanin_start[e0] as usize - st.fanin_start[s0] as usize;
-                let (cn, rn) = rest_nodes.split_at_mut(take_nodes);
-                let (cw, rw) = rest_weights.split_at_mut(take_arcs);
-                rest_nodes = rn;
-                rest_weights = rw;
-                let done_ref = &*done;
-                let w_base = st.fanin_start[s0] as usize;
-                scope.spawn(move || {
-                    lse_chunk(st, tau, base, s0..e0, done_ref, cn, cw, w_base);
+            if nt <= 1 || len < PAR_THRESHOLD {
+                lse_chunk(st, tau, base, base..base + len, done, cur, weights, arc_lo);
+                None
+            } else {
+                let chunk_nodes = len.div_ceil(nt);
+                let cell = PanicCell::new();
+                std::thread::scope(|scope| {
+                    let mut rest_nodes = cur;
+                    let mut rest_weights = weights;
+                    let mut s0 = base;
+                    while s0 < base + len {
+                        let e0 = (s0 + chunk_nodes).min(base + len);
+                        let take_nodes = (e0 - s0) * 2;
+                        let take_arcs =
+                            st.fanin_start[e0] as usize - st.fanin_start[s0] as usize;
+                        let (cn, rn) = rest_nodes.split_at_mut(take_nodes);
+                        let (cw, rw) = rest_weights.split_at_mut(take_arcs);
+                        rest_nodes = rn;
+                        rest_weights = rw;
+                        let done_ref = &*done;
+                        let w_base = st.fanin_start[s0] as usize;
+                        let cell = &cell;
+                        scope.spawn(move || {
+                            cell.run(s0..e0, || {
+                                chaos::maybe_panic(Kernel::ForwardLse, l);
+                                lse_chunk(st, tau, base, s0..e0, done_ref, cn, cw, w_base);
+                            });
+                        });
+                        s0 = e0;
+                    }
                 });
-                s0 = e0;
+                cell.take()
             }
-        });
+        };
+        if let Some((chunk, message)) = panicked {
+            let incident = RuntimeIncident {
+                kernel: Kernel::ForwardLse,
+                level: l,
+                chunk,
+                message,
+                serial_retry_failed: false,
+            };
+            let retry = catch_unwind(AssertUnwindSafe(|| {
+                state.lse_arrival[base * 2..(base + len) * 2].fill(f64::NEG_INFINITY);
+                for w in state.lse_weight[arc_lo..arc_hi].iter_mut() {
+                    *w = [0.0; 2];
+                }
+                seed_lse_sources(st, state, base..base + len);
+                chaos::maybe_panic(Kernel::ForwardLse, l);
+                let (done, cur_all) = state.lse_arrival.split_at_mut(base * 2);
+                lse_chunk(
+                    st,
+                    tau,
+                    base,
+                    base..base + len,
+                    done,
+                    &mut cur_all[..len * 2],
+                    &mut state.lse_weight[arc_lo..arc_hi],
+                    arc_lo,
+                );
+            }));
+            match retry {
+                Ok(()) => {
+                    recovered.get_or_insert(incident);
+                }
+                Err(_) => {
+                    return Err(RuntimeIncident {
+                        serial_retry_failed: true,
+                        ..incident
+                    })
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        crate::health::debug_assert_lse_level_clean(st, state, l);
     }
+    Ok(recovered)
 }
 
 /// Per-thread body: nodes `range` of the level starting at `level_base`.
@@ -178,7 +265,7 @@ mod tests {
                 lse_tau: tau,
                 ..InstaConfig::default()
             },
-        )
+        ).expect("valid snapshot")
     }
 
     /// LSE is an upper bound of the max and converges to it as τ → 0

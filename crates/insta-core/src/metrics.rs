@@ -136,7 +136,7 @@ mod tests {
         let d = generate_design(&GeneratorConfig::small("met", 3));
         let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
         sta.full_update(&d);
-        let mut eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default());
+        let mut eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
         let r = eng.propagate().clone();
         let tns: f64 = r.slacks.iter().map(|s| s.min(0.0)).sum();
         assert!((tns - r.tns_ps).abs() < 1e-9);
@@ -167,7 +167,7 @@ mod tests {
         let sp = worst.worst_sp.expect("worst sp");
         sta.exceptions_mut().add_false_path(sp, worst.ep);
         sta.full_update(&d);
-        let mut eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default());
+        let mut eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
         let r = eng.propagate().clone();
         // INSTA must agree with the golden engine under the exception.
         let g = sta.report().endpoints[worst.ep.index()];
@@ -180,7 +180,7 @@ mod tests {
         let d = generate_design(&GeneratorConfig::small("met", 7));
         let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
         sta.full_update(&d);
-        let eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default());
+        let eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
         assert!(eng.try_report().is_none());
         let result = std::panic::catch_unwind(|| {
             let _ = eng.report();

@@ -5,6 +5,17 @@
 //! engine renumbers nodes in level-major order, a level's state is a
 //! contiguous slice, so the launcher can hand disjoint chunks to scoped
 //! threads with zero unsafe code.
+//!
+//! Worker panics are **isolated**: each chunk body runs under
+//! [`PanicCell::run`], which catches the unwind instead of letting
+//! `thread::scope` re-raise it in the launcher. The kernel then resets the
+//! level's output window and re-executes it serially (level windows are
+//! pure functions of the already-finalized earlier levels, so the retry is
+//! bit-identical to an undisturbed run), reporting the incident as
+//! [`InstaError::Runtime`](crate::error::InstaError::Runtime).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 /// Number of worker threads a launch uses (`0` = all available cores).
 pub fn resolve_threads(requested: usize) -> usize {
@@ -74,6 +85,112 @@ where
             start = stop;
         }
     });
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Collects the first worker panic of a kernel launch.
+///
+/// Every spawned chunk wraps its body in [`PanicCell::run`]; a panicking
+/// chunk records its node range and payload here (first writer wins) and
+/// the thread exits cleanly, so `thread::scope` joins without re-raising.
+pub(crate) struct PanicCell {
+    slot: Mutex<Option<(std::ops::Range<usize>, String)>>,
+}
+
+impl PanicCell {
+    pub(crate) fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Runs `f`, converting a panic into a recorded incident for the node
+    /// range `chunk`.
+    pub(crate) fn run<F: FnOnce()>(&self, chunk: std::ops::Range<usize>, f: F) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+            let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.is_none() {
+                *slot = Some((chunk, payload_message(payload)));
+            }
+        }
+    }
+
+    /// The first recorded panic, if any.
+    pub(crate) fn take(&self) -> Option<(std::ops::Range<usize>, String)> {
+        self.slot.lock().unwrap_or_else(|p| p.into_inner()).take()
+    }
+}
+
+/// Deterministic worker-panic injection for the fault-tolerance suites.
+///
+/// Hidden from docs: this is test machinery, kept in the library (instead
+/// of `#[cfg(test)]`) so integration tests can arm it. The cost on the hot
+/// path is one relaxed atomic load per dispatched chunk.
+#[doc(hidden)]
+pub mod chaos {
+    use crate::error::Kernel;
+    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
+
+    static ARMED_KERNEL: AtomicU8 = AtomicU8::new(0);
+    static ARMED_LEVEL: AtomicI64 = AtomicI64::new(-1);
+    static PERSISTENT: AtomicBool = AtomicBool::new(false);
+
+    fn tag(kernel: Kernel) -> u8 {
+        match kernel {
+            Kernel::Forward => 1,
+            Kernel::ForwardLse => 2,
+            Kernel::Backward => 3,
+        }
+    }
+
+    /// Arms a panic in `kernel` workers at timing level `level`. With
+    /// `persistent = false` exactly one chunk panics (the serial retry
+    /// succeeds); with `persistent = true` every execution of the level
+    /// panics, including the retry.
+    pub fn arm(kernel: Kernel, level: usize, persistent: bool) {
+        PERSISTENT.store(persistent, Ordering::SeqCst);
+        ARMED_LEVEL.store(level as i64, Ordering::SeqCst);
+        ARMED_KERNEL.store(tag(kernel), Ordering::SeqCst);
+    }
+
+    /// Disarms any pending injection.
+    pub fn disarm() {
+        ARMED_KERNEL.store(0, Ordering::SeqCst);
+        ARMED_LEVEL.store(-1, Ordering::SeqCst);
+        PERSISTENT.store(false, Ordering::SeqCst);
+    }
+
+    /// Called by kernel chunk bodies; panics when armed for this site.
+    pub(crate) fn maybe_panic(kernel: Kernel, level: usize) {
+        if ARMED_KERNEL.load(Ordering::Relaxed) != tag(kernel) {
+            return;
+        }
+        if PERSISTENT.load(Ordering::SeqCst) {
+            if ARMED_LEVEL.load(Ordering::SeqCst) == level as i64 {
+                panic!("chaos: injected worker panic in {kernel} at level {level}");
+            }
+            return;
+        }
+        // Fire-once: the swap guarantees exactly one chunk panics even
+        // when several workers of the level race through here.
+        if ARMED_LEVEL
+            .compare_exchange(level as i64, -1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            ARMED_KERNEL.store(0, Ordering::SeqCst);
+            panic!("chaos: injected worker panic in {kernel} at level {level}");
+        }
+    }
 }
 
 #[cfg(test)]

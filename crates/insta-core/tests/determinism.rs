@@ -34,7 +34,7 @@ fn engine(init: insta_refsta::export::InstaInit, n_threads: usize) -> InstaEngin
             lse_tau: 0.5,
             ..InstaConfig::default()
         },
-    )
+    ).expect("valid snapshot")
 }
 
 #[test]

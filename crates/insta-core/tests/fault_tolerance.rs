@@ -1,0 +1,160 @@
+//! Worker-panic isolation: a panicking data-parallel chunk must never
+//! take the process down, and the serial re-execution fallback must
+//! reproduce an undisturbed run bit-for-bit.
+//!
+//! The chaos hook (`insta_engine::parallel::chaos`) arms a deterministic
+//! panic inside a specific kernel's workers at a specific timing level.
+//! These tests share that global hook, so they serialize on a mutex.
+
+use insta_engine::parallel::chaos;
+use insta_engine::{InstaConfig, InstaEngine, InstaError, Kernel};
+use insta_netlist::generator::{generate_design, GeneratorConfig};
+use insta_refsta::{RefSta, StaConfig};
+use std::sync::Mutex;
+
+/// Serializes the chaos-armed tests (the hook is process-global).
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// A design whose levels are wide enough to cross the engine's parallel
+/// dispatch threshold, with a clock tight enough for gradients to flow.
+fn wide_init() -> insta_refsta::export::InstaInit {
+    let mut cfg = GeneratorConfig::medium("fault", 9);
+    cfg.gates_per_level = 600;
+    cfg.logic_levels = 6;
+    cfg.clock_period_ps = 360.0;
+    let d = generate_design(&cfg);
+    let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
+    sta.full_update(&d);
+    sta.export_insta_init()
+}
+
+fn engine(init: insta_refsta::export::InstaInit) -> InstaEngine {
+    InstaEngine::new(
+        init,
+        InstaConfig {
+            n_threads: 4,
+            lse_tau: 0.5,
+            ..InstaConfig::default()
+        },
+    )
+    .expect("valid snapshot")
+}
+
+/// Runs `f` with the default panic hook silenced (worker panics are
+/// expected here; their backtraces would drown the test output).
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+#[test]
+fn forward_worker_panic_is_recovered_bit_identically() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let init = wide_init();
+    let mut healthy = engine(init.clone());
+    let healthy_report = healthy.propagate().clone();
+    assert!(healthy.last_incident().is_none());
+
+    let mut faulty = engine(init);
+    let level = 3; // a wide (parallel-dispatched) level
+    with_quiet_panics(|| {
+        chaos::arm(Kernel::Forward, level, false);
+        let report = faulty.try_propagate().expect("recovered").clone();
+        chaos::disarm();
+        for (i, (a, b)) in healthy_report.slacks.iter().zip(&report.slacks).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "slack {i}: {a} vs {b}");
+        }
+        assert_eq!(healthy_report.tns_ps.to_bits(), report.tns_ps.to_bits());
+    });
+    let incident = faulty.last_incident().expect("incident recorded").clone();
+    assert_eq!(incident.kernel, Kernel::Forward);
+    assert_eq!(incident.level, level);
+    assert!(!incident.serial_retry_failed);
+    assert!(incident.message.contains("chaos"), "{}", incident.message);
+    assert!(!incident.chunk.is_empty());
+
+    // Arrivals too, not just the endpoint aggregation.
+    for v in 0..healthy.num_nodes() as u32 {
+        for rf in 0..2 {
+            assert_eq!(
+                healthy.arrival_at(v, rf).map(f64::to_bits),
+                faulty.arrival_at(v, rf).map(f64::to_bits),
+                "arrival at node {v} rf {rf}"
+            );
+        }
+    }
+
+    // The next undisturbed pass clears the incident.
+    faulty.propagate();
+    assert!(faulty.last_incident().is_none());
+}
+
+#[test]
+fn lse_and_backward_worker_panics_are_recovered_bit_identically() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let init = wide_init();
+    let mut healthy = engine(init.clone());
+    healthy.propagate();
+    healthy.forward_lse();
+    healthy.backward_tns();
+    let healthy_grads = healthy.arc_gradients();
+
+    let mut faulty = engine(init);
+    faulty.propagate();
+    with_quiet_panics(|| {
+        chaos::arm(Kernel::ForwardLse, 2, false);
+        faulty.try_forward_lse().expect("lse recovered");
+        chaos::disarm();
+    });
+    let incident = faulty.last_incident().expect("lse incident").clone();
+    assert_eq!(incident.kernel, Kernel::ForwardLse);
+    assert_eq!(incident.level, 2);
+
+    with_quiet_panics(|| {
+        chaos::arm(Kernel::Backward, 2, false);
+        faulty.try_backward_tns().expect("backward recovered");
+        chaos::disarm();
+    });
+    let incident = faulty.last_incident().expect("backward incident").clone();
+    assert_eq!(incident.kernel, Kernel::Backward);
+    assert_eq!(incident.level, 2);
+
+    let faulty_grads = faulty.arc_gradients();
+    assert_eq!(healthy_grads.len(), faulty_grads.len());
+    let mut nonzero = 0usize;
+    for (i, (a, b)) in healthy_grads.iter().zip(&faulty_grads).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "gradient {i}: {a} vs {b}");
+        if *a != 0.0 {
+            nonzero += 1;
+        }
+    }
+    assert!(nonzero > 0, "gradients must flow in this comparison");
+}
+
+#[test]
+fn persistent_panic_fails_the_serial_retry_with_a_typed_error() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let mut eng = engine(wide_init());
+    let err = with_quiet_panics(|| {
+        chaos::arm(Kernel::Forward, 3, true);
+        let err = eng.try_propagate().expect_err("retry must fail too");
+        chaos::disarm();
+        err
+    });
+    match err {
+        InstaError::Runtime(incident) => {
+            assert_eq!(incident.kernel, Kernel::Forward);
+            assert_eq!(incident.level, 3);
+            assert!(incident.serial_retry_failed);
+            assert!(incident.to_string().contains("also failed"));
+        }
+        other => panic!("expected Runtime, got {other}"),
+    }
+    // The engine recovers on the next clean pass.
+    let report = eng.try_propagate().expect("clean pass").clone();
+    assert!(!report.slacks.is_empty());
+    assert!(eng.last_incident().is_none());
+}

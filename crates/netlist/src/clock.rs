@@ -127,19 +127,41 @@ impl ClockTree {
 
     /// Lowest common ancestor of two tree nodes.
     ///
+    /// A node with a smaller depth but no parent would loop this walk
+    /// forever; [`ClockTree::extract`] can never build one (the root is
+    /// the unique depth-0 node), so a missing parent is a construction
+    /// bug. It is asserted in debug builds; release builds degrade
+    /// gracefully by treating the stuck node as the meeting point.
+    ///
     /// # Panics
     ///
     /// Panics if either index is out of range.
     pub fn lca(&self, mut a: u32, mut b: u32) -> u32 {
+        let step = |v: u32| -> u32 {
+            let parent = self.nodes[v as usize].parent;
+            debug_assert!(parent.is_some(), "non-root node {v} has no parent");
+            parent.unwrap_or(v)
+        };
         while self.nodes[a as usize].depth > self.nodes[b as usize].depth {
-            a = self.nodes[a as usize].parent.expect("non-root has parent");
+            let up = step(a);
+            if up == a {
+                return a;
+            }
+            a = up;
         }
         while self.nodes[b as usize].depth > self.nodes[a as usize].depth {
-            b = self.nodes[b as usize].parent.expect("non-root has parent");
+            let up = step(b);
+            if up == b {
+                return b;
+            }
+            b = up;
         }
         while a != b {
-            a = self.nodes[a as usize].parent.expect("lca exists");
-            b = self.nodes[b as usize].parent.expect("lca exists");
+            let (ua, ub) = (step(a), step(b));
+            if ua == a || ub == b {
+                return a;
+            }
+            (a, b) = (ua, ub);
         }
         a
     }

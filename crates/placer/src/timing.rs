@@ -123,7 +123,7 @@ pub fn refresh_timing(
         TimingMode::InstaPlace => {
             let t = Instant::now();
             let init = sta.export_insta_init();
-            let mut engine = InstaEngine::new(init, insta_cfg.clone());
+            let mut engine = InstaEngine::new(init, insta_cfg.clone()).expect("valid snapshot");
             breakdown.transfer_s = t.elapsed().as_secs_f64();
 
             let t = Instant::now();

@@ -12,6 +12,64 @@ use insta_liberty::{ArcKind, Transition};
 use insta_netlist::{CellId, ClockTree, Design, PinId};
 use std::collections::HashMap;
 
+/// A malformed clock network: the design or extracted tree violates the
+/// clock model's structural assumptions. These are input-reachable
+/// conditions (a hand-built or corrupted design can trigger every one),
+/// so they are reported as values rather than panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClockModelError {
+    /// A non-root tree node has no cell (clock buffers must be cells).
+    MissingCell {
+        /// Tree node index.
+        node: usize,
+    },
+    /// A clock buffer has no input pin.
+    MissingInputPin {
+        /// Tree node index.
+        node: usize,
+    },
+    /// A clock buffer's library cell has no combinational arc to look
+    /// delays up from.
+    MissingCombinationalArc {
+        /// Tree node index.
+        node: usize,
+    },
+    /// A CK pin is not mapped to any tree leaf.
+    UnmappedCkPin {
+        /// The CK pin.
+        pin: PinId,
+    },
+    /// A CK pin belongs to no cell.
+    FloatingCkPin {
+        /// The CK pin.
+        pin: PinId,
+    },
+}
+
+impl std::fmt::Display for ClockModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClockModelError::MissingCell { node } => {
+                write!(f, "clock tree node {node}: non-root node has no cell")
+            }
+            ClockModelError::MissingInputPin { node } => {
+                write!(f, "clock tree node {node}: buffer has no input pin")
+            }
+            ClockModelError::MissingCombinationalArc { node } => {
+                write!(f, "clock tree node {node}: buffer has no combinational arc")
+            }
+            ClockModelError::UnmappedCkPin { pin } => {
+                write!(f, "CK pin {pin:?} is not mapped to a clock-tree leaf")
+            }
+            ClockModelError::FloatingCkPin { pin } => {
+                write!(f, "CK pin {pin:?} belongs to no cell")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClockModelError {}
+
 /// Per-flop clock arrival data.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlopClock {
@@ -49,13 +107,19 @@ impl ClockTiming {
     /// between stages, NLDM buffer delays with propagated slew. Clock
     /// transitions are modelled on the rising edge (the synthetic clock
     /// network is buffer-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockModelError`] when the design or tree violates the
+    /// clock model's structure: a bufferless tree node, a buffer without
+    /// an input pin or combinational arc, or a CK pin with no leaf/cell.
     pub fn compute(
         design: &Design,
         tree: &ClockTree,
         calc: &DelayCalc,
         derate_early: f64,
         derate_late: f64,
-    ) -> Self {
+    ) -> Result<Self, ClockModelError> {
         let n = tree.nodes().len();
         let mut timing = Self {
             node_mean: vec![0.0; n],
@@ -66,11 +130,13 @@ impl ClockTiming {
         };
         let mut node_slew = vec![calc.default_slew_ps; n];
 
-        // Tree nodes are stored parent-before-child by construction.
         for (i, node) in tree.nodes().iter().enumerate() {
             let Some(parent) = node.parent else { continue };
             let p = parent as usize;
-            let cell = node.cell.expect("non-root clock node has a cell");
+            // Parent-before-child ordering is a construction invariant of
+            // ClockTree, not an input property — assert it in debug only.
+            debug_assert!(p < i, "clock tree must store parents before children");
+            let cell = node.cell.ok_or(ClockModelError::MissingCell { node: i })?;
             let lc = design.lib_cell_of(cell);
             // Input pin of the buffer and the wire feeding it.
             let in_pin = design
@@ -79,7 +145,7 @@ impl ClockTiming {
                 .iter()
                 .copied()
                 .find(|&pp| !design.pin(pp).is_driver())
-                .expect("clock buffer has an input");
+                .ok_or(ClockModelError::MissingInputPin { node: i })?;
             let (wire_delay, wire_sigma, in_slew) = wire_step(
                 design,
                 tree.nodes()[p].pin,
@@ -93,7 +159,7 @@ impl ClockTiming {
                 .arcs()
                 .iter()
                 .find(|a| a.kind == ArcKind::Combinational)
-                .expect("clock buffer has a combinational arc");
+                .ok_or(ClockModelError::MissingCombinationalArc { node: i })?;
             let d = arc.delay(Transition::Rise).lookup(in_slew, load);
             let s = arc.sigma_coeff * d;
             timing.node_mean[i] = timing.node_mean[p] + wire_delay + d;
@@ -103,7 +169,9 @@ impl ClockTiming {
 
         // Per-flop CK arrivals: leaf node arrival + leaf→CK wire.
         for ck in tree.ck_pins() {
-            let leaf = tree.leaf_of_ck_pin(ck).expect("leaf exists");
+            let leaf = tree
+                .leaf_of_ck_pin(ck)
+                .ok_or(ClockModelError::UnmappedCkPin { pin: ck })?;
             let (wire_delay, wire_sigma, ck_slew) = wire_step(
                 design,
                 tree.nodes()[leaf as usize].pin,
@@ -111,7 +179,10 @@ impl ClockTiming {
                 node_slew[leaf as usize],
                 calc,
             );
-            let cell = design.pin(ck).cell.expect("CK pin belongs to a flop");
+            let cell = design
+                .pin(ck)
+                .cell
+                .ok_or(ClockModelError::FloatingCkPin { pin: ck })?;
             timing.by_flop.insert(
                 cell,
                 FlopClock {
@@ -123,7 +194,7 @@ impl ClockTiming {
                 },
             );
         }
-        timing
+        Ok(timing)
     }
 
     /// Clock data of a flop, if it is clocked.
@@ -189,7 +260,7 @@ mod tests {
     fn timing_for(seed: u64) -> (insta_netlist::Design, TimingGraph, ClockTiming) {
         let d = generate_design(&GeneratorConfig::small("ct", seed));
         let g = TimingGraph::build(&d).expect("build");
-        let ct = ClockTiming::compute(&d, g.clock_tree(), &DelayCalc::default(), 0.95, 1.05);
+        let ct = ClockTiming::compute(&d, g.clock_tree(), &DelayCalc::default(), 0.95, 1.05).expect("clock model");
         (d, g, ct)
     }
 
@@ -210,7 +281,7 @@ mod tests {
         let d = generate_design(&GeneratorConfig::small("ct", 5));
         let g = TimingGraph::build(&d).expect("build");
         let tree = g.clock_tree();
-        let ct = ClockTiming::compute(&d, tree, &DelayCalc::default(), 0.95, 1.05);
+        let ct = ClockTiming::compute(&d, tree, &DelayCalc::default(), 0.95, 1.05).expect("clock model");
         for (i, node) in tree.nodes().iter().enumerate() {
             if let Some(p) = node.parent {
                 assert!(
@@ -237,7 +308,7 @@ mod tests {
         let d = generate_design(&GeneratorConfig::small("ct", 9));
         let g = TimingGraph::build(&d).expect("build");
         let tree = g.clock_tree();
-        let ct = ClockTiming::compute(&d, tree, &DelayCalc::default(), 0.95, 1.05);
+        let ct = ClockTiming::compute(&d, tree, &DelayCalc::default(), 0.95, 1.05).expect("clock model");
         let flops: Vec<CellId> = d.flops().collect();
         let la = ct.flop(flops[0]).unwrap().leaf;
         let lb = ct.flop(flops[flops.len() - 1]).unwrap().leaf;
@@ -250,11 +321,23 @@ mod tests {
     }
 
     #[test]
+    fn clock_model_errors_name_the_offending_element() {
+        let text = ClockModelError::MissingCell { node: 7 }.to_string();
+        assert!(text.contains("node 7"), "{text}");
+        let text = ClockModelError::MissingCombinationalArc { node: 2 }.to_string();
+        assert!(text.contains("combinational"), "{text}");
+        // The type participates in error chains.
+        let boxed: Box<dyn std::error::Error> =
+            Box::new(ClockModelError::MissingInputPin { node: 0 });
+        assert!(boxed.to_string().contains("input pin"));
+    }
+
+    #[test]
     fn zero_derate_spread_means_zero_credit() {
         let d = generate_design(&GeneratorConfig::small("ct", 11));
         let g = TimingGraph::build(&d).expect("build");
         let tree = g.clock_tree();
-        let ct = ClockTiming::compute(&d, tree, &DelayCalc::default(), 1.0, 1.0);
+        let ct = ClockTiming::compute(&d, tree, &DelayCalc::default(), 1.0, 1.0).expect("clock model");
         let flops: Vec<CellId> = d.flops().collect();
         let la = ct.flop(flops[0]).unwrap().leaf;
         assert_eq!(ct.cppr_credit(tree, la, la), 0.0);

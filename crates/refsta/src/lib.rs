@@ -46,7 +46,7 @@ pub mod report;
 pub mod sdc;
 pub mod sta;
 
-pub use clocktime::ClockTiming;
+pub use clocktime::{ClockModelError, ClockTiming};
 pub use delay::{ArcDelays, DelayCalc};
 pub use eco::{estimate_eco, EcoEstimate};
 pub use exceptions::{EpId, ExceptionSet, SpId};

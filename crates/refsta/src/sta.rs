@@ -11,7 +11,7 @@
 //! dropped. With a zero-credit clock (no derate spread) this degenerates to
 //! plain worst-arrival propagation.
 
-use crate::clocktime::ClockTiming;
+use crate::clocktime::{ClockModelError, ClockTiming};
 use crate::delay::{ArcDelays, DelayCalc};
 use crate::exceptions::{EpId, ExceptionSet, SpId};
 use insta_liberty::{ArcKind, TimingSense, Transition};
@@ -306,7 +306,20 @@ impl RefSta {
 
     /// Full timing update: clock timing, delay annotation, arrival
     /// propagation over every level, endpoint evaluation.
+    ///
+    /// Panics if the clock network is structurally malformed; use
+    /// [`try_full_update`](Self::try_full_update) to get the
+    /// [`ClockModelError`] as a value instead.
     pub fn full_update(&mut self, design: &Design) -> StaReport {
+        self.try_full_update(design).expect("valid clock network")
+    }
+
+    /// Fallible [`full_update`](Self::full_update): returns
+    /// [`ClockModelError`] when the design's clock network violates the
+    /// clock model's structure (bufferless tree node, buffer without an
+    /// input pin or combinational arc, CK pin with no leaf or cell)
+    /// instead of panicking.
+    pub fn try_full_update(&mut self, design: &Design) -> Result<StaReport, ClockModelError> {
         self.period = self
             .config
             .period_override_ps
@@ -318,7 +331,7 @@ impl RefSta {
             &self.config.delay_calc,
             self.config.derate_early,
             self.config.derate_late,
-        );
+        )?;
         // Max possible CPPR credit bounds the pruning window.
         let max_common = self
             .clock
@@ -336,7 +349,7 @@ impl RefSta {
         let order: Vec<NodeId> = self.graph.topo_order().to_vec();
         self.propagate_nodes(&order);
         self.evaluate_endpoints();
-        self.report.clone()
+        Ok(self.report.clone())
     }
 
     fn bind_clock_leaves(&mut self, design: &Design) {

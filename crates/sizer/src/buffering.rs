@@ -89,7 +89,7 @@ pub fn insta_buffer(design: &mut Design, cfg: &BufferingConfig) -> BufferingOutc
             break;
         }
         // Timing gradients from INSTA.
-        let mut engine = InstaEngine::new(golden.export_insta_init(), cfg.engine.clone());
+        let mut engine = InstaEngine::new(golden.export_insta_init(), cfg.engine.clone()).expect("valid snapshot");
         engine.propagate();
         engine.forward_lse();
         engine.backward_tns();

@@ -66,7 +66,7 @@ pub fn run_evaluator_flow(
     let mut sta_incr = RefSta::new(design, sta_cfg).expect("acyclic design");
     sta_full.full_update(design);
     sta_incr.full_update(design);
-    let mut engine = InstaEngine::new(sta_incr.export_insta_init(), insta_cfg);
+    let mut engine = InstaEngine::new(sta_incr.export_insta_init(), insta_cfg).expect("valid snapshot");
     let report0 = engine.propagate().clone();
     let exact0: Vec<f64> = sta_incr
         .report()

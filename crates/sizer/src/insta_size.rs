@@ -118,7 +118,7 @@ pub fn insta_size(
     let original: Vec<insta_liberty::LibCellId> =
         design.cells().iter().map(|c| c.lib_cell).collect();
 
-    let mut engine = InstaEngine::new(golden.export_insta_init(), cfg.engine.clone());
+    let mut engine = InstaEngine::new(golden.export_insta_init(), cfg.engine.clone()).expect("valid snapshot");
     let mut backward_s = 0.0;
     let lib = design.library_arc();
 

@@ -91,7 +91,7 @@ pub fn power_recover(
     let before = golden.full_update(design);
     let leakage_before = design.total_leakage();
     let tns_floor = before.tns_ps - cfg.tns_margin_ps;
-    let mut engine = InstaEngine::new(golden.export_insta_init(), cfg.engine.clone());
+    let mut engine = InstaEngine::new(golden.export_insta_init(), cfg.engine.clone()).expect("valid snapshot");
     engine.propagate();
     let lib = design.library_arc();
     let mut downsized = 0usize;

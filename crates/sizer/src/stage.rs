@@ -109,7 +109,7 @@ mod tests {
         let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
         let report = sta.full_update(&d);
         assert!(report.n_violations > 0);
-        let mut eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default());
+        let mut eng = InstaEngine::new(sta.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
         eng.propagate();
         eng.forward_lse();
         eng.backward_tns();

@@ -1,0 +1,371 @@
+//! Deterministic fault injection for snapshot robustness testing.
+//!
+//! A [`FaultPlan`] derives an independent xoshiro256++ stream per
+//! `(seed, case, fault)` triple, so every corruption a test applies is
+//! reproducible from the suite seed and the case index alone — the same
+//! contract as [`crate::prop::for_all`].
+//!
+//! Two corruption surfaces are covered:
+//!
+//! * **text faults** ([`FaultPlan::corrupt_text`]) attack the serialized
+//!   byte stream before parsing: truncation and bit-flips, the classic
+//!   torn-write / bad-storage failure modes. The output is raw bytes —
+//!   a flip can produce invalid UTF-8, which is itself a corruption class
+//!   the ingest path must reject gracefully.
+//! * **tree faults** ([`FaultPlan::corrupt_json`]) attack a parsed
+//!   [`Json`] document: numeric poisoning (NaN/Inf/negation/huge-index),
+//!   array shuffling (level/order inversion in a snapshot), dropped
+//!   object fields, and duplicated array elements.
+//!
+//! The harness never asserts anything itself; consumers (the engine's
+//! fault-injection suites) feed the corrupted artifacts through their
+//! ingest path and assert the typed-error-or-finite-result contract.
+
+use crate::json::Json;
+use crate::rng::Rng;
+
+/// One corruption class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Cut the text off at a random byte (torn write / short read).
+    Truncate,
+    /// Flip one random bit of one random byte.
+    BitFlip,
+    /// Replace a random number with NaN.
+    NanNumber,
+    /// Replace a random number with +/-infinity.
+    InfNumber,
+    /// Negate a random number (negative sigma / negative count injection).
+    NegateNumber,
+    /// Replace a random integer-valued number with a huge index
+    /// (out-of-range CSR / node / arc references).
+    HugeInteger,
+    /// Swap two elements of a random array (ordering / levelization
+    /// corruption).
+    ShuffleArray,
+    /// Remove a random field from a random object (truncated schema).
+    DropField,
+    /// Duplicate a random array element (duplicate arcs / endpoints).
+    DuplicateElement,
+}
+
+impl Fault {
+    /// Every corruption class, for exhaustive sweeps.
+    pub const ALL: [Fault; 9] = [
+        Fault::Truncate,
+        Fault::BitFlip,
+        Fault::NanNumber,
+        Fault::InfNumber,
+        Fault::NegateNumber,
+        Fault::HugeInteger,
+        Fault::ShuffleArray,
+        Fault::DropField,
+        Fault::DuplicateElement,
+    ];
+
+    /// Whether this class operates on raw text (vs. a parsed tree).
+    pub fn is_textual(self) -> bool {
+        matches!(self, Fault::Truncate | Fault::BitFlip)
+    }
+
+    fn discriminant(self) -> u64 {
+        Self::ALL.iter().position(|&f| f == self).expect("listed") as u64
+    }
+}
+
+/// A seeded corruption generator.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Suite seed; every corruption derives from it deterministically.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the given suite seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The RNG stream of one `(case, fault)` corruption.
+    fn stream(&self, case: u64, fault: Fault) -> Rng {
+        // SplitMix in seed_from_u64 decorrelates the simple xor mix.
+        Rng::seed_from_u64(
+            self.seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (fault.discriminant() << 56),
+        )
+    }
+
+    /// Applies a textual corruption, returning the damaged byte stream.
+    ///
+    /// Non-textual faults fall back to [`Fault::BitFlip`] so a sweep over
+    /// [`Fault::ALL`] can always call this.
+    pub fn corrupt_text(&self, case: u64, fault: Fault, text: &str) -> Vec<u8> {
+        let mut rng = self.stream(case, fault);
+        let mut bytes = text.as_bytes().to_vec();
+        if bytes.is_empty() {
+            return bytes;
+        }
+        match fault {
+            Fault::Truncate => {
+                let keep = rng.bounded_u64(bytes.len() as u64) as usize;
+                bytes.truncate(keep);
+            }
+            _ => {
+                let i = rng.bounded_u64(bytes.len() as u64) as usize;
+                let bit = rng.bounded_u64(8) as u8;
+                bytes[i] ^= 1 << bit;
+            }
+        }
+        bytes
+    }
+
+    /// Applies a tree corruption in place. Returns `false` when the
+    /// document has no applicable target (e.g. no arrays to shuffle), in
+    /// which case the value is untouched.
+    pub fn corrupt_json(&self, case: u64, fault: Fault, v: &mut Json) -> bool {
+        let mut rng = self.stream(case, fault);
+        match fault {
+            Fault::Truncate | Fault::BitFlip => false,
+            Fault::NanNumber => poison_number(v, &mut rng, |_| f64::NAN),
+            Fault::InfNumber => poison_number(v, &mut rng, |n| {
+                if n < 0.0 {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            }),
+            Fault::NegateNumber => poison_number(v, &mut rng, |n| -n),
+            Fault::HugeInteger => {
+                let count = count_nodes(v, &|j| matches!(j, Json::Num(n) if n.fract() == 0.0));
+                if count == 0 {
+                    return false;
+                }
+                let target = rng.bounded_u64(count as u64) as usize;
+                let mut seen = 0usize;
+                mutate_nth(
+                    v,
+                    &|j| matches!(j, Json::Num(n) if n.fract() == 0.0),
+                    target,
+                    &mut seen,
+                    &mut |j| *j = Json::Num(4.0e9 + 17.0),
+                )
+            }
+            Fault::ShuffleArray => with_nth(
+                v,
+                &mut rng,
+                &|j| matches!(j, Json::Arr(a) if a.len() >= 2),
+                &mut |j, rng| {
+                    let Json::Arr(a) = j else { unreachable!() };
+                    let len = a.len();
+                    let i = rng.bounded_u64(len as u64) as usize;
+                    let k = (rng.bounded_u64(len as u64) as usize).min(len - 1);
+                    a.swap(i, k);
+                },
+            ),
+            Fault::DropField => with_nth(
+                v,
+                &mut rng,
+                &|j| matches!(j, Json::Obj(o) if !o.is_empty()),
+                &mut |j, rng| {
+                    let Json::Obj(o) = j else { unreachable!() };
+                    let i = rng.bounded_u64(o.len() as u64) as usize;
+                    o.remove(i);
+                },
+            ),
+            Fault::DuplicateElement => with_nth(
+                v,
+                &mut rng,
+                &|j| matches!(j, Json::Arr(a) if !a.is_empty()),
+                &mut |j, rng| {
+                    let Json::Arr(a) = j else { unreachable!() };
+                    let i = rng.bounded_u64(a.len() as u64) as usize;
+                    let dup = a[i].clone();
+                    a.insert(i, dup);
+                },
+            ),
+        }
+    }
+}
+
+/// Replaces one uniformly chosen number with `f(old)`.
+fn poison_number(v: &mut Json, rng: &mut Rng, f: impl Fn(f64) -> f64) -> bool {
+    let count = count_nodes(v, &|j| matches!(j, Json::Num(_)));
+    if count == 0 {
+        return false;
+    }
+    let target = rng.bounded_u64(count as u64) as usize;
+    let mut seen = 0usize;
+    mutate_nth(
+        v,
+        &|j| matches!(j, Json::Num(_)),
+        target,
+        &mut seen,
+        &mut |j| {
+            let Json::Num(n) = j else { unreachable!() };
+            let new = f(*n);
+            // Encode exactly like the writer would: non-finite values only
+            // exist in snapshots as their string spellings.
+            *j = if new.is_finite() {
+                Json::Num(new)
+            } else if new.is_nan() {
+                Json::Str("nan".into())
+            } else if new > 0.0 {
+                Json::Str("inf".into())
+            } else {
+                Json::Str("-inf".into())
+            };
+        },
+    )
+}
+
+/// Number of tree nodes matching `pred` (pre-order).
+fn count_nodes(v: &Json, pred: &dyn Fn(&Json) -> bool) -> usize {
+    let mut n = usize::from(pred(v));
+    match v {
+        Json::Arr(a) => n += a.iter().map(|x| count_nodes(x, pred)).sum::<usize>(),
+        Json::Obj(o) => n += o.iter().map(|(_, x)| count_nodes(x, pred)).sum::<usize>(),
+        _ => {}
+    }
+    n
+}
+
+/// Applies `mutate` to the `target`-th matching node (pre-order).
+fn mutate_nth(
+    v: &mut Json,
+    pred: &dyn Fn(&Json) -> bool,
+    target: usize,
+    seen: &mut usize,
+    mutate: &mut dyn FnMut(&mut Json),
+) -> bool {
+    if pred(v) {
+        if *seen == target {
+            mutate(v);
+            return true;
+        }
+        *seen += 1;
+    }
+    match v {
+        Json::Arr(a) => {
+            for x in a {
+                if mutate_nth(x, pred, target, seen, mutate) {
+                    return true;
+                }
+            }
+        }
+        Json::Obj(o) => {
+            for (_, x) in o {
+                if mutate_nth(x, pred, target, seen, mutate) {
+                    return true;
+                }
+            }
+        }
+        _ => {}
+    }
+    false
+}
+
+/// Picks one matching node uniformly and applies `mutate` with the RNG.
+fn with_nth(
+    v: &mut Json,
+    rng: &mut Rng,
+    pred: &dyn Fn(&Json) -> bool,
+    mutate: &mut dyn FnMut(&mut Json, &mut Rng),
+) -> bool {
+    let count = count_nodes(v, pred);
+    if count == 0 {
+        return false;
+    }
+    let target = rng.bounded_u64(count as u64) as usize;
+    let mut seen = 0usize;
+    mutate_nth(v, pred, target, &mut seen, &mut |j| mutate(j, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{obj, parse, ToJson};
+
+    fn sample() -> Json {
+        obj([
+            ("n", 4_u32.to_json()),
+            ("xs", vec![1.0_f64, 2.5, -3.0, 4.0].to_json()),
+            ("inner", obj([("sigma", 0.25_f64.to_json()), ("idx", 7_u32.to_json())])),
+        ])
+    }
+
+    #[test]
+    fn corruptions_are_deterministic() {
+        let plan = FaultPlan::new(0xFA017);
+        for fault in Fault::ALL {
+            let text = sample().to_string();
+            let a = plan.corrupt_text(3, fault, &text);
+            let b = plan.corrupt_text(3, fault, &text);
+            assert_eq!(a, b, "{fault:?} text corruption must be reproducible");
+            let mut ja = sample();
+            let mut jb = sample();
+            let ra = plan.corrupt_json(3, fault, &mut ja);
+            let rb = plan.corrupt_json(3, fault, &mut jb);
+            assert_eq!(ra, rb);
+            assert_eq!(ja, jb, "{fault:?} tree corruption must be reproducible");
+        }
+    }
+
+    #[test]
+    fn distinct_cases_usually_differ() {
+        let plan = FaultPlan::new(1);
+        let text = sample().to_string();
+        let outputs: Vec<Vec<u8>> = (0..8)
+            .map(|c| plan.corrupt_text(c, Fault::BitFlip, &text))
+            .collect();
+        let distinct = outputs
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 4, "bit flips should spread over the text");
+    }
+
+    #[test]
+    fn truncate_shortens_and_bitflip_preserves_length() {
+        let plan = FaultPlan::new(2);
+        let text = sample().to_string();
+        let t = plan.corrupt_text(0, Fault::Truncate, &text);
+        assert!(t.len() < text.len());
+        let f = plan.corrupt_text(0, Fault::BitFlip, &text);
+        assert_eq!(f.len(), text.len());
+        assert_ne!(f, text.as_bytes());
+    }
+
+    #[test]
+    fn tree_faults_change_the_document() {
+        let plan = FaultPlan::new(3);
+        for fault in Fault::ALL.into_iter().filter(|f| !f.is_textual()) {
+            // Some (fault, case) pairs are no-ops (e.g. a swap picking the
+            // same index twice); at least one of a few cases must mutate.
+            let mutated = (0..8).any(|case| {
+                let mut v = sample();
+                plan.corrupt_json(case, fault, &mut v) && v != sample()
+            });
+            assert!(mutated, "{fault:?} never changed the document");
+        }
+    }
+
+    #[test]
+    fn nan_poisoning_round_trips_through_text() {
+        let plan = FaultPlan::new(4);
+        let mut v = sample();
+        assert!(plan.corrupt_json(0, Fault::NanNumber, &mut v));
+        let back = parse(&v.to_string()).expect("still valid JSON");
+        assert_eq!(back, v);
+        assert!(count_nodes(&back, &|j| matches!(j, Json::Str(s) if s == "nan")) == 1);
+    }
+
+    #[test]
+    fn huge_integer_targets_integers_only() {
+        let plan = FaultPlan::new(5);
+        let mut v = sample();
+        assert!(plan.corrupt_json(1, Fault::HugeInteger, &mut v));
+        assert_eq!(
+            count_nodes(&v, &|j| matches!(j, Json::Num(n) if *n > 3.9e9)),
+            1
+        );
+    }
+}

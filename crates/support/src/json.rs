@@ -37,6 +37,9 @@ pub struct JsonError {
     pub line: usize,
     /// 1-based column of the error (0 for structural errors).
     pub col: usize,
+    /// Byte offset of the error in the source text (0 for structural
+    /// errors, which have no source position).
+    pub offset: usize,
     /// Human-readable description.
     pub msg: String,
 }
@@ -47,15 +50,26 @@ impl JsonError {
         Self {
             line: 0,
             col: 0,
+            offset: 0,
             msg: msg.into(),
         }
+    }
+
+    /// Whether the error carries a source position (parse errors do;
+    /// decode errors are positionless).
+    pub fn has_position(&self) -> bool {
+        self.line > 0
     }
 }
 
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.line > 0 {
-            write!(f, "line {}, col {}: {}", self.line, self.col, self.msg)
+            write!(
+                f,
+                "line {}, col {} (byte {}): {}",
+                self.line, self.col, self.offset, self.msg
+            )
         } else {
             write!(f, "{}", self.msg)
         }
@@ -323,6 +337,7 @@ impl<'a> Parser<'a> {
         JsonError {
             line,
             col,
+            offset: self.pos.min(self.bytes.len()),
             msg: msg.into(),
         }
     }
@@ -366,8 +381,12 @@ impl<'a> Parser<'a> {
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'n') => self.literal("null", Json::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
-            None => Err(self.err("unexpected end of input")),
+            Some(c) => Err(self.err(format!(
+                "expected a JSON value (object, array, string, number, \
+                 `true`, `false`, or `null`), found `{}`",
+                c as char
+            ))),
+            None => Err(self.err("expected a JSON value, found end of input")),
         }
     }
 
@@ -403,7 +422,13 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // The scanned range is ASCII by construction, but surface a typed
+        // error rather than trusting that on untrusted input.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ASCII bytes inside a number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("expected a number, found no digits"));
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err(format!("invalid number `{text}`")))
@@ -464,7 +489,10 @@ impl<'a> Parser<'a> {
                     // is always a char boundary; slicing + `chars().next()`
                     // decodes one scalar in O(1) (re-validating the whole
                     // remainder here would make parsing quadratic).
-                    let ch = self.src[self.pos..].chars().next().expect("non-empty");
+                    let Some(ch) = self.src.get(self.pos..).and_then(|s| s.chars().next())
+                    else {
+                        return Err(self.err("string cursor left a char boundary"));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }

@@ -14,13 +14,17 @@
 //! * [`prop`] — a seeded property-testing harness with shrink-on-failure
 //!   (replaces `proptest` in the workspace's property suites),
 //! * [`timer`] — a `std::time::Instant` benchmark harness (replaces
-//!   `criterion` in `crates/bench`).
+//!   `criterion` in `crates/bench`),
+//! * [`fault`] — a deterministic fault-injection harness (seeded snapshot
+//!   corruption for the robustness suites).
 
+pub mod fault;
 pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod timer;
 
+pub use fault::{Fault, FaultPlan};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use prop::{for_all, Config as PropConfig, Shrink};
 pub use rng::Rng;

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One-time initialization of INSTA from the reference tool (Fig. 1).
     let t = Instant::now();
     let init = golden.export_insta_init();
-    let mut insta = InstaEngine::new(init, InstaConfig::default());
+    let mut insta = InstaEngine::new(init, InstaConfig::default()).expect("valid snapshot");
     println!(
         "INSTA initialization: {:.1} ms  ({} nodes, {} arcs, {} levels, Top-K={})",
         t.elapsed().as_secs_f64() * 1e3,

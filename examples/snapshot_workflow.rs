@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // reference engine in the loop. ---------------------------------------
     let t = Instant::now();
     let loaded = load_init(&path)?;
-    let mut engine = InstaEngine::new(loaded, InstaConfig::default());
+    let mut engine = InstaEngine::new(loaded, InstaConfig::default()).expect("valid snapshot");
     let report = engine.propagate().clone();
     println!(
         "loaded + propagated: {:.1} ms  (WNS {:.2} ps, TNS {:.1} ps, {} violations)",
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The loaded engine is bit-identical to one built in-process.
-    let mut direct = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+    let mut direct = InstaEngine::new(golden.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
     let direct_report = direct.propagate().clone();
     assert_eq!(report.slacks, direct_report.slacks);
     println!("snapshot path verified: slacks identical to the in-process engine");

@@ -6,11 +6,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> build (release, offline)"
-cargo build --workspace --release --offline
+echo "==> build (release, offline, warnings are errors)"
+RUSTFLAGS="-D warnings" cargo build --workspace --release --offline
 
-echo "==> tests (offline)"
+echo "==> tests (offline; debug profile keeps the hot-path poison asserts on)"
 cargo test -q --workspace --offline
+
+echo "==> fault-injection gate (fixed seed, zero panics)"
+cargo test -q --offline --test fault_injection
+cargo test -q --offline -p insta-engine --test fault_tolerance
 
 echo "==> benches compile (offline)"
 cargo build --release --offline --benches -p insta-bench

@@ -29,7 +29,7 @@
 //! golden.full_update(&design);
 //!
 //! // 2. One-time initialization of INSTA from the reference tool (Fig. 1).
-//! let mut insta = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+//! let mut insta = InstaEngine::new(golden.export_insta_init(), InstaConfig::default())?;
 //!
 //! // 3. Ultra-fast statistical propagation + endpoint slack correlation.
 //! let report = insta.propagate().clone();
@@ -42,7 +42,7 @@
 //! insta.backward_tns();
 //! let grads = insta.arc_gradients();
 //! assert_eq!(grads.len(), golden.graph().num_arcs());
-//! # Ok::<(), insta_sta::netlist::BuildGraphError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! The runnable binaries under `examples/` walk through the paper's three

@@ -20,7 +20,7 @@ fn insta_correlates_with_reference_on_medium_design() {
     let report = golden.full_update(&design);
     assert!(report.n_violations > 0, "exercise the violating regime");
 
-    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
     let insta_report = engine.propagate().clone();
     let stats = MismatchStats::compute(&insta_report.slacks, &golden_slacks(&golden));
     assert!(
@@ -53,7 +53,7 @@ fn correlation_improves_with_top_k() {
                 top_k: k,
                 ..InstaConfig::default()
             },
-        );
+        ).expect("valid snapshot");
         let r = engine.propagate().clone();
         let stats = MismatchStats::compute(&r.slacks, &exact);
         assert!(stats.correlation > 0.999, "K={k}: corr {}", stats.correlation);
@@ -79,7 +79,7 @@ fn no_cppr_mode_is_uniformly_pessimistic() {
             cppr: false,
             ..InstaConfig::default()
         },
-    );
+    ).expect("valid snapshot");
     let r = engine.propagate().clone();
     for (i, (&got, &want)) in r.slacks.iter().zip(&exact).enumerate() {
         assert!(
@@ -103,7 +103,7 @@ fn resync_restores_exact_correlation_after_edits() {
     }
     golden.full_update(&design);
     // Fresh export = re-synchronization.
-    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
     let r = engine.propagate().clone();
     let stats = MismatchStats::compute(&r.slacks, &golden_slacks(&golden));
     assert!(stats.worst_abs_ps < 1e-9, "resync must be exact: {stats}");
@@ -116,7 +116,7 @@ fn pearson_and_mismatch_stats_agree() {
     let design = generate_design(&GeneratorConfig::small("int_pear", 5));
     let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
     golden.full_update(&design);
-    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
     let r = engine.propagate().clone();
     let exact = golden_slacks(&golden);
     let stats = MismatchStats::compute(&r.slacks, &exact);

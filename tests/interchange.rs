@@ -63,7 +63,7 @@ fn snapshot_from_rebuilt_design_matches_original_reference() {
     sta.full_update(&rebuilt);
     let path = std::env::temp_dir().join("insta_ix_snapshot.json");
     save_init(&sta.export_insta_init(), &path).expect("save");
-    let mut engine = InstaEngine::new(load_init(&path).expect("load"), InstaConfig::default());
+    let mut engine = InstaEngine::new(load_init(&path).expect("load"), InstaConfig::default()).expect("valid snapshot");
     let report = engine.propagate().clone();
     std::fs::remove_file(&path).ok();
 
@@ -100,8 +100,8 @@ fn snapshot_reload_repropagates_bit_identically() {
     let reloaded = load_init(&path).expect("load");
     std::fs::remove_file(&path).ok();
 
-    let mut direct = InstaEngine::new(init, InstaConfig::default());
-    let mut via_disk = InstaEngine::new(reloaded, InstaConfig::default());
+    let mut direct = InstaEngine::new(init, InstaConfig::default()).expect("valid snapshot");
+    let mut via_disk = InstaEngine::new(reloaded, InstaConfig::default()).expect("valid snapshot");
     let ra = direct.propagate();
     let rb = via_disk.propagate();
     assert_eq!(ra.slacks.len(), rb.slacks.len());
