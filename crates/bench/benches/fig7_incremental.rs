@@ -34,7 +34,12 @@ fn main() {
         black_box(incr.incremental_update(&design, &[op.cell]).tns_ps)
     });
     h.bench("insta_reannotate_propagate", || {
-        black_box(engine.update_timing(&est.arc_deltas).tns_ps)
+        black_box(
+            engine
+                .update_timing(&est.arc_deltas)
+                .expect("in-range deltas")
+                .tns_ps,
+        )
     });
     h.finish();
 }

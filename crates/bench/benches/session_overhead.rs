@@ -1,0 +1,79 @@
+//! Session-overhead bench: the transactional update (commit and rollback
+//! paths) vs the plain incremental update on the same delta batch.
+//!
+//! Emits one machine-readable JSON line after the human table so CI can
+//! gate the commit-path overhead (acceptance: ≤ 10 % over plain
+//! `update_timing`). Drift auditing is disabled so every path measures the
+//! same propagation work.
+
+use insta_bench::block_specs;
+use insta_engine::{DriftPolicy, InstaConfig, InstaEngine};
+use insta_refsta::{estimate_eco, RefSta, StaConfig};
+use insta_sizer::random_changelist;
+use insta_support::json::{obj, Json};
+use insta_support::timer::{black_box, Harness};
+
+fn main() {
+    let spec = &block_specs()[4]; // block-5
+    let mut design = spec.build();
+    let op = random_changelist(&design, 1, 9)[0];
+    let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
+    sta.full_update(&design);
+    let mut engine = InstaEngine::new(
+        sta.export_insta_init(),
+        InstaConfig {
+            top_k: 8,
+            drift_policy: DriftPolicy::unlimited(),
+            ..InstaConfig::default()
+        },
+    )
+    .expect("valid snapshot");
+    engine.propagate();
+    let est = estimate_eco(&design, &sta, op.cell, op.to);
+    design.resize_cell(op.cell, op.to);
+    let deltas = est.arc_deltas;
+
+    let mut h = Harness::new("session_overhead");
+    h.bench("plain_update_timing", || {
+        black_box(engine.update_timing(&deltas).expect("valid batch").tns_ps)
+    });
+    h.bench("session_update_commit", || {
+        let mut session = engine.begin_session();
+        let tns = session.update_timing(&deltas).expect("valid batch").tns_ps;
+        session.commit().expect("session is open");
+        black_box(tns)
+    });
+    h.bench("session_update_rollback", || {
+        let mut session = engine.begin_session();
+        let tns = session.update_timing(&deltas).expect("valid batch").tns_ps;
+        session.rollback();
+        black_box(tns)
+    });
+    let results = h.finish();
+
+    let mean_ns = |name: &str| {
+        results
+            .iter()
+            .find(|m| m.name == name)
+            .map_or(0.0, |m| m.mean.as_secs_f64() * 1e9)
+    };
+    let plain = mean_ns("plain_update_timing");
+    let commit = mean_ns("session_update_commit");
+    let rollback = mean_ns("session_update_rollback");
+    let overhead_pct = if plain > 0.0 {
+        (commit - plain) / plain * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "{}",
+        obj([
+            ("suite", Json::Str("session_overhead".into())),
+            ("block", Json::Str(spec.name.into())),
+            ("plain_update_ns", Json::Num(plain)),
+            ("session_commit_ns", Json::Num(commit)),
+            ("session_rollback_ns", Json::Num(rollback)),
+            ("commit_overhead_pct", Json::Num(overhead_pct)),
+        ])
+    );
+}

@@ -14,7 +14,7 @@
 
 use crate::engine::{InstaEngine, State, Static};
 use crate::error::{InstaError, Kernel, RuntimeIncident};
-use crate::parallel::{chaos, resolve_threads, PanicCell, PAR_THRESHOLD};
+use crate::parallel::{chaos, resolve_threads, Interrupt, PanicCell, PAR_THRESHOLD};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 impl InstaEngine {
@@ -50,14 +50,36 @@ impl InstaEngine {
             .report
             .clone()
             .expect("propagate() must run before backward_tns()");
+        // The backward pass consumes the LSE arrivals/weights; if they are
+        // stale (never computed, τ changed via set_lse_tau, or arcs
+        // re-annotated since) recompute them at the current τ rather than
+        // silently reading outdated state.
+        if self.state.lse_tau_used != Some(self.cfg.lse_tau) {
+            self.try_forward_lse()?;
+        }
         self.last_incident = None;
-        match backward(&self.st, &mut self.state, &report, self.cfg.lse_tau, self.cfg.n_threads)
-        {
+        self.grad_writes += 1;
+        match backward(
+            &self.st,
+            &mut self.state,
+            &report,
+            self.cfg.lse_tau,
+            self.cfg.n_threads,
+            self.interrupt.as_ref(),
+        ) {
             Ok(incident) => {
+                if let Some(inc) = &incident {
+                    self.incidents.record(inc.clone());
+                }
                 self.last_incident = incident;
                 Ok(())
             }
-            Err(incident) => Err(InstaError::Runtime(incident)),
+            Err(e) => {
+                if let InstaError::Runtime(inc) = &e {
+                    self.incidents.record(inc.clone());
+                }
+                Err(e)
+            }
         }
     }
 
@@ -93,6 +115,12 @@ impl InstaEngine {
             .report
             .clone()
             .expect("propagate() must run before backward_wns()");
+        // Same staleness guard as try_backward_tns: the seeds below read
+        // LSE arrivals, which must match the current τ and annotations.
+        if self.state.lse_tau_used != Some(self.cfg.lse_tau) {
+            self.try_forward_lse()?;
+        }
+        self.grad_writes += 1;
         let tau = self.cfg.lse_tau;
         let st = &self.st;
         let state = &mut self.state;
@@ -129,12 +157,20 @@ impl InstaEngine {
             }
         }
         self.last_incident = None;
-        match sweep(st, state, self.cfg.n_threads) {
+        match sweep(st, state, self.cfg.n_threads, self.interrupt.as_ref()) {
             Ok(incident) => {
+                if let Some(inc) = &incident {
+                    self.incidents.record(inc.clone());
+                }
                 self.last_incident = incident;
                 Ok(())
             }
-            Err(incident) => Err(InstaError::Runtime(incident)),
+            Err(e) => {
+                if let InstaError::Runtime(inc) = &e {
+                    self.incidents.record(inc.clone());
+                }
+                Err(e)
+            }
         }
     }
 
@@ -172,7 +208,8 @@ pub(crate) fn backward(
     report: &crate::metrics::InstaReport,
     tau: f64,
     n_threads: usize,
-) -> Result<Option<RuntimeIncident>, RuntimeIncident> {
+    interrupt: Option<&Interrupt>,
+) -> Result<Option<RuntimeIncident>, InstaError> {
     state.grad_arrival.fill(0.0);
     for g in state.grad_fanout.iter_mut() {
         *g = [0.0; 2];
@@ -192,7 +229,7 @@ pub(crate) fn backward(
         state.grad_arrival[v * 2 + 1] = -wf;
     }
 
-    sweep(st, state, n_threads)
+    sweep(st, state, n_threads, interrupt)
 }
 
 /// The shared reverse level sweep (pull from children) plus the final
@@ -202,11 +239,16 @@ fn sweep(
     st: &Static,
     state: &mut State,
     n_threads: usize,
-) -> Result<Option<RuntimeIncident>, RuntimeIncident> {
+    interrupt: Option<&Interrupt>,
+) -> Result<Option<RuntimeIncident>, InstaError> {
     let nt = resolve_threads(n_threads);
     let n_levels = st.num_levels();
     let mut recovered: Option<RuntimeIncident> = None;
     for l in (0..n_levels.saturating_sub(1)).rev() {
+        // One cancellation poll per level (bounded-latency contract).
+        if let Some(e) = interrupt.and_then(|i| i.check(Kernel::Backward, l)) {
+            return Err(e);
+        }
         let r = st.level_range(l);
         let (base, len) = (r.start, r.len());
         if len == 0 {
@@ -295,10 +337,10 @@ fn sweep(
                     recovered.get_or_insert(incident);
                 }
                 Err(_) => {
-                    return Err(RuntimeIncident {
+                    return Err(InstaError::Runtime(RuntimeIncident {
                         serial_retry_failed: true,
                         ..incident
-                    })
+                    }))
                 }
             }
         }
@@ -396,6 +438,28 @@ mod tests {
         eng.forward_lse();
         eng.backward_tns();
         eng
+    }
+
+    /// Regression: `set_lse_tau` must not let a later backward pass read
+    /// LSE arrivals/weights computed at the old τ. The `lse_tau_used`
+    /// staleness tag forces a recompute, so τ-change-then-backward is
+    /// bit-identical to an engine that ran the differentiable forward
+    /// pass at the new τ from the start.
+    #[test]
+    fn set_lse_tau_invalidates_stale_lse_state() {
+        let bits = |g: &[f64]| g.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        let mut changed = gradient_engine(7, 8.0);
+        let stale = bits(&changed.arc_gradients());
+        changed.set_lse_tau(2.0);
+        changed.backward_tns(); // must recompute the LSE state at τ = 2
+        let after = bits(&changed.arc_gradients());
+
+        let fresh = gradient_engine(7, 2.0);
+        assert_eq!(after, bits(&fresh.arc_gradients()));
+        assert_ne!(
+            after, stale,
+            "a 4× τ change must actually move the gradients on a violating design"
+        );
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Copy-on-write epoch checkpoints for [`TimingSession`]s.
+//!
+//! A checkpoint captures exactly what a session can mutate — and nothing
+//! it can regenerate. Three granularities, all lazy:
+//!
+//! * **arc annotations** — saved *sparsely*, first touch per graph arc:
+//!   before a delta batch overwrites an arc's expanded mean/sigma entries,
+//!   the old values are pushed onto a save list. A sizing move touches a
+//!   handful of arcs, so this is tiny compared to the full annotation
+//!   arrays.
+//! * **observables** — the evaluation report, the drift odometer, the LSE
+//!   temperature and staleness tag, and the kernel write-generation
+//!   counters are captured *once*, immediately before the session's first
+//!   state-mutating pass (at which point they still equal the begin-time
+//!   values, because the session holds the engine exclusively). Gradient
+//!   arrays are cloned only when the session actually runs a backward
+//!   pass — they are the one bulk array a client reads directly (via
+//!   `arc_gradients`) with no recompute hook.
+//! * **bulk kernel arrays** — the Top-K and LSE arrays are *not* copied.
+//!   Every forward pass performs a global reset and a full rewrite, so
+//!   those arrays are a pure deterministic function of (annotations, τ,
+//!   thread count). Rollback restores the annotations and marks the
+//!   arrays stale ([`lse_tau_used`](crate::engine) cleared, the engine's
+//!   `topk_synced` flag dropped); the next `propagate()` /
+//!   `forward_lse()` — which every evaluation path performs anyway —
+//!   regenerates them **bit-identically** (the property
+//!   `tests/sessions.rs` checks against a fresh engine). Skipping the
+//!   multi-megabyte copy is what keeps the session commit path within a
+//!   few percent of a plain `update_timing`.
+//!
+//! The write-generation counters make the staleness decision exact: a
+//! component whose generation did not change during the session was never
+//! touched, so its begin-time tags (report, `lse_tau_used`, sync flag) are
+//! restored verbatim and the arrays stay live.
+//!
+//! [`TimingSession`]: crate::session::TimingSession
+
+use crate::engine::{DriftState, InstaEngine};
+use crate::metrics::InstaReport;
+use insta_refsta::eco::ArcDelta;
+use std::collections::HashSet;
+
+/// Begin-time observables and generation counters (captured once).
+#[derive(Debug)]
+struct SavedState {
+    report: Option<InstaReport>,
+    drift: DriftState,
+    lse_tau_used: Option<f64>,
+    topk_synced: bool,
+    topk_writes: u64,
+    lse_writes: u64,
+    grad_writes: u64,
+}
+
+/// Begin-time gradient buffers (captured only by backward sessions).
+#[derive(Debug)]
+struct GradSave {
+    arrival: Vec<f64>,
+    arc: Vec<[f64; 2]>,
+    fanout: Vec<[f64; 2]>,
+}
+
+/// A compact, lazily populated snapshot of everything a session may undo.
+#[derive(Debug)]
+pub struct EpochCheckpoint {
+    /// First-touch saves: (expanded arc, old mean, old sigma).
+    saved_arcs: Vec<(u32, [f64; 2], [f64; 2])>,
+    /// Graph arcs whose expansions are already saved (first save wins; a
+    /// second delta to the same arc must not clobber the pre-session
+    /// values).
+    saved_graph: HashSet<u32>,
+    /// Observables + generations, captured before the first mutating pass.
+    saved: Option<SavedState>,
+    /// Gradient clone, captured before the session's first backward pass.
+    grads: Option<GradSave>,
+    /// LSE temperature at session begin.
+    lse_tau: f64,
+}
+
+impl EpochCheckpoint {
+    /// An empty checkpoint anchored at the engine's current epoch state.
+    pub(crate) fn new(engine: &InstaEngine) -> Self {
+        Self {
+            saved_arcs: Vec::new(),
+            saved_graph: HashSet::new(),
+            saved: None,
+            grads: None,
+            lse_tau: engine.cfg.lse_tau,
+        }
+    }
+
+    /// Saves the annotations a (validated) delta batch is about to
+    /// overwrite. Idempotent per graph arc.
+    pub(crate) fn save_arcs(&mut self, engine: &InstaEngine, deltas: &[ArcDelta]) {
+        for d in deltas {
+            if !self.saved_graph.insert(d.arc) {
+                continue;
+            }
+            let g = d.arc as usize;
+            let range = engine.st.expansion_start[g] as usize
+                ..engine.st.expansion_start[g + 1] as usize;
+            for &e in &engine.st.expansion_arc[range] {
+                self.saved_arcs.push((
+                    e,
+                    engine.st.arc_mean[e as usize],
+                    engine.st.arc_sigma[e as usize],
+                ));
+            }
+        }
+    }
+
+    /// Captures the begin-time observables if this is the session's first
+    /// state-mutating operation (later calls are no-ops: the rollback
+    /// target is the *begin-time* state, which only the first call still
+    /// observes).
+    pub(crate) fn ensure_state(&mut self, engine: &InstaEngine) {
+        if self.saved.is_none() {
+            self.saved = Some(SavedState {
+                report: engine.state.report.clone(),
+                drift: engine.drift,
+                lse_tau_used: engine.state.lse_tau_used,
+                topk_synced: engine.topk_synced,
+                topk_writes: engine.topk_writes,
+                lse_writes: engine.lse_writes,
+                grad_writes: engine.grad_writes,
+            });
+        }
+    }
+
+    /// Captures the gradient buffers if this is the session's first
+    /// backward pass. Gradients have no staleness tag a later consumer
+    /// would check, so they are the one bulk array restored by copy.
+    pub(crate) fn ensure_grads(&mut self, engine: &InstaEngine) {
+        if self.grads.is_none() {
+            self.grads = Some(GradSave {
+                arrival: engine.state.grad_arrival.clone(),
+                arc: engine.state.grad_arc.clone(),
+                fanout: engine.state.grad_fanout.clone(),
+            });
+        }
+    }
+
+    /// Restores every observable captured, bit-identically; bulk kernel
+    /// arrays the session rewrote are marked stale instead of copied (see
+    /// the module docs for why the next pass regenerates them exactly).
+    pub(crate) fn restore(&mut self, engine: &mut InstaEngine) {
+        for &(e, mean, sigma) in &self.saved_arcs {
+            engine.st.arc_mean[e as usize] = mean;
+            engine.st.arc_sigma[e as usize] = sigma;
+        }
+        self.saved_arcs.clear();
+        self.saved_graph.clear();
+        if let Some(s) = self.saved.take() {
+            engine.state.report = s.report;
+            engine.drift = s.drift;
+            // LSE buffers: untouched since capture → the begin-time τ tag
+            // is still valid; rewritten → stale, so the next consumer
+            // recomputes them from the restored annotations.
+            engine.state.lse_tau_used = if engine.lse_writes == s.lse_writes {
+                s.lse_tau_used
+            } else {
+                None
+            };
+            // Top-K arrays: same rule, with the recompute happening at the
+            // client's next propagate().
+            engine.topk_synced = if engine.topk_writes == s.topk_writes {
+                s.topk_synced
+            } else {
+                false
+            };
+            if engine.grad_writes != s.grad_writes {
+                let g = self
+                    .grads
+                    .take()
+                    .expect("sessions checkpoint gradients before a backward pass");
+                engine.state.grad_arrival = g.arrival;
+                engine.state.grad_arc = g.arc;
+                engine.state.grad_fanout = g.fanout;
+            }
+        }
+        engine.cfg.lse_tau = self.lse_tau;
+    }
+
+    /// Approximate checkpoint footprint in bytes (sparse arc saves plus
+    /// the captured observables and any gradient clone).
+    pub fn bytes(&self) -> usize {
+        let arcs = self.saved_arcs.len() * (4 + 16 + 16);
+        let report = self
+            .saved
+            .as_ref()
+            .and_then(|s| s.report.as_ref())
+            .map_or(0, |r| r.slacks.len() * (8 + 8 + 8 + 4 + 1));
+        let grads = self.grads.as_ref().map_or(0, |g| {
+            g.arrival.len() * 8 + (g.arc.len() + g.fanout.len()) * 16
+        });
+        arcs + report + grads
+    }
+}

@@ -9,10 +9,77 @@
 //! `done` / `current` regions and run each level's pins in parallel with no
 //! synchronization and no unsafe code.
 
-use crate::error::{InstaError, RuntimeIncident};
+use crate::error::{IncidentLog, InstaError, RuntimeIncident};
+use crate::parallel::Interrupt;
 use crate::validate::{self, Issue, ValidationMode, ValidationReport};
 use insta_refsta::export::{EndpointInit, InstaInit, SourceInit, NO_LEAF};
 use insta_refsta::ExceptionSet;
+
+/// Budget after which incremental re-annotation is no longer trusted and
+/// updates degrade to an audited full refresh (see
+/// `DESIGN.md` "Session lifecycle and failure policy").
+///
+/// Repeated approximate updates can compound error silently — the classic
+/// incremental-STA drift failure mode — so the engine counts updates and
+/// accumulated *touched-arc mass* (Σ batch-size / total-graph-arcs, i.e.
+/// how many times over the whole graph has been re-annotated). Past either
+/// bound, `update_timing` additionally runs a `health_check()` gate and a
+/// fresh differentiable forward pass, and callers are expected to resync
+/// from the golden reference and call
+/// [`InstaEngine::reset_drift`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftPolicy {
+    /// Maximum incremental updates before degradation (`0` = unlimited).
+    pub max_updates: u64,
+    /// Maximum accumulated touched-arc mass before degradation
+    /// (`0.0` = unlimited).
+    pub max_touched_mass: f64,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        Self {
+            max_updates: 4096,
+            max_touched_mass: 64.0,
+        }
+    }
+}
+
+impl DriftPolicy {
+    /// A policy that never degrades (pre-drift-auditing behavior).
+    pub fn unlimited() -> Self {
+        Self {
+            max_updates: 0,
+            max_touched_mass: 0.0,
+        }
+    }
+
+    fn exceeded(&self, updates: u64, mass: f64) -> bool {
+        (self.max_updates > 0 && updates >= self.max_updates)
+            || (self.max_touched_mass > 0.0 && mass >= self.max_touched_mass)
+    }
+}
+
+/// Accumulated incremental-drift odometer (checkpointed and restored with
+/// the timing state, so a rolled-back session doesn't count).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct DriftState {
+    /// Incremental updates applied since the last [`InstaEngine::reset_drift`].
+    pub updates: u64,
+    /// Accumulated touched-arc mass (Σ deltas / graph arcs).
+    pub mass: f64,
+}
+
+/// Monotonic session/rollback/cancel counters (never rolled back).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SessionStats {
+    pub begun: u64,
+    pub committed: u64,
+    pub rolled_back: u64,
+    pub cancelled: u64,
+    pub degraded_passes: u64,
+    pub incremental_updates: u64,
+}
 
 /// Configuration of the INSTA engine.
 #[derive(Debug, Clone)]
@@ -34,6 +101,9 @@ pub struct InstaConfig {
     /// (validate and fix what is locally fixable), or `Trust` (skip
     /// validation entirely, zero overhead).
     pub validation: ValidationMode,
+    /// When repeated incremental updates stop being trusted (see
+    /// [`DriftPolicy`]).
+    pub drift_policy: DriftPolicy,
 }
 
 impl Default for InstaConfig {
@@ -44,6 +114,7 @@ impl Default for InstaConfig {
             lse_tau: 1.0,
             cppr: true,
             validation: ValidationMode::Strict,
+            drift_policy: DriftPolicy::default(),
         }
     }
 }
@@ -163,6 +234,11 @@ pub(crate) struct State {
     pub grad_fanout: Vec<[f64; 2]>,
     /// Last evaluation report.
     pub report: Option<crate::metrics::InstaReport>,
+    /// The τ the current `lse_arrival`/`lse_weight` buffers were computed
+    /// with; `None` when they are stale (never computed, τ changed, or
+    /// arcs re-annotated since). The backward entry points recompute the
+    /// differentiable forward pass when this doesn't match `cfg.lse_tau`.
+    pub lse_tau_used: Option<f64>,
 }
 
 /// The INSTA engine.
@@ -183,6 +259,32 @@ pub struct InstaEngine {
     /// The worker-panic incident of the most recent kernel pass, if it
     /// had one that serial re-execution recovered from.
     pub(crate) last_incident: Option<RuntimeIncident>,
+    /// Bounded history of every recovered or fatal worker panic (see
+    /// [`IncidentLog`]).
+    pub(crate) incidents: IncidentLog,
+    /// Cooperative interruption polled once per level by the kernels
+    /// (armed by the session layer, `None` on the plain entry points).
+    pub(crate) interrupt: Option<Interrupt>,
+    /// Commit counter: bumped by every committed session.
+    pub(crate) epoch: u64,
+    /// Incremental-drift odometer (checkpointed with the timing state).
+    pub(crate) drift: DriftState,
+    /// Monotonic session statistics.
+    pub(crate) stats: SessionStats,
+    /// Whether the Top-K arrays are the deterministic output of
+    /// [`try_propagate`](InstaEngine::try_propagate) over the *current*
+    /// annotations. Cleared by re-annotation, hold propagation, failed
+    /// passes, and light session rollbacks; the checkpoint layer uses it
+    /// to decide whether the arrays are reproducible by recomputation.
+    pub(crate) topk_synced: bool,
+    /// Write-generation counter for the Top-K arrays, bumped at the entry
+    /// of every pass that rewrites them. The checkpoint layer compares
+    /// generations to know which state a session actually dirtied.
+    pub(crate) topk_writes: u64,
+    /// Write generation of the LSE arrival/weight buffers.
+    pub(crate) lse_writes: u64,
+    /// Write generation of the gradient buffers.
+    pub(crate) grad_writes: u64,
 }
 
 impl InstaEngine {
@@ -319,6 +421,7 @@ impl InstaEngine {
             grad_arc: vec![[0.0; 2]; n_exp],
             grad_fanout: vec![[0.0; 2]; n_exp],
             report: None,
+            lse_tau_used: None,
         };
         Ok(Self {
             st,
@@ -326,6 +429,15 @@ impl InstaEngine {
             cfg,
             validation,
             last_incident: None,
+            incidents: IncidentLog::default(),
+            interrupt: None,
+            epoch: 0,
+            drift: DriftState::default(),
+            stats: SessionStats::default(),
+            topk_synced: false,
+            topk_writes: 0,
+            lse_writes: 0,
+            grad_writes: 0,
         })
     }
 
@@ -376,9 +488,51 @@ impl InstaEngine {
     }
 
     /// Sets the LSE temperature for subsequent differentiable passes.
+    ///
+    /// Previously computed LSE arrivals/weights become stale (they were
+    /// computed with the old τ); the backward entry points detect the
+    /// mismatch against [`State::lse_tau_used`] and rerun the
+    /// differentiable forward pass before consuming them.
     pub fn set_lse_tau(&mut self, tau: f64) {
         assert!(tau > 0.0, "tau must be positive");
         self.cfg.lse_tau = tau;
+    }
+
+    /// Arms a cooperative interruption for subsequent kernel passes.
+    pub(crate) fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.interrupt = Some(interrupt);
+    }
+
+    /// Disarms cooperative interruption.
+    pub(crate) fn clear_interrupt(&mut self) {
+        self.interrupt = None;
+    }
+
+    /// The bounded history of worker-panic incidents — both recovered and
+    /// fatal — across the engine's whole lifetime (capacity
+    /// [`IncidentLog::CAPACITY`]; evictions are counted, not lost).
+    pub fn incident_log(&self) -> &IncidentLog {
+        &self.incidents
+    }
+
+    /// The commit epoch: how many sessions have committed on this engine.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the accumulated incremental drift exceeds
+    /// [`InstaConfig::drift_policy`] — once true, `update_timing` runs its
+    /// degraded (audited) path until [`reset_drift`](Self::reset_drift).
+    pub fn drift_exceeded(&self) -> bool {
+        self.cfg
+            .drift_policy
+            .exceeded(self.drift.updates, self.drift.mass)
+    }
+
+    /// Resets the drift odometer — call after resyncing annotations from
+    /// the golden reference.
+    pub fn reset_drift(&mut self) {
+        self.drift = DriftState::default();
     }
 
     /// Approximate resident memory of the propagation state in bytes

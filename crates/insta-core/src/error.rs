@@ -18,9 +18,19 @@
 //! * [`InstaError::Runtime`] — a data-parallel worker panicked; carries
 //!   the kernel, level, and chunk range, and whether the serial
 //!   re-execution fallback also failed.
+//! * [`InstaError::Cancelled`] — a cooperative cancel token fired or a
+//!   deadline expired; kernels poll once per timing level, so the
+//!   latency between the request and this error is bounded by one
+//!   level's work.
+//!
+//! Incidents that a pass *recovered from* (serial re-execution succeeded)
+//! don't surface as errors; they accumulate in the engine's bounded
+//! [`IncidentLog`] so a long optimization session can audit every worker
+//! panic, not just the most recent one.
 
 use insta_refsta::export::SnapshotError;
 use insta_support::json::JsonError;
+use std::collections::VecDeque;
 
 /// Which propagation kernel an error originated from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +117,17 @@ pub enum InstaError {
     },
     /// A data-parallel worker panicked.
     Runtime(RuntimeIncident),
+    /// A cooperative cancellation (token fired or deadline expired) was
+    /// observed at a per-level poll point.
+    Cancelled {
+        /// The kernel that observed the cancellation.
+        kernel: Kernel,
+        /// The timing level about to be processed when it was observed.
+        level: usize,
+        /// Wall time between the pass starting and the poll that observed
+        /// the cancellation.
+        elapsed: std::time::Duration,
+    },
 }
 
 /// Everything known about one worker panic: where it happened and whether
@@ -161,7 +182,18 @@ impl InstaError {
             InstaError::Validate(_) => "validate",
             InstaError::Numeric { .. } => "numeric",
             InstaError::Runtime(_) => "runtime",
+            InstaError::Cancelled { .. } => "cancelled",
         }
+    }
+
+    /// Whether this error means engine state may be half-updated — i.e. a
+    /// session must roll back to its checkpoint. `Ingest`/`Validate` are
+    /// raised *before* anything is mutated and leave the engine untouched.
+    pub fn poisons_state(&self) -> bool {
+        matches!(
+            self,
+            InstaError::Numeric { .. } | InstaError::Runtime(_) | InstaError::Cancelled { .. }
+        )
     }
 }
 
@@ -187,7 +219,73 @@ impl std::fmt::Display for InstaError {
                 if *rf == 0 { "rise" } else { "fall" }
             ),
             InstaError::Runtime(incident) => incident.fmt(f),
+            InstaError::Cancelled {
+                kernel,
+                level,
+                elapsed,
+            } => write!(
+                f,
+                "cancelled in {kernel} kernel at level {level} after {:.3} ms",
+                elapsed.as_secs_f64() * 1e3
+            ),
         }
+    }
+}
+
+/// A bounded ring of [`RuntimeIncident`]s with monotonic counters.
+///
+/// A long optimization session can trip many recovered worker panics;
+/// keeping only the most recent one (the pre-session `last_incident()`
+/// contract) silently overwrites history. The log keeps the newest
+/// [`IncidentLog::CAPACITY`] incidents and counts everything ever
+/// recorded, so `total() - len()` is the number dropped.
+#[derive(Debug, Clone, Default)]
+pub struct IncidentLog {
+    ring: VecDeque<RuntimeIncident>,
+    total: u64,
+}
+
+impl IncidentLog {
+    /// Maximum retained incidents; older ones are dropped (but counted).
+    pub const CAPACITY: usize = 32;
+
+    /// Appends an incident, evicting the oldest past capacity.
+    pub(crate) fn record(&mut self, incident: RuntimeIncident) {
+        if self.ring.len() == Self::CAPACITY {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(incident);
+        self.total += 1;
+    }
+
+    /// Retained incidents, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &RuntimeIncident> {
+        self.ring.iter()
+    }
+
+    /// Number of retained incidents.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has ever been recorded *or* retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Incidents ever recorded (monotonic; survives eviction).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Incidents evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.ring.len() as u64
+    }
+
+    /// The newest retained incident.
+    pub fn last(&self) -> Option<&RuntimeIncident> {
+        self.ring.back()
     }
 }
 
@@ -230,6 +328,51 @@ mod tests {
         assert!(text.contains("512..1024"), "{text}");
         assert!(text.contains("recovered"), "{text}");
         assert_eq!(e.category(), "runtime");
+    }
+
+    #[test]
+    fn cancelled_reports_the_poll_site_and_poisons_state() {
+        let e = InstaError::Cancelled {
+            kernel: Kernel::ForwardLse,
+            level: 12,
+            elapsed: std::time::Duration::from_millis(4),
+        };
+        assert_eq!(e.category(), "cancelled");
+        assert!(e.poisons_state());
+        let text = e.to_string();
+        assert!(text.contains("forward_lse"), "{text}");
+        assert!(text.contains("level 12"), "{text}");
+    }
+
+    #[test]
+    fn validate_errors_do_not_poison_state() {
+        let e = InstaError::Validate(crate::validate::ValidationReport::default());
+        assert!(!e.poisons_state());
+    }
+
+    #[test]
+    fn incident_log_bounds_retention_and_counts_everything() {
+        let mk = |i: usize| RuntimeIncident {
+            kernel: Kernel::Forward,
+            level: i,
+            chunk: 0..1,
+            message: format!("panic {i}"),
+            serial_retry_failed: false,
+        };
+        let mut log = IncidentLog::default();
+        assert!(log.is_empty());
+        for i in 0..IncidentLog::CAPACITY + 10 {
+            log.record(mk(i));
+        }
+        assert_eq!(log.len(), IncidentLog::CAPACITY);
+        assert_eq!(log.total(), (IncidentLog::CAPACITY + 10) as u64);
+        assert_eq!(log.dropped(), 10);
+        // Oldest retained is the 11th recorded; newest is the last.
+        assert_eq!(log.iter().next().expect("front").level, 10);
+        assert_eq!(
+            log.last().expect("back").level,
+            IncidentLog::CAPACITY + 9
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::engine::{InstaEngine, State, Static};
 use crate::error::{InstaError, Kernel, RuntimeIncident};
-use crate::parallel::{chaos, resolve_threads, PanicCell, PAR_THRESHOLD};
+use crate::parallel::{chaos, resolve_threads, Interrupt, PanicCell, PAR_THRESHOLD};
 use crate::topk::{update_topk_slices, Candidate, NO_SP};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -45,12 +45,32 @@ impl InstaEngine {
     /// the next successful pass.
     pub fn try_propagate(&mut self) -> Result<&crate::metrics::InstaReport, InstaError> {
         self.last_incident = None;
-        match forward(&self.st, &mut self.state, self.cfg.n_threads) {
-            Ok(incident) => self.last_incident = incident,
-            Err(incident) => return Err(InstaError::Runtime(incident)),
+        // The pass rewrites the Top-K arrays whether it succeeds or not;
+        // only a completed pass leaves them in sync with the annotations.
+        self.topk_writes += 1;
+        self.topk_synced = false;
+        match forward(
+            &self.st,
+            &mut self.state,
+            self.cfg.n_threads,
+            self.interrupt.as_ref(),
+        ) {
+            Ok(incident) => {
+                if let Some(inc) = &incident {
+                    self.incidents.record(inc.clone());
+                }
+                self.last_incident = incident;
+            }
+            Err(e) => {
+                if let InstaError::Runtime(inc) = &e {
+                    self.incidents.record(inc.clone());
+                }
+                return Err(e);
+            }
         }
         let report = crate::metrics::evaluate(&self.st, &self.state, self.cfg.cppr);
         self.state.report = Some(report);
+        self.topk_synced = true;
         Ok(self.state.report.as_ref().expect("just set"))
     }
 }
@@ -78,7 +98,8 @@ pub(crate) fn forward(
     st: &Static,
     state: &mut State,
     n_threads: usize,
-) -> Result<Option<RuntimeIncident>, RuntimeIncident> {
+    interrupt: Option<&Interrupt>,
+) -> Result<Option<RuntimeIncident>, InstaError> {
     let k = state.k;
     let stride = 2 * k;
 
@@ -90,6 +111,13 @@ pub(crate) fn forward(
     let nt = resolve_threads(n_threads);
     let mut recovered: Option<RuntimeIncident> = None;
     for l in 1..st.num_levels() {
+        // Cooperative cancellation: one poll per level bounds the latency
+        // between a cancel/deadline firing and this return by one level's
+        // work. Levels before `l` are fully written, `l` and later are
+        // untouched — the session layer rolls the mix back.
+        if let Some(e) = interrupt.and_then(|i| i.check(Kernel::Forward, l)) {
+            return Err(e);
+        }
         let r = st.level_range(l);
         let (base, len) = (r.start, r.len());
         if len == 0 {
@@ -188,10 +216,10 @@ pub(crate) fn forward(
                     recovered.get_or_insert(incident);
                 }
                 Err(_) => {
-                    return Err(RuntimeIncident {
+                    return Err(InstaError::Runtime(RuntimeIncident {
                         serial_retry_failed: true,
                         ..incident
-                    })
+                    }))
                 }
             }
         }

@@ -109,6 +109,9 @@ impl InstaEngine {
             self.st.endpoints.len(),
             "hold attributes must cover every endpoint"
         );
+        // The min pass clobbers the setup Top-K arrays.
+        self.topk_writes += 1;
+        self.topk_synced = false;
         forward_min(&self.st, &mut self.state, attrs);
         evaluate_hold(&self.st, &self.state, attrs, self.cfg.cppr)
     }

@@ -8,20 +8,81 @@
 //! "incremental" reduces to re-annotate + propagate.
 
 use crate::engine::InstaEngine;
+use crate::error::InstaError;
 use crate::metrics::InstaReport;
+use crate::validate::{Issue, ValidationReport};
 use insta_refsta::eco::ArcDelta;
 
 impl InstaEngine {
+    /// Validates a delta batch against the snapshot without mutating
+    /// anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstaError::Validate`] listing **every** offending delta
+    /// — out-of-range arc ids, non-finite means, NaN/infinite/negative
+    /// sigmas — so a client can fix its whole batch from one rejection.
+    /// The checks mirror the snapshot-ingest arc validation: a delta that
+    /// would have been rejected at ingest is rejected here too, *before*
+    /// any annotation is written.
+    pub fn validate_deltas(&self, deltas: &[ArcDelta]) -> Result<(), InstaError> {
+        let mut report = ValidationReport::default();
+        for (index, d) in deltas.iter().enumerate() {
+            if d.arc as usize >= self.st.n_graph_arcs {
+                report.record(Issue::DeltaArcOutOfRange {
+                    index,
+                    arc: d.arc,
+                    n_graph_arcs: self.st.n_graph_arcs,
+                });
+            }
+            for rf in 0..2 {
+                if !d.mean[rf].is_finite() {
+                    report.record(Issue::NonFiniteMean {
+                        arc: d.arc as usize,
+                        rf: rf as u8,
+                        value: d.mean[rf],
+                    });
+                }
+                if !d.sigma[rf].is_finite() || d.sigma[rf] < 0.0 {
+                    report.record(Issue::InvalidSigma {
+                        arc: d.arc as usize,
+                        rf: rf as u8,
+                        value: d.sigma[rf],
+                    });
+                }
+            }
+        }
+        if report.total() > 0 {
+            Err(InstaError::Validate(report))
+        } else {
+            Ok(())
+        }
+    }
+
     /// Overwrites the cloned delay annotation of the given graph arcs (all
     /// of their non-unate expansions included).
     ///
-    /// # Panics
+    /// The batch is applied **atomically with respect to validation**:
+    /// every delta id is checked against the snapshot first, so a rejected
+    /// batch leaves the annotations untouched.
     ///
-    /// Panics if a delta references an arc index outside the snapshot.
-    pub fn reannotate(&mut self, deltas: &[ArcDelta]) {
+    /// # Errors
+    ///
+    /// Returns [`InstaError::Validate`] (see
+    /// [`validate_deltas`](Self::validate_deltas)) when any delta
+    /// references an arc outside the snapshot.
+    pub fn reannotate(&mut self, deltas: &[ArcDelta]) -> Result<(), InstaError> {
+        self.validate_deltas(deltas)?;
+        self.reannotate_unchecked(deltas);
+        Ok(())
+    }
+
+    /// The write phase of [`reannotate`](Self::reannotate); callers must
+    /// have validated `deltas` already.
+    pub(crate) fn reannotate_unchecked(&mut self, deltas: &[ArcDelta]) {
         for d in deltas {
             let g = d.arc as usize;
-            assert!(g < self.st.n_graph_arcs, "arc {g} out of range");
+            debug_assert!(g < self.st.n_graph_arcs, "unvalidated delta arc {g}");
             let range = self.st.expansion_start[g] as usize
                 ..self.st.expansion_start[g + 1] as usize;
             for &e in &self.st.expansion_arc[range] {
@@ -29,14 +90,61 @@ impl InstaEngine {
                 self.st.arc_sigma[e as usize] = d.sigma;
             }
         }
+        // LSE arrivals/weights and Top-K arrays were computed against the
+        // old annotations.
+        self.state.lse_tau_used = None;
+        self.topk_synced = false;
+        // Drift odometer: one update, batch-size/graph fraction of mass.
+        self.drift.updates += 1;
+        self.drift.mass += deltas.len() as f64 / self.st.n_graph_arcs.max(1) as f64;
+        self.stats.incremental_updates += 1;
     }
 
     /// Re-annotates and re-propagates in one call, returning the fresh
     /// report (the per-iteration evaluation of the commercial sizing
     /// flow).
-    pub fn update_timing(&mut self, deltas: &[ArcDelta]) -> InstaReport {
-        self.reannotate(deltas);
-        self.propagate().clone()
+    ///
+    /// Once the accumulated drift exceeds
+    /// [`InstaConfig::drift_policy`](crate::engine::InstaConfig), updates
+    /// degrade gracefully: the re-propagation is followed by a fresh
+    /// differentiable forward pass and a full
+    /// [`health_check`](Self::health_check) gate, and
+    /// [`drift_exceeded`](Self::drift_exceeded) stays `true` until the
+    /// caller resyncs annotations from its golden reference and calls
+    /// [`reset_drift`](Self::reset_drift).
+    ///
+    /// # Errors
+    ///
+    /// [`InstaError::Validate`] for out-of-range deltas (annotations
+    /// untouched), [`InstaError::Runtime`] /
+    /// [`InstaError::Numeric`] / [`InstaError::Cancelled`] from the
+    /// propagation itself (state may be half-updated — run inside a
+    /// [`TimingSession`](crate::session::TimingSession) to get automatic
+    /// rollback).
+    pub fn update_timing(&mut self, deltas: &[ArcDelta]) -> Result<InstaReport, InstaError> {
+        self.validate_deltas(deltas)?;
+        self.update_timing_prevalidated(deltas)
+    }
+
+    /// [`update_timing`](Self::update_timing) minus the validation pass
+    /// (the session layer validates before checkpointing).
+    pub(crate) fn update_timing_prevalidated(
+        &mut self,
+        deltas: &[ArcDelta],
+    ) -> Result<InstaReport, InstaError> {
+        self.reannotate_unchecked(deltas);
+        if self.drift_exceeded() {
+            // Degraded path: the incremental result is no longer trusted
+            // blind — refresh the differentiable state and gate the pass
+            // on a full poison scan.
+            self.stats.degraded_passes += 1;
+            self.try_propagate()?;
+            self.try_forward_lse()?;
+            self.health_check()?;
+        } else {
+            self.try_propagate()?;
+        }
+        Ok(self.state.report.clone().expect("just propagated"))
     }
 }
 
@@ -74,7 +182,7 @@ mod tests {
         let big = *lib.family(design.lib_cell_of(cell).class).last().unwrap();
 
         let est = estimate_eco(&design, &golden, cell, big);
-        let after_insta = eng.update_timing(&est.arc_deltas);
+        let after_insta = eng.update_timing(&est.arc_deltas).expect("in-range deltas");
 
         design.resize_cell(cell, big);
         let after_golden = golden.incremental_update(&design, &[cell]);
@@ -112,23 +220,58 @@ mod tests {
         );
         let same = design.cell(cell).lib_cell;
         let est = estimate_eco(&design, &golden, cell, same);
-        let after = eng.update_timing(&est.arc_deltas);
+        let after = eng.update_timing(&est.arc_deltas).expect("in-range deltas");
         for (a, b) in before.slacks.iter().zip(&after.slacks) {
             assert!((a - b).abs() < 1e-9);
         }
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_delta_panics() {
+    fn out_of_range_deltas_are_a_typed_error_and_leave_annotations_untouched() {
         let design = generate_design(&GeneratorConfig::small("incr", 35));
         let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
         golden.full_update(&design);
         let mut eng = InstaEngine::new(golden.export_insta_init(), InstaConfig::default()).expect("valid snapshot");
-        eng.reannotate(&[insta_refsta::eco::ArcDelta {
-            arc: u32::MAX,
-            mean: [0.0; 2],
-            sigma: [0.0; 2],
-        }]);
+        let before = eng.propagate().clone();
+        let n_arcs = eng.st.n_graph_arcs as u32;
+        // A mixed batch: a bad id at position 0 and 2, a valid (but
+        // perturbing) delta between them. Batch rejection must be atomic.
+        let deltas = [
+            insta_refsta::eco::ArcDelta {
+                arc: u32::MAX,
+                mean: [0.0; 2],
+                sigma: [0.0; 2],
+            },
+            insta_refsta::eco::ArcDelta {
+                arc: 0,
+                mean: [999.0; 2],
+                sigma: [9.0; 2],
+            },
+            insta_refsta::eco::ArcDelta {
+                arc: n_arcs,
+                mean: [0.0; 2],
+                sigma: [0.0; 2],
+            },
+        ];
+        let err = eng.reannotate(&deltas).expect_err("must reject");
+        assert_eq!(err.category(), "validate");
+        assert!(!err.poisons_state());
+        let text = err.to_string();
+        assert!(text.contains("out of range"), "{text}");
+        let crate::error::InstaError::Validate(report) = &err else {
+            panic!("expected Validate, got {err:?}");
+        };
+        // Both offenders listed, not just the first.
+        assert_eq!(report.total(), 2, "{report}");
+        // The valid middle delta was NOT applied: re-propagating
+        // reproduces the untouched report bit-for-bit.
+        let after = eng.propagate().clone();
+        assert_eq!(
+            before.slacks.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            after.slacks.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        // update_timing rejects identically.
+        let err2 = eng.update_timing(&deltas).expect_err("must reject");
+        assert_eq!(err2.category(), "validate");
     }
 }

@@ -34,6 +34,10 @@
 //!   untrusted-input and runtime paths.
 //! * [`validate`] — snapshot validation with Strict / Repair / Trust
 //!   modes (see DESIGN.md "Error taxonomy and failure policy").
+//! * [`session`] / [`checkpoint`] — transactional timing sessions:
+//!   copy-on-write epoch checkpoints, bit-identical rollback on poison,
+//!   cooperative per-level cancellation with deadlines, and drift-audited
+//!   degradation (see DESIGN.md "Session lifecycle and failure policy").
 //!
 //! # Examples
 //!
@@ -54,6 +58,7 @@
 //! ```
 
 pub mod backward;
+pub mod checkpoint;
 pub mod correlate;
 pub mod engine;
 pub mod error;
@@ -64,13 +69,18 @@ pub mod incremental;
 pub mod lse;
 pub mod metrics;
 pub mod parallel;
+pub mod session;
 pub mod topk;
 pub mod validate;
 
 pub use correlate::{pearson, MismatchStats};
-pub use engine::{InstaConfig, InstaEngine};
-pub use error::{InstaError, Kernel, PoisonedArray, RuntimeIncident};
+pub use engine::{DriftPolicy, InstaConfig, InstaEngine};
+pub use error::{IncidentLog, InstaError, Kernel, PoisonedArray, RuntimeIncident};
 pub use hold::{hold_attributes, HoldAttributes};
-pub use metrics::InstaReport;
+pub use metrics::{EngineCounters, InstaReport};
+pub use session::{SessionStatus, TimingSession};
 pub use topk::TopKQueue;
 pub use validate::{ValidationMode, ValidationReport};
+// Session control handles, re-exported so engine clients don't need a
+// direct `insta_support` dependency.
+pub use insta_support::timer::{CancelToken, Deadline};

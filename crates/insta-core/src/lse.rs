@@ -17,7 +17,7 @@
 
 use crate::engine::{InstaEngine, State, Static};
 use crate::error::{InstaError, Kernel, RuntimeIncident};
-use crate::parallel::{chaos, resolve_threads, PanicCell, PAR_THRESHOLD};
+use crate::parallel::{chaos, resolve_threads, Interrupt, PanicCell, PAR_THRESHOLD};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 impl InstaEngine {
@@ -39,12 +39,29 @@ impl InstaEngine {
     /// [`try_propagate`](InstaEngine::try_propagate).
     pub fn try_forward_lse(&mut self) -> Result<(), InstaError> {
         self.last_incident = None;
-        match forward_lse(&self.st, &mut self.state, self.cfg.lse_tau, self.cfg.n_threads) {
+        self.lse_writes += 1;
+        self.state.lse_tau_used = None;
+        match forward_lse(
+            &self.st,
+            &mut self.state,
+            self.cfg.lse_tau,
+            self.cfg.n_threads,
+            self.interrupt.as_ref(),
+        ) {
             Ok(incident) => {
+                if let Some(inc) = &incident {
+                    self.incidents.record(inc.clone());
+                }
                 self.last_incident = incident;
+                self.state.lse_tau_used = Some(self.cfg.lse_tau);
                 Ok(())
             }
-            Err(incident) => Err(InstaError::Runtime(incident)),
+            Err(e) => {
+                if let InstaError::Runtime(inc) = &e {
+                    self.incidents.record(inc.clone());
+                }
+                Err(e)
+            }
         }
     }
 
@@ -76,7 +93,8 @@ pub(crate) fn forward_lse(
     state: &mut State,
     tau: f64,
     n_threads: usize,
-) -> Result<Option<RuntimeIncident>, RuntimeIncident> {
+    interrupt: Option<&Interrupt>,
+) -> Result<Option<RuntimeIncident>, InstaError> {
     debug_assert!(tau > 0.0);
     state.lse_arrival.fill(f64::NEG_INFINITY);
     for w in state.lse_weight.iter_mut() {
@@ -87,6 +105,10 @@ pub(crate) fn forward_lse(
     let nt = resolve_threads(n_threads);
     let mut recovered: Option<RuntimeIncident> = None;
     for l in 1..st.num_levels() {
+        // One cancellation poll per level (bounded-latency contract).
+        if let Some(e) = interrupt.and_then(|i| i.check(Kernel::ForwardLse, l)) {
+            return Err(e);
+        }
         let r = st.level_range(l);
         let (base, len) = (r.start, r.len());
         if len == 0 {
@@ -168,10 +190,10 @@ pub(crate) fn forward_lse(
                     recovered.get_or_insert(incident);
                 }
                 Err(_) => {
-                    return Err(RuntimeIncident {
+                    return Err(InstaError::Runtime(RuntimeIncident {
                         serial_retry_failed: true,
                         ..incident
-                    })
+                    }))
                 }
             }
         }

@@ -105,7 +105,61 @@ pub(crate) fn evaluate(st: &Static, state: &State, cppr: bool) -> InstaReport {
     }
 }
 
+/// Monotonic runtime counters for observability: session lifecycle, drift
+/// odometer, and incident-ring totals. Counters never roll back — a
+/// rolled-back session still *happened* — so dashboards can difference
+/// consecutive scrapes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineCounters {
+    /// Committed-session count; bumped once per successful
+    /// [`commit`](crate::session::TimingSession::commit).
+    pub epoch: u64,
+    /// Sessions opened via `begin_session`.
+    pub sessions_begun: u64,
+    /// Sessions committed.
+    pub sessions_committed: u64,
+    /// Sessions rolled back (explicitly, on poison, or on drop-while-open);
+    /// excludes cancellations.
+    pub sessions_rolled_back: u64,
+    /// Sessions rolled back because a cancel token fired or a deadline
+    /// expired.
+    pub sessions_cancelled: u64,
+    /// Incremental updates that took the degraded full-refresh path
+    /// because the drift budget was exhausted.
+    pub degraded_passes: u64,
+    /// Total incremental updates (`reannotate` / `update_timing`).
+    pub incremental_updates: u64,
+    /// Re-annotation batches since the last
+    /// [`reset_drift`](crate::engine::InstaEngine::reset_drift).
+    pub drift_updates: u64,
+    /// Touched-arc mass (Σ batch-size / graph-arcs) since the last drift
+    /// reset.
+    pub drift_mass: f64,
+    /// Runtime incidents ever recorded (recovered and fatal).
+    pub incidents_total: u64,
+    /// Incidents evicted from the bounded ring
+    /// ([`IncidentLog`](crate::error::IncidentLog)).
+    pub incidents_dropped: u64,
+}
+
 impl crate::engine::InstaEngine {
+    /// A snapshot of the engine's monotonic observability counters.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            epoch: self.epoch,
+            sessions_begun: self.stats.begun,
+            sessions_committed: self.stats.committed,
+            sessions_rolled_back: self.stats.rolled_back,
+            sessions_cancelled: self.stats.cancelled,
+            degraded_passes: self.stats.degraded_passes,
+            incremental_updates: self.stats.incremental_updates,
+            drift_updates: self.drift.updates,
+            drift_mass: self.drift.mass,
+            incidents_total: self.incidents.total(),
+            incidents_dropped: self.incidents.dropped(),
+        }
+    }
+
     /// The last evaluation report.
     ///
     /// # Panics

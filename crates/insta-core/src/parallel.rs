@@ -14,8 +14,57 @@
 //! bit-identical to an undisturbed run), reporting the incident as
 //! [`InstaError::Runtime`](crate::error::InstaError::Runtime).
 
+use crate::error::{InstaError, Kernel};
+use insta_support::timer::{CancelToken, Deadline};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// A cooperative interruption request threaded through the level loops.
+///
+/// Kernels poll [`Interrupt::check`] once per timing level (never inside
+/// the data-parallel chunk bodies), so cancellation latency is bounded by
+/// one level's work and an interrupted pass is cut at a level boundary —
+/// earlier levels are fully written, later levels untouched. The partially
+/// refreshed state is still inconsistent *as a whole*, which is why the
+/// session layer treats [`InstaError::Cancelled`] as poisoning (rollback).
+#[derive(Debug, Clone)]
+pub struct Interrupt {
+    cancel: Option<CancelToken>,
+    deadline: Option<Deadline>,
+    started: Instant,
+}
+
+impl Interrupt {
+    /// An interrupt armed with a token and/or a deadline.
+    pub fn new(cancel: Option<CancelToken>, deadline: Option<Deadline>) -> Self {
+        Self {
+            cancel,
+            deadline,
+            started: Instant::now(),
+        }
+    }
+
+    /// Whether either trigger has fired.
+    pub fn fired(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+            || self.deadline.is_some_and(|d| d.expired())
+    }
+
+    /// Per-level poll: `Some(InstaError::Cancelled)` when a trigger fired.
+    #[inline]
+    pub(crate) fn check(&self, kernel: Kernel, level: usize) -> Option<InstaError> {
+        if self.fired() {
+            Some(InstaError::Cancelled {
+                kernel,
+                level,
+                elapsed: self.started.elapsed(),
+            })
+        } else {
+            None
+        }
+    }
+}
 
 /// Number of worker threads a launch uses (`0` = all available cores).
 pub fn resolve_threads(requested: usize) -> usize {

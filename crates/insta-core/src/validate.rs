@@ -95,6 +95,16 @@ pub enum Issue {
         /// The out-of-range parent.
         parent: u32,
     },
+    /// An incremental update delta references a graph arc the snapshot
+    /// does not have (caller-supplied id past `n_graph_arcs`).
+    DeltaArcOutOfRange {
+        /// Position of the delta in the caller's batch.
+        index: usize,
+        /// The out-of-range graph-arc id.
+        arc: u32,
+        /// Number of graph arcs in the snapshot (exclusive bound).
+        n_graph_arcs: usize,
+    },
     /// An arc's parent is not in a strictly earlier level than its child
     /// (mis-levelization or a combinational cycle squeezed into the CSR).
     ArcLevelInversion {
@@ -238,7 +248,8 @@ impl Issue {
             | Issue::NodeCountMismatch { .. }
             | Issue::OrderNotPermutation { .. }
             | Issue::LevelCsrBroken { .. }
-            | Issue::FaninCsrBroken { .. } => Severity::Fatal,
+            | Issue::FaninCsrBroken { .. }
+            | Issue::DeltaArcOutOfRange { .. } => Severity::Fatal,
             Issue::UnreachableEndpoint { .. } => Severity::Warning,
             _ => Severity::Repairable,
         }
@@ -260,6 +271,14 @@ impl std::fmt::Display for Issue {
             Issue::ArcParentOutOfRange { arc, parent } => {
                 write!(f, "arc {arc}: parent {parent} out of range")
             }
+            Issue::DeltaArcOutOfRange {
+                index,
+                arc,
+                n_graph_arcs,
+            } => write!(
+                f,
+                "delta {index}: arc {arc} out of range (snapshot has {n_graph_arcs} graph arcs)"
+            ),
             Issue::ArcLevelInversion { arc, parent, child } => write!(
                 f,
                 "arc {arc}: parent {parent} not in a strictly earlier level than child {child}"

@@ -158,3 +158,53 @@ fn persistent_panic_fails_the_serial_retry_with_a_typed_error() {
     assert!(!report.slacks.is_empty());
     assert!(eng.last_incident().is_none());
 }
+
+/// The bounded incident ring is lifetime history, unlike the per-pass
+/// `last_incident`: recovered and fatal incidents accumulate, a clean pass
+/// clears `last_incident` but not the ring, and past the ring capacity
+/// evictions are counted rather than lost.
+#[test]
+fn incident_ring_outlives_passes_and_counts_evictions() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let mut eng = engine(wide_init());
+    eng.propagate();
+    assert_eq!(eng.incident_log().total(), 0);
+
+    // One recovered incident, then a clean pass: last_incident resets,
+    // the ring keeps the history.
+    with_quiet_panics(|| {
+        chaos::arm(Kernel::Forward, 3, false);
+        eng.try_propagate().expect("recovered");
+        chaos::disarm();
+    });
+    eng.propagate();
+    assert!(eng.last_incident().is_none());
+    assert_eq!(eng.incident_log().total(), 1);
+    assert!(!eng.incident_log().is_empty());
+    assert_eq!(eng.incident_log().last().expect("kept").kernel, Kernel::Forward);
+
+    // A fatal (persistent) incident is recorded too.
+    with_quiet_panics(|| {
+        chaos::arm(Kernel::Forward, 3, true);
+        eng.try_propagate().expect_err("retry must fail too");
+        chaos::disarm();
+    });
+    assert_eq!(eng.incident_log().total(), 2);
+    assert!(eng.incident_log().last().expect("kept").serial_retry_failed);
+
+    // Drive the ring past capacity: totals keep counting, length caps,
+    // evictions are visible.
+    let capacity = insta_engine::IncidentLog::CAPACITY as u64;
+    with_quiet_panics(|| {
+        for _ in 0..capacity {
+            chaos::arm(Kernel::Forward, 3, false);
+            eng.try_propagate().expect("recovered");
+            chaos::disarm();
+        }
+    });
+    let log = eng.incident_log();
+    assert_eq!(log.total(), 2 + capacity);
+    assert_eq!(log.len(), insta_engine::IncidentLog::CAPACITY);
+    assert_eq!(log.dropped(), 2);
+    assert!(log.iter().all(|i| i.kernel == Kernel::Forward));
+}

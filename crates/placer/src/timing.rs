@@ -9,10 +9,10 @@
 //! transfer components — recorded here as [`RefreshBreakdown`].
 
 use crate::db::PlacementDb;
-use insta_engine::{InstaConfig, InstaEngine};
+use insta_engine::{CancelToken, InstaConfig, InstaEngine};
 use insta_netlist::{Design, PinId, TimingArcKind};
 use insta_refsta::RefSta;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What the refresh computes beyond plain timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +59,18 @@ pub struct ArcWeight {
     pub weight: f64,
 }
 
+/// Optional cooperative-interruption guard for the INSTA gradient block:
+/// a shared cancel token and/or a wall-clock budget, both observed at
+/// INSTA's per-level poll points (at most one level's work runs after
+/// either fires).
+#[derive(Debug, Clone, Default)]
+pub struct RefreshGuard {
+    /// Fired by the caller (e.g. an interactive abort).
+    pub cancel: Option<CancelToken>,
+    /// Wall-clock budget for the gradient block, measured from its start.
+    pub budget: Option<Duration>,
+}
+
 /// Result of a timing refresh.
 #[derive(Debug, Clone)]
 pub struct TimingRefresh {
@@ -71,6 +83,10 @@ pub struct TimingRefresh {
     /// Per-net criticality in `[0, 1]` (NetWeighting mode; empty
     /// otherwise).
     pub net_crit: Vec<f64>,
+    /// The INSTA gradient block was cancelled or poisoned and rolled back;
+    /// `arc_weights` is empty and the placer should reuse its last
+    /// gradients (the paper's between-refresh behaviour).
+    pub degraded: bool,
     /// Runtime breakdown.
     pub breakdown: RefreshBreakdown,
 }
@@ -86,7 +102,23 @@ pub fn refresh_timing(
     mode: TimingMode,
     insta_cfg: &InstaConfig,
 ) -> TimingRefresh {
+    refresh_timing_guarded(design, db, sta, mode, insta_cfg, &RefreshGuard::default())
+}
+
+/// [`refresh_timing`] with a cancellation/deadline guard on the INSTA
+/// gradient block. A cancelled or poisoned block rolls the engine back and
+/// returns a refresh with [`TimingRefresh::degraded`] set instead of
+/// failing the whole placement iteration.
+pub fn refresh_timing_guarded(
+    design: &mut Design,
+    db: &PlacementDb,
+    sta: &mut RefSta,
+    mode: TimingMode,
+    insta_cfg: &InstaConfig,
+    guard: &RefreshGuard,
+) -> TimingRefresh {
     let mut breakdown = RefreshBreakdown::default();
+    let mut degraded = false;
 
     let t = Instant::now();
     db.update_wires(design);
@@ -127,28 +159,45 @@ pub fn refresh_timing(
             breakdown.transfer_s = t.elapsed().as_secs_f64();
 
             let t = Instant::now();
-            engine.propagate();
-            engine.forward_lse();
-            engine.backward_tns();
-            let grads = engine.arc_gradients();
+            // The gradient block runs in a session so a fired cancel
+            // token, an expired budget, or a numeric/runtime poison rolls
+            // the engine back instead of leaving half-propagated state.
+            let mut session = engine.begin_session();
+            if let Some(token) = &guard.cancel {
+                session = session.with_cancel(token.clone());
+            }
+            if let Some(budget) = guard.budget {
+                session = session.with_deadline(budget);
+            }
+            let gradients = session
+                .propagate()
+                .and_then(|_| session.forward_lse())
+                .and_then(|_| session.backward_tns())
+                .and_then(|_| session.commit());
             breakdown.insta_grad_s = t.elapsed().as_secs_f64();
 
-            let graph = sta.graph();
-            for (ai, arc) in graph.arcs().iter().enumerate() {
-                // Only interconnect arcs respond to placement (Eq. 7 sums
-                // pin-to-pin Manhattan distances).
-                if !matches!(arc.kind, TimingArcKind::Net { .. }) {
-                    continue;
+            match gradients {
+                Err(_) => degraded = true,
+                Ok(_) => {
+                    let grads = engine.arc_gradients();
+                    let graph = sta.graph();
+                    for (ai, arc) in graph.arcs().iter().enumerate() {
+                        // Only interconnect arcs respond to placement
+                        // (Eq. 7 sums pin-to-pin Manhattan distances).
+                        if !matches!(arc.kind, TimingArcKind::Net { .. }) {
+                            continue;
+                        }
+                        let g = grads[ai].abs();
+                        if g == 0.0 {
+                            continue;
+                        }
+                        arc_weights.push(ArcWeight {
+                            from: graph.pin_of(arc.from),
+                            to: graph.pin_of(arc.to),
+                            weight: g,
+                        });
+                    }
                 }
-                let g = grads[ai].abs();
-                if g == 0.0 {
-                    continue;
-                }
-                arc_weights.push(ArcWeight {
-                    from: graph.pin_of(arc.from),
-                    to: graph.pin_of(arc.to),
-                    weight: g,
-                });
             }
         }
     }
@@ -158,6 +207,7 @@ pub fn refresh_timing(
         tns_ps: report.tns_ps,
         arc_weights,
         net_crit,
+        degraded,
         breakdown,
     }
 }

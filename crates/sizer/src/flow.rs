@@ -84,7 +84,9 @@ pub fn run_evaluator_flow(
         let t0 = Instant::now();
         let est = estimate_eco(design, &sta_incr, op.cell, op.to);
         design.resize_cell(op.cell, op.to);
-        engine.update_timing(&est.arc_deltas);
+        engine
+            .update_timing(&est.arc_deltas)
+            .expect("estimate_eco deltas reference snapshot arcs");
         let insta_s = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();

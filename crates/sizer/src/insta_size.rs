@@ -123,6 +123,15 @@ pub fn insta_size(
     let lib = design.library_arc();
 
     for _round in 0..cfg.rounds {
+        if engine.drift_exceeded() {
+            // The incremental annotations have drifted past the configured
+            // budget: resync every arc from the golden engine's exact
+            // delays and reset the odometer.
+            let n_arcs = golden.delays().mean.len() as u32;
+            let resync = deltas_from_golden(golden, 0..n_arcs);
+            engine.reannotate(&resync).expect("golden arcs are in range");
+            engine.reset_drift();
+        }
         engine.propagate();
         engine.forward_lse();
         let t_b = Instant::now();
@@ -163,20 +172,27 @@ pub fn insta_size(
             design.resize_cell(stage.cell, cand);
             golden.incremental_update(design, &[stage.cell]);
             // Sync INSTA from the (now exact) golden annotation of the
-            // whole stage — tighter than the raw estimate.
+            // whole stage — tighter than the raw estimate — inside a
+            // transactional session: a rejected or poisoned move rolls the
+            // engine back bit-identically instead of replaying inverse
+            // deltas through a second update.
             let sync = deltas_from_golden(golden, stage_arcs(design, golden, stage.cell).into_iter());
-            let report = engine.update_timing(&sync);
-            if report.tns_ps < tns_prev {
-                // TNS degraded → roll back (paper §III-H).
+            let mut session = engine.begin_session();
+            let accept =
+                matches!(session.update_timing(&sync), Ok(report) if report.tns_ps >= tns_prev);
+            if accept {
+                session.commit().expect("session is open");
+                committed_this_round += 1;
+                blocked.extend(cell_neighborhood(design, stage.cell, cfg.block_hops));
+            } else {
+                // TNS degraded (paper §III-H) or the update poisoned the
+                // engine (already auto-rolled-back; rollback() is then a
+                // no-op).
+                session.rollback();
                 design.resize_cell(stage.cell, cur_lib);
                 golden.incremental_update(design, &[stage.cell]);
-                let undo =
-                    deltas_from_golden(golden, stage_arcs(design, golden, stage.cell).into_iter());
-                engine.update_timing(&undo);
                 continue;
             }
-            committed_this_round += 1;
-            blocked.extend(cell_neighborhood(design, stage.cell, cfg.block_hops));
         }
         if committed_this_round == 0 {
             break;

@@ -126,18 +126,26 @@ pub fn power_recover(
         for (_, cell, smaller) in cands {
             let cur = design.cell(cell).lib_cell;
             let est = estimate_eco(design, golden, cell, smaller);
-            // Commit, evaluate with INSTA, roll back on TNS floor breach.
+            // Commit, evaluate with INSTA inside a session, roll back on
+            // TNS floor breach (session rollback restores the engine
+            // bit-identically; no inverse-delta replay).
             design.resize_cell(cell, smaller);
             golden.incremental_update(design, &[cell]);
             let arcs: Vec<u32> = est.arc_deltas.iter().map(|d| d.arc).collect();
-            let report = engine.update_timing(&sync_deltas(golden, &arcs));
-            if report.tns_ps < tns_floor {
+            let mut session = engine.begin_session();
+            let accept = matches!(
+                session.update_timing(&sync_deltas(golden, &arcs)),
+                Ok(report) if report.tns_ps >= tns_floor
+            );
+            if accept {
+                session.commit().expect("session is open");
+                committed += 1;
+            } else {
+                session.rollback();
                 design.resize_cell(cell, cur);
                 golden.incremental_update(design, &[cell]);
-                engine.update_timing(&sync_deltas(golden, &arcs));
                 continue;
             }
-            committed += 1;
         }
         downsized += committed;
         if committed == 0 {

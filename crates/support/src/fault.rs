@@ -16,6 +16,10 @@
 //!   [`Json`] document: numeric poisoning (NaN/Inf/negation/huge-index),
 //!   array shuffling (level/order inversion in a snapshot), dropped
 //!   object fields, and duplicated array elements.
+//! * **session faults** ([`FaultPlan::corrupt_batch`]) attack an
+//!   incremental *update batch* already past ingest validation — the
+//!   mid-session surface a long-running engine exposes to optimization
+//!   clients. See [`SessionFault`].
 //!
 //! The harness never asserts anything itself; consumers (the engine's
 //! fault-injection suites) feed the corrupted artifacts through their
@@ -66,6 +70,56 @@ impl Fault {
     /// Whether this class operates on raw text (vs. a parsed tree).
     pub fn is_textual(self) -> bool {
         matches!(self, Fault::Truncate | Fault::BitFlip)
+    }
+
+    fn discriminant(self) -> u64 {
+        Self::ALL.iter().position(|&f| f == self).expect("listed") as u64
+    }
+}
+
+/// One mid-session corruption class: damage applied to an *update batch*
+/// (arc ids plus their replacement statistics) after ingest validation
+/// has already passed, modelling a buggy or hostile optimization client
+/// feeding a live engine.
+///
+/// The batch is modelled as parallel flat arrays — `ids[i]` owns
+/// `values[i * stride .. (i + 1) * stride]` — so the harness stays
+/// independent of any particular delta struct; consumers flatten their
+/// batch, corrupt it, and rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionFault {
+    /// Replace one value of one entry with NaN.
+    NanValue,
+    /// Replace one value of one entry with +/-infinity.
+    InfValue,
+    /// Negate one value of one entry (negative sigma injection).
+    NegateValue,
+    /// Replace one id with an out-of-range id (`>= id_limit`).
+    HugeId,
+    /// Duplicate one entry (id and its value block) in place.
+    DuplicateEntry,
+}
+
+impl SessionFault {
+    /// Every mid-session corruption class, for exhaustive sweeps.
+    pub const ALL: [SessionFault; 5] = [
+        SessionFault::NanValue,
+        SessionFault::InfValue,
+        SessionFault::NegateValue,
+        SessionFault::HugeId,
+        SessionFault::DuplicateEntry,
+    ];
+
+    /// Whether this class produces a batch a validating engine must
+    /// *reject up front*, before mutating anything (a non-finite value or
+    /// an out-of-range id). `NegateValue` is rejected only when it lands
+    /// on a sigma slot, and `DuplicateEntry` stays valid — those may reach
+    /// propagation.
+    pub fn rejected_at_validation(self) -> bool {
+        matches!(
+            self,
+            SessionFault::NanValue | SessionFault::InfValue | SessionFault::HugeId
+        )
     }
 
     fn discriminant(self) -> u64 {
@@ -183,6 +237,74 @@ impl FaultPlan {
                 },
             ),
         }
+    }
+
+    /// Applies one mid-session corruption to a flattened update batch.
+    ///
+    /// `ids` and `values` are parallel: entry `i` owns
+    /// `values[i * stride .. (i + 1) * stride]`. `id_limit` is the
+    /// exclusive upper bound of valid ids (the engine's arc count);
+    /// [`SessionFault::HugeId`] injects an id at or above it. Returns
+    /// `false` (batch untouched) when the batch is empty or the arrays
+    /// are not parallel.
+    pub fn corrupt_batch(
+        &self,
+        case: u64,
+        fault: SessionFault,
+        ids: &mut Vec<u32>,
+        values: &mut Vec<f64>,
+        stride: usize,
+        id_limit: u32,
+    ) -> bool {
+        if ids.is_empty() || stride == 0 || values.len() != ids.len() * stride {
+            return false;
+        }
+        // Reuse the (seed, case, class) stream derivation; the high-byte
+        // tag keeps session streams disjoint from snapshot-fault streams.
+        let mut rng = Rng::seed_from_u64(
+            self.seed
+                ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (fault.discriminant() << 56)
+                ^ (0xA5 << 48),
+        );
+        let entry = rng.bounded_u64(ids.len() as u64) as usize;
+        match fault {
+            SessionFault::NanValue | SessionFault::InfValue | SessionFault::NegateValue => {
+                let slot = entry * stride + rng.bounded_u64(stride as u64) as usize;
+                let old = values[slot];
+                values[slot] = match fault {
+                    SessionFault::NanValue => f64::NAN,
+                    SessionFault::InfValue => {
+                        if rng.next_u64() & 1 == 0 {
+                            f64::INFINITY
+                        } else {
+                            f64::NEG_INFINITY
+                        }
+                    }
+                    // Ensure the negation actually changes a zero value.
+                    _ => {
+                        if old == 0.0 {
+                            -1.0
+                        } else {
+                            -old
+                        }
+                    }
+                };
+            }
+            SessionFault::HugeId => {
+                ids[entry] = id_limit.saturating_add(1 + (rng.next_u64() as u32 % 1000));
+            }
+            SessionFault::DuplicateEntry => {
+                let id = ids[entry];
+                let block: Vec<f64> =
+                    values[entry * stride..(entry + 1) * stride].to_vec();
+                ids.insert(entry, id);
+                for (k, v) in block.into_iter().enumerate() {
+                    values.insert(entry * stride + k, v);
+                }
+            }
+        }
+        true
     }
 }
 
@@ -367,5 +489,59 @@ mod tests {
             count_nodes(&v, &|j| matches!(j, Json::Num(n) if *n > 3.9e9)),
             1
         );
+    }
+
+    #[test]
+    fn batch_corruption_is_deterministic_and_changes_the_batch() {
+        let plan = FaultPlan::new(6);
+        for fault in SessionFault::ALL {
+            let fresh = || (vec![0u32, 3, 7], vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+            let (mut ia, mut va) = fresh();
+            let (mut ib, mut vb) = fresh();
+            assert!(plan.corrupt_batch(2, fault, &mut ia, &mut va, 2, 10));
+            assert!(plan.corrupt_batch(2, fault, &mut ib, &mut vb, 2, 10));
+            assert_eq!(ia, ib, "{fault:?} ids must be reproducible");
+            assert_eq!(
+                va.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                vb.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{fault:?} values must be reproducible"
+            );
+            let (ic, vc) = fresh();
+            assert!(
+                ia != ic || va.iter().zip(&vc).any(|(a, b)| a.to_bits() != b.to_bits()),
+                "{fault:?} corrupted nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_corruption_classes_hit_their_target() {
+        let plan = FaultPlan::new(7);
+        // HugeId must produce an id at or beyond the limit.
+        let mut ids = vec![1u32, 2];
+        let mut vals = vec![0.0f64; 4];
+        assert!(plan.corrupt_batch(0, SessionFault::HugeId, &mut ids, &mut vals, 2, 5));
+        assert!(ids.iter().any(|&i| i > 5), "HugeId stayed in range: {ids:?}");
+        assert!(SessionFault::HugeId.rejected_at_validation());
+        // NaN lands exactly one NaN.
+        let mut ids = vec![1u32, 2];
+        let mut vals = vec![0.5f64; 4];
+        assert!(plan.corrupt_batch(0, SessionFault::NanValue, &mut ids, &mut vals, 2, 5));
+        assert_eq!(vals.iter().filter(|v| v.is_nan()).count(), 1);
+        assert!(SessionFault::NanValue.rejected_at_validation());
+        assert!(!SessionFault::DuplicateEntry.rejected_at_validation());
+        // DuplicateEntry grows both arrays consistently.
+        let mut ids = vec![1u32, 2];
+        let mut vals = vec![0.5f64, 1.5, 2.5, 3.5];
+        assert!(plan.corrupt_batch(0, SessionFault::DuplicateEntry, &mut ids, &mut vals, 2, 5));
+        assert_eq!(ids.len(), 3);
+        assert_eq!(vals.len(), 6);
+        // Degenerate batches are refused untouched.
+        let mut empty_ids: Vec<u32> = vec![];
+        let mut empty_vals: Vec<f64> = vec![];
+        assert!(!plan.corrupt_batch(0, SessionFault::NanValue, &mut empty_ids, &mut empty_vals, 2, 5));
+        let mut ids = vec![1u32];
+        let mut short = vec![0.0f64]; // not parallel for stride 2
+        assert!(!plan.corrupt_batch(0, SessionFault::NanValue, &mut ids, &mut short, 2, 5));
     }
 }

@@ -24,8 +24,8 @@ pub mod prop;
 pub mod rng;
 pub mod timer;
 
-pub use fault::{Fault, FaultPlan};
+pub use fault::{Fault, FaultPlan, SessionFault};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use prop::{for_all, Config as PropConfig, Shrink};
 pub use rng::Rng;
-pub use timer::{black_box, Harness};
+pub use timer::{black_box, CancelToken, Deadline, Harness};

@@ -1,4 +1,5 @@
-//! A `std::time::Instant` benchmark harness.
+//! A `std::time::Instant` benchmark harness, plus the cooperative
+//! cancellation primitives the engine's session layer builds on.
 //!
 //! Replaces criterion in `crates/bench`: each bench target is an ordinary
 //! binary (`harness = false`) that builds a [`Harness`], registers
@@ -9,8 +10,74 @@
 //!
 //! Set `INSTA_BENCH_FAST=1` to run every bench with a tiny budget (used by
 //! `scripts/ci.sh` to smoke-test that bench binaries still execute).
+//!
+//! [`CancelToken`] and [`Deadline`] are deliberately tiny: a shared atomic
+//! flag and an absolute `Instant`. Long-running kernels poll them at
+//! coarse, bounded intervals (once per topological level in the engine) —
+//! cooperative cancellation, never preemption, so a poll can only observe
+//! consistent state.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared cancellation flag.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone observes the same
+/// flag, so a controller thread can hold one clone and fire it while a
+/// worker polls another. Once cancelled a token stays cancelled; create a
+/// fresh token per unit of cancellable work.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A new, un-fired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.fired.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+/// An absolute wall-clock deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Self {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Self { at }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
 
 /// Re-export of [`std::hint::black_box`] under the name bench code expects.
 pub use std::hint::black_box;
@@ -195,5 +262,39 @@ mod tests {
         assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
         assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
         assert!(fmt_duration(Duration::from_secs(5)).contains(" s"));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled(), "cancellation must be visible to all clones");
+        clone.cancel(); // idempotent
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_token_crosses_threads() {
+        let t = CancelToken::new();
+        let remote = t.clone();
+        std::thread::spawn(move || remote.cancel())
+            .join()
+            .expect("cancel thread");
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(3599));
+        let past = Deadline::after(Duration::ZERO);
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
+        let at = Deadline::at(Instant::now());
+        assert!(at.expired());
     }
 }

@@ -283,3 +283,107 @@ fn repair_mode_salvages_struct_level_corruption() {
         }
     }
 }
+
+/// Mid-session corruption: every [`SessionFault`] class applied to an
+/// otherwise-valid update batch, driven through a transactional session.
+/// The contract is the session-layer extension of this suite's theme —
+/// no case may panic, every case must end in a typed rejection or an
+/// explicit abandon, and after the rollback the engine's report is
+/// bit-identical to the pre-session baseline.
+#[test]
+fn mid_session_corruption_rolls_back_bit_identically() {
+    use insta_sta::refsta::eco::ArcDelta;
+    use insta_sta::support::rng::Rng;
+    use insta_sta::support::SessionFault;
+
+    let d = generate_design(&GeneratorConfig::small("fault-inject", 17));
+    let mut golden = RefSta::new(&d, StaConfig::default()).expect("build");
+    golden.full_update(&d);
+    let mut engine = InstaEngine::new(clean_init().clone(), InstaConfig::default())
+        .expect("clean snapshot");
+    let baseline: Vec<u64> = engine
+        .propagate()
+        .slacks
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+
+    let plan = FaultPlan::new(SUITE_SEED);
+    let delays = golden.delays();
+    let id_limit = delays.mean.len() as u32;
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0x5E55);
+    let mut rejected = 0usize;
+
+    for &fault in SessionFault::ALL.iter() {
+        for case in 0..CASES_PER_FAULT {
+            // A small valid batch of exact golden re-annotations, then one
+            // seeded corruption on its flat form (stride 4: means, sigmas).
+            let mut ids: Vec<u32> = (0..1 + case as usize % 5)
+                .map(|_| rng.bounded_u64(id_limit as u64) as u32)
+                .collect();
+            let mut values: Vec<f64> = ids
+                .iter()
+                .flat_map(|&a| {
+                    let (m, s) = (delays.mean[a as usize], delays.sigma[a as usize]);
+                    [m[0], m[1], s[0], s[1]]
+                })
+                .collect();
+            assert!(plan.corrupt_batch(case, fault, &mut ids, &mut values, 4, id_limit));
+            let batch: Vec<ArcDelta> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &arc)| ArcDelta {
+                    arc,
+                    mean: [values[i * 4], values[i * 4 + 1]],
+                    sigma: [values[i * 4 + 2], values[i * 4 + 3]],
+                })
+                .collect();
+
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut session = engine.begin_session();
+                match session.update_timing(&batch) {
+                    Err(e) => {
+                        session.rollback(); // no-op after an auto-rollback
+                        format!("rejected:{}", e.category())
+                    }
+                    Ok(_) => {
+                        session.rollback();
+                        "abandoned".to_string()
+                    }
+                }
+            }));
+            let outcome = match outcome {
+                Ok(o) => o,
+                Err(_) => panic!("{fault:?} case {case}: PANICKED (seed {SUITE_SEED:#x})"),
+            };
+            if outcome.starts_with("rejected") {
+                rejected += 1;
+            }
+            if fault.rejected_at_validation() {
+                assert_eq!(
+                    outcome, "rejected:validate",
+                    "{fault:?} case {case}: must be rejected before mutation"
+                );
+            }
+
+            let after: Vec<u64> = engine
+                .propagate()
+                .slacks
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            assert_eq!(
+                baseline, after,
+                "{fault:?} case {case}: rollback not bit-identical (seed {SUITE_SEED:#x})"
+            );
+        }
+    }
+    assert!(rejected > 0, "no corruption was ever rejected");
+    let counters = engine.counters();
+    assert_eq!(
+        counters.sessions_begun,
+        SessionFault::ALL.len() as u64 * CASES_PER_FAULT
+    );
+    assert_eq!(counters.sessions_committed, 0);
+    assert_eq!(counters.drift_updates, 0, "rolled-back drift must not stick");
+}

@@ -1,0 +1,371 @@
+//! Transactional-session suite: bit-identical rollback under every seeded
+//! mid-session corruption class, bounded cooperative cancellation, drift-
+//! audited degradation, and the session lifecycle contract.
+//!
+//! The load-bearing property (ISSUE 3): *checkpoint → corrupt/abort →
+//! rollback → propagate* must reproduce, bit for bit, the report of an
+//! engine that never saw the session — across [`SessionFault`] classes,
+//! injected worker panics, and random delta batches.
+
+use insta_engine::parallel::chaos;
+use insta_engine::{
+    CancelToken, InstaConfig, InstaEngine, InstaError, InstaReport, Kernel, SessionStatus,
+};
+use insta_netlist::generator::{generate_design, GeneratorConfig};
+use insta_refsta::eco::ArcDelta;
+use insta_refsta::{RefSta, StaConfig};
+use insta_support::fault::{FaultPlan, SessionFault};
+use insta_support::rng::Rng;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const SUITE_SEED: u64 = 0x5E55_10F0_3;
+const CASES_PER_FAULT: u64 = 8;
+
+/// Serializes tests that arm the process-global chaos hook.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn build(seed: u64) -> (RefSta, InstaEngine) {
+    let design = generate_design(&GeneratorConfig::small("sess", seed));
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default())
+        .expect("valid snapshot");
+    (golden, engine)
+}
+
+/// Every bit of the public report, for exact comparisons.
+fn report_bits(r: &InstaReport) -> Vec<u64> {
+    let mut bits = vec![r.wns_ps.to_bits(), r.tns_ps.to_bits(), r.n_violations as u64];
+    bits.extend(r.slacks.iter().map(|v| v.to_bits()));
+    bits.extend(r.arrivals.iter().map(|v| v.to_bits()));
+    bits.extend(r.requireds.iter().map(|v| v.to_bits()));
+    bits.extend(r.worst_sp.iter().map(|&v| v as u64));
+    bits.extend(r.worst_rf.iter().map(|&v| v as u64));
+    bits
+}
+
+/// A random, *valid* delta batch: in-range arcs with finite means and
+/// non-negative sigmas derived from the golden engine's exact delays.
+fn random_valid_batch(golden: &RefSta, rng: &mut Rng, len: usize) -> Vec<ArcDelta> {
+    let delays = golden.delays();
+    let n_arcs = delays.mean.len() as u64;
+    (0..len)
+        .map(|_| {
+            let arc = rng.bounded_u64(n_arcs) as u32;
+            let jitter = [rng.next_f64() * 10.0 - 5.0, rng.next_f64() * 10.0 - 5.0];
+            let mean = delays.mean[arc as usize];
+            let sigma = delays.sigma[arc as usize];
+            ArcDelta {
+                arc,
+                mean: [mean[0] + jitter[0], mean[1] + jitter[1]],
+                sigma: [sigma[0] * (1.0 + rng.next_f64()), sigma[1] * (1.0 + rng.next_f64())],
+            }
+        })
+        .collect()
+}
+
+/// Flattens a batch into the harness's parallel arrays, corrupts it, and
+/// rebuilds (stride 4: rise/fall mean then rise/fall sigma).
+fn corrupted_batch(
+    plan: &FaultPlan,
+    case: u64,
+    fault: SessionFault,
+    batch: &[ArcDelta],
+    id_limit: u32,
+) -> Vec<ArcDelta> {
+    let mut ids: Vec<u32> = batch.iter().map(|d| d.arc).collect();
+    let mut values: Vec<f64> = batch
+        .iter()
+        .flat_map(|d| [d.mean[0], d.mean[1], d.sigma[0], d.sigma[1]])
+        .collect();
+    assert!(plan.corrupt_batch(case, fault, &mut ids, &mut values, 4, id_limit));
+    ids.iter()
+        .enumerate()
+        .map(|(i, &arc)| ArcDelta {
+            arc,
+            mean: [values[i * 4], values[i * 4 + 1]],
+            sigma: [values[i * 4 + 2], values[i * 4 + 3]],
+        })
+        .collect()
+}
+
+/// The tentpole property: every corruption class, driven through a
+/// session and rolled back (automatically on poison, explicitly
+/// otherwise), leaves the engine bit-identical to one that never saw the
+/// corrupted batch.
+#[test]
+fn rollback_is_bit_identical_across_all_session_fault_classes() {
+    let (golden, mut engine) = build(101);
+    let baseline = engine.propagate().clone();
+    let baseline_bits = report_bits(&baseline);
+    let id_limit = golden.delays().mean.len() as u32;
+    let plan = FaultPlan::new(SUITE_SEED);
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0xBA7C);
+
+    for &fault in SessionFault::ALL.iter() {
+        for case in 0..CASES_PER_FAULT {
+            let valid = random_valid_batch(&golden, &mut rng, 1 + (case as usize % 7));
+            let bad = corrupted_batch(&plan, case, fault, &valid, id_limit);
+
+            let mut session = engine.begin_session();
+            match session.update_timing(&bad) {
+                Err(e) if e.category() == "validate" => {
+                    // Up-front rejection: nothing was mutated and the
+                    // session stays open for a corrected batch.
+                    assert!(session.is_open(), "{fault:?}/{case}");
+                    let _ = e;
+                    session.rollback();
+                }
+                Err(e) => {
+                    // Poison caught mid-session: already rolled back.
+                    assert!(e.poisons_state(), "{fault:?}/{case}: {e}");
+                    assert_eq!(session.status(), SessionStatus::RolledBack);
+                    drop(session);
+                }
+                Ok(_) => {
+                    // The corruption survived the engine (e.g. a negated
+                    // mean or a duplicated entry); abandon the move.
+                    assert!(
+                        !fault.rejected_at_validation(),
+                        "{fault:?}/{case}: engine accepted a must-reject batch"
+                    );
+                    session.rollback();
+                }
+            }
+
+            let after = engine.propagate().clone();
+            assert_eq!(
+                baseline_bits,
+                report_bits(&after),
+                "{fault:?} case {case}: rollback not bit-identical"
+            );
+        }
+    }
+
+    let c = engine.counters();
+    assert_eq!(c.sessions_begun, (SessionFault::ALL.len() as u64) * CASES_PER_FAULT);
+    assert_eq!(c.sessions_rolled_back, c.sessions_begun);
+    assert_eq!(c.sessions_committed, 0);
+    assert_eq!(c.epoch, 0);
+    // Rolled-back sessions must not leave drift behind.
+    assert_eq!(c.drift_updates, 0);
+    assert_eq!(c.drift_mass, 0.0);
+}
+
+/// Commit promotes exactly the applied batch: the committed engine matches
+/// a fresh engine that applied the same batch directly.
+#[test]
+fn commit_matches_direct_update_bit_identically() {
+    let (golden, mut engine) = build(103);
+    engine.propagate();
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0xC0117);
+    let batch = random_valid_batch(&golden, &mut rng, 5);
+
+    let mut session = engine.begin_session();
+    let report = session.update_timing(&batch).expect("valid batch");
+    let epoch = session.commit().expect("open session");
+    assert_eq!(epoch, 1);
+
+    let mut direct = InstaEngine::new(golden.export_insta_init(), InstaConfig::default())
+        .expect("valid snapshot");
+    direct.propagate();
+    let direct_report = direct.update_timing(&batch).expect("valid batch");
+    assert_eq!(report_bits(&report), report_bits(&direct_report));
+
+    let c = engine.counters();
+    assert_eq!((c.sessions_committed, c.epoch), (1, 1));
+    assert_eq!(c.incremental_updates, 1);
+    assert_eq!(c.drift_updates, 1);
+}
+
+/// An injected persistent worker panic mid-session is a fatal Runtime
+/// error; the session auto-rolls-back bit-identically.
+///
+/// Needs a wide design: chaos fires in parallel chunk workers (and the
+/// serial retry), and small levels dispatch serially.
+#[test]
+fn worker_panic_mid_session_rolls_back_bit_identically() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let mut gen = GeneratorConfig::medium("sess-chaos", 9);
+    gen.gates_per_level = 600;
+    gen.logic_levels = 6;
+    gen.clock_period_ps = 360.0;
+    let design = generate_design(&gen);
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let mut engine = InstaEngine::new(
+        golden.export_insta_init(),
+        InstaConfig {
+            n_threads: 4,
+            ..InstaConfig::default()
+        },
+    )
+    .expect("valid snapshot");
+    let baseline_bits = report_bits(&engine.propagate().clone());
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0xCA05);
+    let batch = random_valid_batch(&golden, &mut rng, 4);
+
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    chaos::arm(Kernel::Forward, 2, true);
+    let mut session = engine.begin_session();
+    let result = session.update_timing(&batch);
+    chaos::disarm();
+    std::panic::set_hook(prev);
+
+    let err = result.expect_err("persistent panic is fatal");
+    assert_eq!(err.category(), "runtime");
+    assert_eq!(session.status(), SessionStatus::RolledBack);
+    drop(session);
+
+    engine.health_check().expect("rolled-back state is healthy");
+    assert_eq!(baseline_bits, report_bits(&engine.propagate().clone()));
+    assert!(engine.incident_log().total() > 0, "fatal incident recorded");
+}
+
+/// A pre-fired token cancels at the *first* per-level poll — bounded by
+/// one level's work — auto-rolls-back, and leaves a healthy engine.
+#[test]
+fn prefired_cancel_token_stops_at_the_first_level_poll() {
+    let (golden, mut engine) = build(107);
+    let baseline_bits = report_bits(&engine.propagate().clone());
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0x70C);
+    let batch = random_valid_batch(&golden, &mut rng, 3);
+
+    let token = CancelToken::new();
+    token.cancel();
+    let mut session = engine.begin_session().with_cancel(token.clone());
+    let err = session.update_timing(&batch).expect_err("token already fired");
+    let InstaError::Cancelled { kernel, level, elapsed } = &err else {
+        panic!("expected Cancelled, got {err}");
+    };
+    assert_eq!(*kernel, Kernel::Forward);
+    assert_eq!(*level, 1, "first polled level");
+    assert!(*elapsed < Duration::from_secs(5));
+    assert_eq!(session.status(), SessionStatus::Cancelled);
+    drop(session);
+
+    engine.health_check().expect("rolled-back state is healthy");
+    assert_eq!(baseline_bits, report_bits(&engine.propagate().clone()));
+    let c = engine.counters();
+    assert_eq!((c.sessions_cancelled, c.sessions_rolled_back), (1, 0));
+}
+
+/// An already-expired deadline behaves exactly like a fired token.
+#[test]
+fn zero_deadline_cancels_and_rolls_back() {
+    let (golden, mut engine) = build(109);
+    let baseline_bits = report_bits(&engine.propagate().clone());
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0xDEAD);
+    let batch = random_valid_batch(&golden, &mut rng, 3);
+
+    let mut session = engine.begin_session().with_deadline(Duration::ZERO);
+    let err = session.update_timing(&batch).expect_err("deadline expired");
+    assert_eq!(err.category(), "cancelled");
+    assert_eq!(session.status(), SessionStatus::Cancelled);
+    session.rollback(); // no-op on a closed session
+
+    assert_eq!(baseline_bits, report_bits(&engine.propagate().clone()));
+    assert_eq!(engine.counters().sessions_cancelled, 1);
+}
+
+/// A closed session refuses further work with a typed error instead of
+/// silently mutating, and a dropped-while-open session rolls back.
+#[test]
+fn session_lifecycle_contract() {
+    let (golden, mut engine) = build(111);
+    let baseline_bits = report_bits(&engine.propagate().clone());
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0x11FE);
+    let batch = random_valid_batch(&golden, &mut rng, 2);
+
+    // Cancelled session refuses new work.
+    let mut session = engine.begin_session().with_deadline(Duration::ZERO);
+    session.update_timing(&batch).expect_err("deadline expired");
+    let err = session.update_timing(&batch).expect_err("session closed");
+    assert_eq!(err.category(), "validate");
+    assert!(err.to_string().contains("closed"), "{err}");
+    assert!(session.commit().is_err(), "cannot commit a closed session");
+    // `commit` consumed the session; the engine is back at baseline.
+    assert_eq!(baseline_bits, report_bits(&engine.propagate().clone()));
+
+    // Drop-while-open rolls back.
+    {
+        let mut session = engine.begin_session();
+        session.update_timing(&batch).expect("valid batch");
+        assert!(session.checkpoint_bytes() > 0);
+    }
+    assert_eq!(baseline_bits, report_bits(&engine.propagate().clone()));
+    let c = engine.counters();
+    // The deadline session counts as cancelled, the dropped one as rolled
+    // back.
+    assert_eq!(c.sessions_rolled_back, 1);
+    assert_eq!(c.sessions_cancelled, 1);
+    assert_eq!(c.epoch, 0);
+}
+
+/// Past the drift budget, updates degrade to propagate + LSE refresh +
+/// health gate, and the odometer holds until an explicit reset.
+#[test]
+fn drift_budget_triggers_degraded_passes_until_reset() {
+    let design = generate_design(&GeneratorConfig::small("sess", 113));
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let cfg = InstaConfig {
+        drift_policy: insta_engine::DriftPolicy {
+            max_updates: 2,
+            max_touched_mass: f64::INFINITY,
+        },
+        ..InstaConfig::default()
+    };
+    let mut engine =
+        InstaEngine::new(golden.export_insta_init(), cfg).expect("valid snapshot");
+    engine.propagate();
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0xD61F);
+
+    for _ in 0..4 {
+        let batch = random_valid_batch(&golden, &mut rng, 2);
+        engine.update_timing(&batch).expect("valid batch");
+    }
+    let c = engine.counters();
+    assert_eq!(c.incremental_updates, 4);
+    assert!(engine.drift_exceeded());
+    // Updates 2, 3 and 4 each reached the 2-update budget.
+    assert_eq!(c.degraded_passes, 3);
+
+    engine.reset_drift();
+    assert!(!engine.drift_exceeded());
+    let batch = random_valid_batch(&golden, &mut rng, 2);
+    engine.update_timing(&batch).expect("valid batch");
+    assert_eq!(engine.counters().degraded_passes, 3, "fresh budget, fast path");
+}
+
+/// Gradients are part of the checkpoint: the differentiable state after a
+/// rollback reproduces the pre-session gradients bit-for-bit.
+#[test]
+fn rollback_restores_differentiable_state() {
+    let (golden, mut engine) = build(115);
+    engine.propagate();
+    engine.forward_lse();
+    engine.backward_tns();
+    let grads_before: Vec<u64> = engine
+        .arc_gradients()
+        .iter()
+        .map(|g| g.to_bits())
+        .collect();
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0x6AD);
+    let batch = random_valid_batch(&golden, &mut rng, 6);
+
+    let mut session = engine.begin_session();
+    session.update_timing(&batch).expect("valid batch");
+    session.forward_lse().expect("lse");
+    session.backward_tns().expect("backward");
+    session.rollback();
+
+    let grads_after: Vec<u64> = engine
+        .arc_gradients()
+        .iter()
+        .map(|g| g.to_bits())
+        .collect();
+    assert_eq!(grads_before, grads_after);
+}
