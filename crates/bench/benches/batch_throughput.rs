@@ -1,0 +1,87 @@
+//! Batch-throughput bench: S=16 what-if scenarios evaluated in one
+//! `evaluate_batch` call vs S sequential transactional sessions.
+//!
+//! The batched path shares one synced base propagation across all
+//! scenarios and recomputes only inside each scenario's dirty fanout
+//! cone, so it should beat S full session round-trips by a wide margin.
+//! Emits one machine-readable JSON line after the human table so CI can
+//! gate the speedup (acceptance: ≥ 3× at S=16). Drift auditing is
+//! disabled so neither path degrades to the other.
+
+use insta_bench::block_specs;
+use insta_engine::{DeltaSet, DriftPolicy, InstaConfig, InstaEngine};
+use insta_refsta::{estimate_eco, RefSta, StaConfig};
+use insta_sizer::random_changelist;
+use insta_support::json::{obj, Json};
+use insta_support::timer::{black_box, Harness};
+
+const SCENARIOS: usize = 16;
+
+fn main() {
+    let spec = &block_specs()[4]; // block-5
+    let design = spec.build();
+    let ops = random_changelist(&design, SCENARIOS, 9);
+    let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
+    sta.full_update(&design);
+    let mut engine = InstaEngine::new(
+        sta.export_insta_init(),
+        InstaConfig {
+            top_k: 8,
+            drift_policy: DriftPolicy::unlimited(),
+            ..InstaConfig::default()
+        },
+    )
+    .expect("valid snapshot");
+    engine.propagate();
+
+    // Each scenario is one cell-resize what-if: the estimated ECO deltas
+    // for a different random resize, evaluated without touching the
+    // design (exactly the sizer's candidate-scoring pattern).
+    let scenarios: Vec<DeltaSet> = ops
+        .iter()
+        .map(|op| DeltaSet::from(estimate_eco(&design, &sta, op.cell, op.to).arc_deltas))
+        .collect();
+
+    let mut h = Harness::new("batch_throughput");
+    h.bench("sequential_sessions", || {
+        let mut tns = 0.0;
+        for set in &scenarios {
+            let mut session = engine.begin_session();
+            tns += session.update_timing(&set.deltas).expect("valid batch").tns_ps;
+            session.rollback();
+        }
+        black_box(tns)
+    });
+    engine.propagate(); // resync the base before the batched path
+    h.bench("evaluate_batch", || {
+        let tns: f64 = engine
+            .evaluate_batch(&scenarios)
+            .iter()
+            .map(|r| r.outcome.as_ref().expect("valid batch").tns_ps)
+            .sum();
+        black_box(tns)
+    });
+    let results = h.finish();
+
+    let mean_ns = |name: &str| {
+        results
+            .iter()
+            .find(|m| m.name == name)
+            .map_or(0.0, |m| m.mean.as_secs_f64() * 1e9)
+    };
+    let sequential = mean_ns("sequential_sessions");
+    let batch = mean_ns("evaluate_batch");
+    let speedup = if batch > 0.0 { sequential / batch } else { 0.0 };
+    println!(
+        "{}",
+        obj([
+            ("suite", Json::Str("batch_throughput".into())),
+            ("block", Json::Str(spec.name.into())),
+            ("scenarios", Json::Num(SCENARIOS as f64)),
+            ("sequential_ns", Json::Num(sequential)),
+            ("batch_ns", Json::Num(batch)),
+            ("speedup_x", Json::Num(speedup)),
+            ("gate_min_speedup_x", Json::Num(3.0)),
+        ])
+    );
+}

@@ -1,0 +1,918 @@
+//! Batched multi-scenario evaluation: one levelized sweep propagates S
+//! delta-sets simultaneously (paper §IV-B — INSTA-Size batches thousands
+//! of what-if candidates per GPU pass).
+//!
+//! [`InstaEngine::evaluate_batch`] takes S [`DeltaSet`]s and returns one
+//! [`ScenarioReport`] per scenario, bit-identical to S independent serial
+//! `update_timing` runs from the current engine state. The batched path
+//! never replays S full sweeps; it exploits what the serial path cannot:
+//!
+//! * **Shared base.** All scenarios diverge from the *same* synced Top-K
+//!   state. The base is propagated (at most) once; each scenario only
+//!   recomputes the nodes inside its own dirty fanout cone.
+//! * **SoA scenario lanes.** A [`ScenarioBatch`] holds per-lane Top-K
+//!   queues in structure-of-arrays layout — index
+//!   `((node·2 + rf)·S + lane)·k + j` — so every lane's k-slice is
+//!   contiguous and the serial kernels' queue primitives apply unchanged.
+//! * **Bit-identity by construction.** The per-node merge body is the
+//!   *same function* the serial kernel runs
+//!   ([`merge_node_queue`](crate::forward)), with parent and annotation
+//!   reads routed through lane-aware closures: a dirty parent reads the
+//!   lane's recomputed queue, a clean parent falls through to the base
+//!   arrays, and a touched arc reads the lane's overlaid delta. Induction
+//!   over levels then gives bit-equality with a serial re-annotate +
+//!   propagate, without maintaining a second kernel.
+//!
+//! **Quarantine semantics.** A poisoned scenario — validation-rejected
+//! deltas, a NaN slack, a cancelled or failed gradient pass — is
+//! quarantined *per scenario*: its `outcome` carries the same typed
+//! [`InstaError`] the serial session would raise, while sibling scenarios
+//! complete bit-identically to a clean run. Scenarios whose serial run
+//! would take the degraded drift path, and any batch whose base
+//! propagation fails, are transparently replayed through real
+//! checkpoint/rollback sessions so the serial semantics (including
+//! rollback and counter behavior) are reproduced exactly.
+//!
+//! Like a rolled-back session, a batch leaves the engine's annotations,
+//! drift odometer, and report untouched — the only state it may write is
+//! the base sync itself (identical to the caller running
+//! [`propagate`](InstaEngine::propagate) first) and the monotonic batch
+//! counters.
+
+use crate::engine::{InstaEngine, State, Static};
+use crate::error::{InstaError, Kernel, PoisonedArray, RuntimeIncident};
+use crate::forward::merge_node_queue;
+use crate::metrics::InstaReport;
+use crate::parallel::{chaos, resolve_threads, Interrupt, PanicCell, PAR_THRESHOLD};
+use crate::topk::NO_SP;
+use insta_refsta::eco::ArcDelta;
+use insta_refsta::{EpId, SpId};
+use insta_support::timer::Deadline;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// One scenario of a batch: the arc deltas that distinguish it from the
+/// engine's current annotations (empty = the base scenario itself).
+#[derive(Debug, Clone, Default)]
+pub struct DeltaSet {
+    /// The scenario's re-annotations, applied in order (a later delta to
+    /// the same arc wins, like [`InstaEngine::reannotate`]).
+    pub deltas: Vec<ArcDelta>,
+}
+
+impl From<Vec<ArcDelta>> for DeltaSet {
+    fn from(deltas: Vec<ArcDelta>) -> Self {
+        Self { deltas }
+    }
+}
+
+/// The per-scenario result of [`InstaEngine::evaluate_batch`].
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// Index into the submitted scenario slice.
+    pub scenario: usize,
+    /// The scenario's endpoint report, or the same typed error a serial
+    /// session running this scenario alone would have raised.
+    pub outcome: Result<InstaReport, InstaError>,
+    /// ∂TNS/∂(arc delay) per graph arc, when
+    /// [`BatchOptions::gradients`] was requested and the scenario
+    /// succeeded.
+    pub gradients: Option<Vec<f64>>,
+}
+
+/// Options of [`InstaEngine::evaluate_batch_with`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Also run the differentiable forward + backward passes per scenario
+    /// and return [`ScenarioReport::gradients`].
+    pub gradients: bool,
+    /// Cooperative cancel token, polled once per timing level (the
+    /// session-layer contract): at most one level's work runs after it
+    /// fires, then every unfinished scenario reports
+    /// [`InstaError::Cancelled`].
+    pub cancel: Option<insta_support::timer::CancelToken>,
+    /// Wall-clock budget for the whole batch, measured from the call.
+    pub deadline: Option<Duration>,
+}
+
+/// Scenario lanes per shared sweep — the width of the `u64` dirty masks.
+/// Larger batches are processed in chunks of this size.
+pub(crate) const MAX_LANES: usize = 64;
+
+impl InstaEngine {
+    /// Evaluates S what-if scenarios in one batched pass, each
+    /// bit-identical to a serial `update_timing` of that scenario alone
+    /// from the current engine state.
+    ///
+    /// A poisoned scenario is quarantined per-scenario (its `outcome` is
+    /// the serial error), never batch-fatal. The engine's annotations and
+    /// report are left untouched — like S sessions that all rolled back.
+    pub fn evaluate_batch(&mut self, scenarios: &[DeltaSet]) -> Vec<ScenarioReport> {
+        self.evaluate_batch_with(scenarios, &BatchOptions::default())
+    }
+
+    /// [`evaluate_batch`](Self::evaluate_batch) with cancellation,
+    /// deadline, and per-scenario gradient options.
+    pub fn evaluate_batch_with(
+        &mut self,
+        scenarios: &[DeltaSet],
+        opts: &BatchOptions,
+    ) -> Vec<ScenarioReport> {
+        self.stats.batches += 1;
+        self.stats.batch_scenarios += scenarios.len() as u64;
+        let mut out: Vec<Option<ScenarioReport>> = (0..scenarios.len()).map(|_| None).collect();
+
+        // Per-scenario validation quarantine: a rejected scenario gets the
+        // same `Validate` error a serial `update_timing` would raise and
+        // never contributes dirt to the shared sweep.
+        let mut live = Vec::new();
+        for (i, sc) in scenarios.iter().enumerate() {
+            match self.validate_deltas(&sc.deltas) {
+                Ok(()) => live.push(i),
+                Err(e) => {
+                    out[i] = Some(ScenarioReport {
+                        scenario: i,
+                        outcome: Err(e),
+                        gradients: None,
+                    });
+                }
+            }
+        }
+
+        // Scenarios whose serial run would take the degraded drift path
+        // (full health-gated refresh) can't share the sparse sweep: replay
+        // them through real checkpoint/rollback sessions, which reproduces
+        // the serial semantics exactly. They run first because their
+        // sessions desync the Top-K state that the fast path re-syncs.
+        let mut fast = Vec::new();
+        for &i in &live {
+            if self.would_degrade(scenarios[i].deltas.len()) {
+                out[i] = Some(self.run_serial_scenario(i, &scenarios[i].deltas, opts));
+            } else {
+                fast.push(i);
+            }
+        }
+
+        if !fast.is_empty() {
+            if self.ensure_base_synced(opts) {
+                let interrupt = (opts.cancel.is_some() || opts.deadline.is_some()).then(|| {
+                    Interrupt::new(opts.cancel.clone(), opts.deadline.map(Deadline::after))
+                });
+                for chunk in fast.chunks(MAX_LANES) {
+                    let results = self.run_scenario_chunk(scenarios, chunk, opts, interrupt.as_ref());
+                    for (&i, (outcome, gradients)) in chunk.iter().zip(results) {
+                        out[i] = Some(ScenarioReport {
+                            scenario: i,
+                            outcome,
+                            gradients,
+                        });
+                    }
+                }
+            } else {
+                // Base propagation failed (pre-existing poison or an early
+                // cancellation): fall back to serial sessions so every
+                // scenario reports its own typed error.
+                for &i in &fast {
+                    out[i] = Some(self.run_serial_scenario(i, &scenarios[i].deltas, opts));
+                }
+            }
+        }
+
+        let reports: Vec<ScenarioReport> =
+            out.into_iter().map(|o| o.expect("every scenario routed")).collect();
+        self.stats.batch_quarantined +=
+            reports.iter().filter(|r| r.outcome.is_err()).count() as u64;
+        reports
+    }
+
+    /// Whether a serial `update_timing` of a batch this size would take
+    /// the degraded drift path. Mirrors the serial check, which runs
+    /// *after* the batch's own odometer contribution is added.
+    fn would_degrade(&self, batch_len: usize) -> bool {
+        let updates = self.drift.updates + 1;
+        let mass = self.drift.mass + batch_len as f64 / self.st.n_graph_arcs.max(1) as f64;
+        self.cfg.drift_policy.exceeded(updates, mass)
+    }
+
+    /// Makes sure the Top-K arrays are the synced output of the current
+    /// annotations — the shared base every scenario diverges from.
+    /// Equivalent to the caller running `propagate()` before the batch.
+    fn ensure_base_synced(&mut self, opts: &BatchOptions) -> bool {
+        if self.topk_synced && self.state.report.is_some() {
+            return true;
+        }
+        if opts.cancel.is_some() || opts.deadline.is_some() {
+            self.set_interrupt(Interrupt::new(
+                opts.cancel.clone(),
+                opts.deadline.map(Deadline::after),
+            ));
+        }
+        let ok = self.try_propagate().is_ok();
+        self.clear_interrupt();
+        ok
+    }
+
+    /// Replays one scenario through a real checkpoint/rollback session —
+    /// the exact serial semantics the fast path is equivalent to.
+    fn run_serial_scenario(
+        &mut self,
+        scenario: usize,
+        deltas: &[ArcDelta],
+        opts: &BatchOptions,
+    ) -> ScenarioReport {
+        let mut session = self.begin_session();
+        if let Some(token) = &opts.cancel {
+            session = session.with_cancel(token.clone());
+        }
+        if let Some(budget) = opts.deadline {
+            session = session.with_deadline(budget);
+        }
+        let mut gradients = None;
+        let outcome = session.update_timing(deltas).and_then(|report| {
+            if opts.gradients {
+                session.forward_lse()?;
+                session.backward_tns()?;
+                gradients = Some(session.engine().arc_gradients());
+            }
+            Ok(report)
+        });
+        session.rollback();
+        ScenarioReport {
+            scenario,
+            outcome,
+            gradients,
+        }
+    }
+
+    /// Runs up to [`MAX_LANES`] scenarios through one shared sweep and
+    /// returns `(outcome, gradients)` per lane.
+    fn run_scenario_chunk(
+        &mut self,
+        scenarios: &[DeltaSet],
+        lanes_idx: &[usize],
+        opts: &BatchOptions,
+        interrupt: Option<&Interrupt>,
+    ) -> Vec<(Result<InstaReport, InstaError>, Option<Vec<f64>>)> {
+        let nt = resolve_threads(self.cfg.n_threads);
+        let mut sb = ScenarioBatch::new(&self.st, &self.state, scenarios, lanes_idx);
+        match sb.sweep(nt, interrupt) {
+            Err(e) => {
+                // The shared sweep died (cancelled, or a worker panic the
+                // serial retry couldn't contain): every lane of this chunk
+                // reports its own copy of the error.
+                let out = lanes_idx
+                    .iter()
+                    .map(|_| (Err(clone_kernel_error(&e)), None))
+                    .collect();
+                drop(sb);
+                if let InstaError::Runtime(inc) = e {
+                    self.incidents.record(inc.clone());
+                    self.last_incident = Some(inc);
+                }
+                out
+            }
+            Ok(recovered) => {
+                let base_report = self.state.report.as_ref().expect("base synced");
+                let mut out = Vec::with_capacity(lanes_idx.len());
+                for lane in 0..lanes_idx.len() {
+                    let report = sb.lane_report(lane, base_report, self.cfg.cppr);
+                    // The session layer's no-NaN-escapes gate, per lane.
+                    if let Some(err) = nan_gate(&self.st, &report) {
+                        out.push((Err(err), None));
+                        continue;
+                    }
+                    let gradients = if opts.gradients {
+                        match self.lane_gradients(&sb, lane, &report, interrupt) {
+                            Ok(g) => Some(g),
+                            Err(e) => {
+                                out.push((Err(e), None));
+                                continue;
+                            }
+                        }
+                    } else {
+                        None
+                    };
+                    out.push((Ok(report), gradients));
+                }
+                drop(sb);
+                if let Some(inc) = recovered {
+                    self.incidents.record(inc.clone());
+                    self.last_incident = Some(inc);
+                }
+                out
+            }
+        }
+    }
+
+    /// Differentiable passes for one lane: LSE forward against the lane's
+    /// overlaid annotations, then the shared backward sweep — into scratch
+    /// buffers, so the engine's own LSE/gradient state is untouched.
+    /// Bit-identical to a serial session running `update_timing` +
+    /// `forward_lse` + `backward_tns` on this scenario, because it *is*
+    /// the same kernel code reading the same values.
+    fn lane_gradients(
+        &self,
+        sb: &ScenarioBatch<'_>,
+        lane: usize,
+        report: &InstaReport,
+        interrupt: Option<&Interrupt>,
+    ) -> Result<Vec<f64>, InstaError> {
+        let st = &self.st;
+        let n_exp = st.arc_parent.len();
+        let mut scratch = State {
+            k: self.state.k,
+            // The differentiable passes never touch the Top-K arrays.
+            topk_arrival: Vec::new(),
+            topk_mean: Vec::new(),
+            topk_sigma: Vec::new(),
+            topk_sp: Vec::new(),
+            lse_arrival: vec![f64::NEG_INFINITY; st.n * 2],
+            lse_weight: vec![[0.0; 2]; n_exp],
+            grad_arrival: vec![0.0; st.n * 2],
+            grad_arc: vec![[0.0; 2]; n_exp],
+            grad_fanout: vec![[0.0; 2]; n_exp],
+            report: None,
+            lse_tau_used: None,
+        };
+        let ann = |ai: usize, rf: usize| sb.arc_ann(ai, rf, lane);
+        crate::lse::forward_lse_with(
+            st,
+            &mut scratch,
+            self.cfg.lse_tau,
+            self.cfg.n_threads,
+            interrupt,
+            &ann,
+        )?;
+        crate::backward::backward(
+            st,
+            &mut scratch,
+            report,
+            self.cfg.lse_tau,
+            self.cfg.n_threads,
+            interrupt,
+        )?;
+        // Aggregate expanded-arc gradients onto graph arcs, exactly like
+        // `arc_gradients`.
+        let mut out = vec![0.0; st.n_graph_arcs];
+        for (g, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for &e in &st.expansion_arc
+                [st.expansion_start[g] as usize..st.expansion_start[g + 1] as usize]
+            {
+                let ga = scratch.grad_arc[e as usize];
+                acc += ga[0] + ga[1];
+            }
+            *slot = acc;
+        }
+        Ok(out)
+    }
+}
+
+/// Duplicates a kernel-sweep error for each lane of an aborted chunk
+/// ([`InstaError`] is intentionally not `Clone`; the sweep only raises
+/// these variants).
+fn clone_kernel_error(e: &InstaError) -> InstaError {
+    match e {
+        InstaError::Cancelled {
+            kernel,
+            level,
+            elapsed,
+        } => InstaError::Cancelled {
+            kernel: *kernel,
+            level: *level,
+            elapsed: *elapsed,
+        },
+        InstaError::Runtime(inc) => InstaError::Runtime(inc.clone()),
+        InstaError::Numeric {
+            kernel,
+            array,
+            node,
+            orig_node,
+            level,
+            rf,
+            value,
+        } => InstaError::Numeric {
+            kernel: *kernel,
+            array: *array,
+            node: *node,
+            orig_node: *orig_node,
+            level: *level,
+            rf: *rf,
+            value: *value,
+        },
+        _ => unreachable!("kernel sweeps raise only Cancelled/Runtime/Numeric"),
+    }
+}
+
+/// The session layer's no-NaN-escapes gate for one lane's report.
+fn nan_gate(st: &Static, report: &InstaReport) -> Option<InstaError> {
+    let ep = report.slacks.iter().position(|s| s.is_nan())?;
+    let node = st.endpoints[ep].node;
+    Some(InstaError::Numeric {
+        kernel: Kernel::Forward,
+        array: PoisonedArray::TopKArrival,
+        node,
+        orig_node: st.node_orig[node as usize],
+        level: crate::health::level_of(st, node as usize),
+        rf: 0,
+        value: f64::NAN,
+    })
+}
+
+/// S scenarios' worth of sparse propagation state over one shared base —
+/// the SoA layout of the batched kernel (see the module docs).
+pub(crate) struct ScenarioBatch<'a> {
+    st: &'a Static,
+    base: &'a State,
+    /// Lane count S of this chunk (≤ [`MAX_LANES`]).
+    lanes: usize,
+    k: usize,
+    /// Expanded arc → overlay slot (`u32::MAX` = untouched by any lane).
+    touched: Vec<u32>,
+    /// Overlaid annotations at `slot·lanes + lane`; untouched lanes of a
+    /// touched arc hold the base annotation.
+    over_mean: Vec<[f64; 2]>,
+    over_sigma: Vec<[f64; 2]>,
+    /// Per-node lane bitmask: which scenarios must recompute this node.
+    dirty: Vec<u64>,
+    /// OR of `dirty` over each level (clean levels are skipped wholesale).
+    level_dirty: Vec<u64>,
+    /// Dirty-node count per level (parallel-launch sizing).
+    level_dirty_nodes: Vec<u32>,
+    /// Node → index into `st.sources` (`u32::MAX` = not a startpoint;
+    /// the *last* source wins, like the serial seeding).
+    source_of: Vec<u32>,
+    /// Per-lane Top-K queues, indexed `((v·2 + rf)·lanes + lane)·k + j`.
+    /// Only slices of dirty `(node, lane)` pairs are ever written or read.
+    sc_arrival: Vec<f64>,
+    sc_mean: Vec<f64>,
+    sc_sigma: Vec<f64>,
+    sc_sp: Vec<u32>,
+}
+
+/// The shared-ref context workers need (everything but the mutable lane
+/// queues).
+#[derive(Clone, Copy)]
+struct LaneCtx<'a> {
+    st: &'a Static,
+    base: &'a State,
+    k: usize,
+    lanes: usize,
+    dirty: &'a [u64],
+    touched: &'a [u32],
+    over_mean: &'a [[f64; 2]],
+    over_sigma: &'a [[f64; 2]],
+    source_of: &'a [u32],
+}
+
+impl LaneCtx<'_> {
+    /// A lane's annotation of an expanded arc: the overlaid delta when the
+    /// lane touched it, the base annotation otherwise.
+    #[inline]
+    fn arc_ann(&self, ai: usize, rf: usize, lane: usize) -> (f64, f64) {
+        let slot = self.touched[ai];
+        if slot != u32::MAX {
+            let oi = slot as usize * self.lanes + lane;
+            (self.over_mean[oi][rf], self.over_sigma[oi][rf])
+        } else {
+            (self.st.arc_mean[ai][rf], self.st.arc_sigma[ai][rf])
+        }
+    }
+}
+
+impl<'a> ScenarioBatch<'a> {
+    pub(crate) fn new(
+        st: &'a Static,
+        base: &'a State,
+        scenarios: &[DeltaSet],
+        lanes_idx: &[usize],
+    ) -> Self {
+        let lanes = lanes_idx.len();
+        debug_assert!(lanes > 0 && lanes <= MAX_LANES);
+        let k = base.k;
+        let n = st.n;
+
+        // ---- Overlay + dirty seeds ----------------------------------
+        let mut touched = vec![u32::MAX; st.arc_parent.len()];
+        let mut over_mean: Vec<[f64; 2]> = Vec::new();
+        let mut over_sigma: Vec<[f64; 2]> = Vec::new();
+        let mut dirty = vec![0u64; n];
+        for (lane, &sci) in lanes_idx.iter().enumerate() {
+            let bit = 1u64 << lane;
+            for d in &scenarios[sci].deltas {
+                let g = d.arc as usize;
+                let er =
+                    st.expansion_start[g] as usize..st.expansion_start[g + 1] as usize;
+                for &e in &st.expansion_arc[er] {
+                    let e = e as usize;
+                    let slot = if touched[e] == u32::MAX {
+                        let slot = (over_mean.len() / lanes) as u32;
+                        touched[e] = slot;
+                        // Every lane starts from the base annotation;
+                        // lanes that never re-annotate this arc keep
+                        // reading the base value through the overlay.
+                        for _ in 0..lanes {
+                            over_mean.push(st.arc_mean[e]);
+                            over_sigma.push(st.arc_sigma[e]);
+                        }
+                        slot
+                    } else {
+                        touched[e]
+                    };
+                    let oi = slot as usize * lanes + lane;
+                    // Batch order: a later delta to the same arc wins,
+                    // exactly like `reannotate`'s sequential writes.
+                    over_mean[oi] = d.mean;
+                    over_sigma[oi] = d.sigma;
+                    dirty[st.arc_child[e] as usize] |= bit;
+                }
+            }
+        }
+
+        // ---- Levelized dirt propagation -----------------------------
+        // A node is dirty for a lane when an incoming arc was touched or
+        // any parent is dirty. Seeds sit on arc children, which always
+        // have fanin, so level 0 stays clean.
+        let num_levels = st.num_levels();
+        let mut level_dirty = vec![0u64; num_levels];
+        let mut level_dirty_nodes = vec![0u32; num_levels];
+        for l in 1..num_levels {
+            let mut any = 0u64;
+            let mut cnt = 0u32;
+            for v in st.level_range(l) {
+                let mut m = dirty[v];
+                for ai in st.fanin_range(v) {
+                    m |= dirty[st.arc_parent[ai] as usize];
+                }
+                dirty[v] = m;
+                if m != 0 {
+                    any |= m;
+                    cnt += 1;
+                }
+            }
+            level_dirty[l] = any;
+            level_dirty_nodes[l] = cnt;
+        }
+
+        let mut source_of = vec![u32::MAX; n];
+        for (i, s) in st.sources.iter().enumerate() {
+            // Last writer wins, matching the serial seeding order.
+            source_of[s.node as usize] = i as u32;
+        }
+
+        // Lane queues are allocated zeroed and written lazily: only dirty
+        // (node, lane) slices are reset + computed, and reads are guarded
+        // by the dirty masks, so untouched zero pages are never consulted.
+        let lstride = 2 * lanes * k;
+        Self {
+            st,
+            base,
+            lanes,
+            k,
+            touched,
+            over_mean,
+            over_sigma,
+            dirty,
+            level_dirty,
+            level_dirty_nodes,
+            source_of,
+            sc_arrival: vec![0.0; n * lstride],
+            sc_mean: vec![0.0; n * lstride],
+            sc_sigma: vec![0.0; n * lstride],
+            sc_sp: vec![0; n * lstride],
+        }
+    }
+
+    /// See [`LaneCtx::arc_ann`].
+    #[inline]
+    fn arc_ann(&self, ai: usize, rf: usize, lane: usize) -> (f64, f64) {
+        let slot = self.touched[ai];
+        if slot != u32::MAX {
+            let oi = slot as usize * self.lanes + lane;
+            (self.over_mean[oi][rf], self.over_sigma[oi][rf])
+        } else {
+            (self.st.arc_mean[ai][rf], self.st.arc_sigma[ai][rf])
+        }
+    }
+
+    /// The batched forward sweep: one pass over the dirty levels computes
+    /// every lane's dirty cone, parallelized across (level-nodes ×
+    /// lanes) with the same panic-containment + serial-retry contract as
+    /// the serial kernel.
+    pub(crate) fn sweep(
+        &mut self,
+        nt: usize,
+        interrupt: Option<&Interrupt>,
+    ) -> Result<Option<RuntimeIncident>, InstaError> {
+        let st = self.st;
+        let lstride = 2 * self.lanes * self.k;
+        let ctx = LaneCtx {
+            st,
+            base: self.base,
+            k: self.k,
+            lanes: self.lanes,
+            dirty: &self.dirty,
+            touched: &self.touched,
+            over_mean: &self.over_mean,
+            over_sigma: &self.over_sigma,
+            source_of: &self.source_of,
+        };
+        let mut recovered: Option<RuntimeIncident> = None;
+        for l in 1..st.num_levels() {
+            if self.level_dirty[l] == 0 {
+                continue; // no lane touches this level
+            }
+            // Same bounded-latency contract as the serial kernels: one
+            // cancellation poll per (dirty) level.
+            if let Some(e) = interrupt.and_then(|i| i.check(Kernel::Forward, l)) {
+                return Err(e);
+            }
+            let r = st.level_range(l);
+            let (base_n, len) = (r.start, r.len());
+            let split = base_n * lstride;
+            let panicked = {
+                let (mean_done, mean_tail) = self.sc_mean.split_at_mut(split);
+                let (sigma_done, sigma_tail) = self.sc_sigma.split_at_mut(split);
+                let (sp_done, sp_tail) = self.sc_sp.split_at_mut(split);
+                let (_, arr_tail) = self.sc_arrival.split_at_mut(split);
+                let arr_cur = &mut arr_tail[..len * lstride];
+                let mean_cur = &mut mean_tail[..len * lstride];
+                let sigma_cur = &mut sigma_tail[..len * lstride];
+                let sp_cur = &mut sp_tail[..len * lstride];
+
+                if nt <= 1 || (self.level_dirty_nodes[l] as usize) < PAR_THRESHOLD {
+                    batch_level_chunk(
+                        &ctx, base_n, mean_done, sigma_done, sp_done, arr_cur, mean_cur,
+                        sigma_cur, sp_cur,
+                    );
+                    None
+                } else {
+                    let chunk_nodes = len.div_ceil(nt);
+                    let chunk_elems = chunk_nodes * lstride;
+                    let cell = PanicCell::new();
+                    std::thread::scope(|scope| {
+                        let mut rest = (arr_cur, mean_cur, sigma_cur, sp_cur);
+                        let mut cbase = base_n;
+                        loop {
+                            let take = chunk_elems.min(rest.0.len());
+                            if take == 0 {
+                                break;
+                            }
+                            let (a, ra) = rest.0.split_at_mut(take);
+                            let (m, rm) = rest.1.split_at_mut(take);
+                            let (sg, rs) = rest.2.split_at_mut(take);
+                            let (sp, rsp) = rest.3.split_at_mut(take);
+                            rest = (ra, rm, rs, rsp);
+                            let (md, sd, spd) = (&*mean_done, &*sigma_done, &*sp_done);
+                            let cell = &cell;
+                            let ctx = &ctx;
+                            scope.spawn(move || {
+                                cell.run(cbase..cbase + take / lstride, || {
+                                    chaos::maybe_panic(Kernel::Forward, l);
+                                    batch_level_chunk(ctx, cbase, md, sd, spd, a, m, sg, sp);
+                                });
+                            });
+                            cbase += take / lstride;
+                        }
+                    });
+                    cell.take()
+                }
+            };
+            if let Some((chunk, message)) = panicked {
+                let incident = RuntimeIncident {
+                    kernel: Kernel::Forward,
+                    level: l,
+                    chunk,
+                    message,
+                    serial_retry_failed: false,
+                };
+                // Serial re-execution. No window reset is needed: the
+                // chunk body resets every dirty (node, lane) slice before
+                // computing it, so partial writes are invisible and the
+                // retry is bit-identical to an undisturbed run.
+                let retry = catch_unwind(AssertUnwindSafe(|| {
+                    chaos::maybe_panic(Kernel::Forward, l);
+                    let (mean_done, mean_tail) = self.sc_mean.split_at_mut(split);
+                    let (sigma_done, sigma_tail) = self.sc_sigma.split_at_mut(split);
+                    let (sp_done, sp_tail) = self.sc_sp.split_at_mut(split);
+                    let (_, arr_tail) = self.sc_arrival.split_at_mut(split);
+                    batch_level_chunk(
+                        &ctx,
+                        base_n,
+                        mean_done,
+                        sigma_done,
+                        sp_done,
+                        &mut arr_tail[..len * lstride],
+                        &mut mean_tail[..len * lstride],
+                        &mut sigma_tail[..len * lstride],
+                        &mut sp_tail[..len * lstride],
+                    );
+                }));
+                match retry {
+                    Ok(()) => {
+                        recovered.get_or_insert(incident);
+                    }
+                    Err(_) => {
+                        return Err(InstaError::Runtime(RuntimeIncident {
+                            serial_retry_failed: true,
+                            ..incident
+                        }))
+                    }
+                }
+            }
+        }
+        Ok(recovered)
+    }
+
+    /// One lane's endpoint report. Clean endpoints copy the base report's
+    /// entries bit-for-bit (their whole fanin cone is clean for this lane,
+    /// so a serial run would recompute exactly those values); dirty
+    /// endpoints scan the lane's queues with the same code path as
+    /// `metrics::evaluate`. Accumulation runs in endpoint order either
+    /// way, so WNS/TNS are bit-identical too.
+    pub(crate) fn lane_report(
+        &self,
+        lane: usize,
+        base_report: &InstaReport,
+        cppr: bool,
+    ) -> InstaReport {
+        let st = self.st;
+        let k = self.k;
+        let n_ep = st.endpoints.len();
+        let mut slacks = vec![f64::INFINITY; n_ep];
+        let mut arrivals = vec![f64::NEG_INFINITY; n_ep];
+        let mut requireds = vec![f64::INFINITY; n_ep];
+        let mut worst_sp = vec![NO_SP; n_ep];
+        let mut worst_rf = vec![0u8; n_ep];
+        let mut wns = f64::INFINITY;
+        let mut tns = 0.0;
+        let mut viol = 0usize;
+        for (i, ep) in st.endpoints.iter().enumerate() {
+            let v = ep.node as usize;
+            if self.dirty[v] >> lane & 1 == 0 {
+                slacks[i] = base_report.slacks[i];
+                arrivals[i] = base_report.arrivals[i];
+                requireds[i] = base_report.requireds[i];
+                worst_sp[i] = base_report.worst_sp[i];
+                worst_rf[i] = base_report.worst_rf[i];
+            } else {
+                let ep_id = EpId(ep.ep);
+                for rf in 0..2usize {
+                    for j in 0..k {
+                        let idx = ((v * 2 + rf) * self.lanes + lane) * k + j;
+                        let sp = self.sc_sp[idx];
+                        if sp == NO_SP {
+                            break; // the queue is dense from the front
+                        }
+                        let sp_id = SpId(sp);
+                        if st.exceptions.is_false(sp_id, ep_id) {
+                            continue;
+                        }
+                        let mut required = ep.required_base;
+                        let mcp = st.exceptions.multicycle_factor(sp_id, ep_id);
+                        if mcp > 1 {
+                            required += (mcp - 1) as f64 * st.period_ps;
+                        }
+                        if cppr {
+                            required += st.cppr_credit(st.sp_leaf[sp as usize], ep.leaf);
+                        }
+                        let arrival = self.sc_arrival[idx];
+                        let slack = required - arrival;
+                        if slack < slacks[i] {
+                            slacks[i] = slack;
+                            arrivals[i] = arrival;
+                            requireds[i] = required;
+                            worst_sp[i] = sp;
+                            worst_rf[i] = rf as u8;
+                        }
+                    }
+                }
+            }
+            if slacks[i] < 0.0 {
+                tns += slacks[i];
+                viol += 1;
+            }
+            if slacks[i] < wns {
+                wns = slacks[i];
+            }
+        }
+        InstaReport {
+            wns_ps: wns,
+            tns_ps: tns,
+            n_violations: viol,
+            slacks,
+            arrivals,
+            requireds,
+            worst_sp,
+            worst_rf,
+        }
+    }
+}
+
+/// Per-thread body of the batched sweep: computes every dirty (node, lane)
+/// queue of the chunk. For each one it restores the serial kernel's
+/// pre-state (global-fill reset + launch seed) and then runs the *same*
+/// merge body as the serial kernel, with parent reads falling through to
+/// the base arrays on clean lanes.
+#[allow(clippy::too_many_arguments)]
+fn batch_level_chunk(
+    ctx: &LaneCtx<'_>,
+    chunk_base: usize,
+    mean_done: &[f64],
+    sigma_done: &[f64],
+    sp_done: &[u32],
+    arr_cur: &mut [f64],
+    mean_cur: &mut [f64],
+    sigma_cur: &mut [f64],
+    sp_cur: &mut [u32],
+) {
+    let (st, k, lanes) = (ctx.st, ctx.k, ctx.lanes);
+    let lstride = 2 * lanes * k;
+    let n_local = arr_cur.len() / lstride;
+    for li in 0..n_local {
+        let v = chunk_base + li;
+        let mut mask = ctx.dirty[v];
+        if mask == 0 {
+            continue;
+        }
+        let fanin = st.fanin_range(v);
+        debug_assert!(!fanin.is_empty(), "dirt only flows along fanin arcs");
+        while mask != 0 {
+            let lane = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            // Reset this lane's queue slices to the serial kernel's
+            // post-global-fill state, then re-apply the launch seed when
+            // the node is a startpoint — the exact pre-state the serial
+            // pass gives every node before its level is computed.
+            for rf in 0..2 {
+                let off = li * lstride + (rf * lanes + lane) * k;
+                arr_cur[off..off + k].fill(f64::NEG_INFINITY);
+                sp_cur[off..off + k].fill(NO_SP);
+            }
+            if ctx.source_of[v] != u32::MAX {
+                let s = &st.sources[ctx.source_of[v] as usize];
+                for rf in 0..2 {
+                    let off = li * lstride + (rf * lanes + lane) * k;
+                    mean_cur[off] = s.mean[rf];
+                    sigma_cur[off] = s.sigma[rf];
+                    arr_cur[off] = s.mean[rf] + st.n_sigma * s.sigma[rf];
+                    sp_cur[off] = s.sp;
+                }
+            }
+            for rf in 0..2 {
+                let off = li * lstride + (rf * lanes + lane) * k;
+                let (qa, qm, qs, qsp) = (
+                    &mut arr_cur[off..off + k],
+                    &mut mean_cur[off..off + k],
+                    &mut sigma_cur[off..off + k],
+                    &mut sp_cur[off..off + k],
+                );
+                let parent = |p: usize, prf: usize, j: usize| {
+                    if ctx.dirty[p] >> lane & 1 == 1 {
+                        let idx = ((p * 2 + prf) * lanes + lane) * k + j;
+                        (sp_done[idx], mean_done[idx], sigma_done[idx])
+                    } else {
+                        let idx = (p * 2 + prf) * k + j;
+                        (
+                            ctx.base.topk_sp[idx],
+                            ctx.base.topk_mean[idx],
+                            ctx.base.topk_sigma[idx],
+                        )
+                    }
+                };
+                let arc = |ai: usize| ctx.arc_ann(ai, rf, lane);
+                merge_node_queue(st, fanin.clone(), rf, k, &parent, &arc, qa, qm, qs, qsp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+impl ScenarioBatch<'_> {
+    /// Lane count of the chunk.
+    pub(crate) fn lane_count(&self) -> usize {
+        self.lanes
+    }
+
+    /// Whether the sweep recomputed this (node, lane) pair.
+    pub(crate) fn is_dirty(&self, v: usize, lane: usize) -> bool {
+        self.dirty[v] >> lane & 1 == 1
+    }
+
+    /// One lane's k-slices of a node's queue: (arrival, mean, sigma, sp).
+    pub(crate) fn lane_queue(
+        &self,
+        v: usize,
+        rf: usize,
+        lane: usize,
+    ) -> (&[f64], &[f64], &[f64], &[u32]) {
+        let off = ((v * 2 + rf) * self.lanes + lane) * self.k;
+        let k = self.k;
+        (
+            &self.sc_arrival[off..off + k],
+            &self.sc_mean[off..off + k],
+            &self.sc_sigma[off..off + k],
+            &self.sc_sp[off..off + k],
+        )
+    }
+}

@@ -54,7 +54,7 @@ impl DriftPolicy {
         }
     }
 
-    fn exceeded(&self, updates: u64, mass: f64) -> bool {
+    pub(crate) fn exceeded(&self, updates: u64, mass: f64) -> bool {
         (self.max_updates > 0 && updates >= self.max_updates)
             || (self.max_touched_mass > 0.0 && mass >= self.max_touched_mass)
     }
@@ -79,6 +79,13 @@ pub(crate) struct SessionStats {
     pub cancelled: u64,
     pub degraded_passes: u64,
     pub incremental_updates: u64,
+    /// `evaluate_batch` calls.
+    pub batches: u64,
+    /// Scenarios submitted across all batches.
+    pub batch_scenarios: u64,
+    /// Scenarios that returned an error from a batch (validation-rejected,
+    /// cancelled, or numerically poisoned) while their siblings completed.
+    pub batch_quarantined: u64,
 }
 
 /// Configuration of the INSTA engine.

@@ -229,6 +229,100 @@ pub(crate) fn forward(
     Ok(recovered)
 }
 
+/// Computes one `(node, transition)` Top-K queue from its parents — the
+/// shared inner body of Algorithm 1.
+///
+/// Parent-queue and arc-annotation reads go through closures so the
+/// batched scenario kernel ([`crate::batch`]) can overlay per-scenario
+/// annotations and per-lane parent state while sharing the exact
+/// float-operation order of the single-scenario kernel — the bit-identity
+/// guarantee of `evaluate_batch` holds *by construction*, not by parallel
+/// maintenance of two kernels. `parent(p, prf, j)` returns the parent's
+/// j-th `(sp, mean, sigma)` entry; `arc(ai)` returns the arc's
+/// `(mean, sigma)` for the destination transition being computed.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_node_queue(
+    st: &Static,
+    fanin: std::ops::Range<usize>,
+    rf: usize,
+    k: usize,
+    parent: &impl Fn(usize, usize, usize) -> (u32, f64, f64),
+    arc: &impl Fn(usize) -> (f64, f64),
+    qa: &mut [f64],
+    qm: &mut [f64],
+    qs: &mut [f64],
+    qsp: &mut [u32],
+) {
+    // Paper §III-D: input pins have a single parent in modern
+    // designs, so no merge is needed — a vectorized transform of
+    // the parent queue suffices (here: copy, add the arc
+    // distribution, then restore corner order, which RSS sigma
+    // composition can perturb slightly).
+    if fanin.len() == 1 {
+        let ai = fanin.start;
+        let p = st.arc_parent[ai] as usize;
+        let prf = if st.arc_neg[ai] { 1 - rf } else { rf };
+        let (a_mean, s_arc) = arc(ai);
+        for j in 0..k {
+            let (sp, p_mean, s_par) = parent(p, prf, j);
+            if sp == NO_SP {
+                break;
+            }
+            let mean = p_mean + a_mean;
+            let sigma = (s_par * s_par + s_arc * s_arc).sqrt();
+            qm[j] = mean;
+            qs[j] = sigma;
+            qa[j] = mean + st.n_sigma * sigma;
+            qsp[j] = sp;
+            // Insertion step of the nearly-sorted restore.
+            let mut i = j;
+            while i > 0 && qa[i - 1] < qa[i] {
+                qa.swap(i - 1, i);
+                qm.swap(i - 1, i);
+                qs.swap(i - 1, i);
+                qsp.swap(i - 1, i);
+                i -= 1;
+            }
+        }
+        return;
+    }
+    // Paper Algorithm 1: for each k, merge every parent's k-th
+    // unique-startpoint arrival. Queues are dense from the front,
+    // so once every parent is exhausted at slot j the remaining
+    // slots are empty too.
+    for j in 0..k {
+        let mut any_live = false;
+        for ai in fanin.clone() {
+            let p = st.arc_parent[ai] as usize;
+            let prf = if st.arc_neg[ai] { 1 - rf } else { rf };
+            let (sp, p_mean, s_par) = parent(p, prf, j);
+            if sp == NO_SP {
+                continue;
+            }
+            any_live = true;
+            let (a_mean, s_arc) = arc(ai);
+            let mean = p_mean + a_mean;
+            let sigma = (s_par * s_par + s_arc * s_arc).sqrt();
+            update_topk_slices(
+                qa,
+                qm,
+                qs,
+                qsp,
+                Candidate {
+                    arrival: mean + st.n_sigma * sigma,
+                    mean,
+                    sigma,
+                    sp,
+                },
+            );
+        }
+        if !any_live {
+            break;
+        }
+    }
+}
+
 /// Processes a chunk of one level's nodes — the per-thread body of
 /// Algorithm 1.
 #[allow(clippy::too_many_arguments)]
@@ -260,77 +354,12 @@ fn level_chunk(
                 &mut sigma_cur[off..off + k],
                 &mut sp_cur[off..off + k],
             );
-            // Paper §III-D: input pins have a single parent in modern
-            // designs, so no merge is needed — a vectorized transform of
-            // the parent queue suffices (here: copy, add the arc
-            // distribution, then restore corner order, which RSS sigma
-            // composition can perturb slightly).
-            if fanin.len() == 1 {
-                let ai = fanin.start;
-                let p = st.arc_parent[ai] as usize;
-                let prf = if st.arc_neg[ai] { 1 - rf } else { rf };
-                let pbase = (p * 2 + prf) * k;
-                for j in 0..k {
-                    let sp = sp_done[pbase + j];
-                    if sp == NO_SP {
-                        break;
-                    }
-                    let mean = mean_done[pbase + j] + st.arc_mean[ai][rf];
-                    let s_arc = st.arc_sigma[ai][rf];
-                    let s_par = sigma_done[pbase + j];
-                    let sigma = (s_par * s_par + s_arc * s_arc).sqrt();
-                    qm[j] = mean;
-                    qs[j] = sigma;
-                    qa[j] = mean + st.n_sigma * sigma;
-                    qsp[j] = sp;
-                    // Insertion step of the nearly-sorted restore.
-                    let mut i = j;
-                    while i > 0 && qa[i - 1] < qa[i] {
-                        qa.swap(i - 1, i);
-                        qm.swap(i - 1, i);
-                        qs.swap(i - 1, i);
-                        qsp.swap(i - 1, i);
-                        i -= 1;
-                    }
-                }
-                continue;
-            }
-            // Paper Algorithm 1: for each k, merge every parent's k-th
-            // unique-startpoint arrival. Queues are dense from the front,
-            // so once every parent is exhausted at slot j the remaining
-            // slots are empty too.
-            for j in 0..k {
-                let mut any_live = false;
-                for ai in fanin.clone() {
-                    let p = st.arc_parent[ai] as usize;
-                    let prf = if st.arc_neg[ai] { 1 - rf } else { rf };
-                    let pidx = (p * 2 + prf) * k + j;
-                    let sp = sp_done[pidx];
-                    if sp == NO_SP {
-                        continue;
-                    }
-                    any_live = true;
-                    let mean = mean_done[pidx] + st.arc_mean[ai][rf];
-                    let s_arc = st.arc_sigma[ai][rf];
-                    let s_par = sigma_done[pidx];
-                    let sigma = (s_par * s_par + s_arc * s_arc).sqrt();
-                    update_topk_slices(
-                        qa,
-                        qm,
-                        qs,
-                        qsp,
-                        Candidate {
-                            arrival: mean + st.n_sigma * sigma,
-                            mean,
-                            sigma,
-                            sp,
-                        },
-                    );
-                }
-                if !any_live {
-                    break;
-                }
-            }
+            let parent = |p: usize, prf: usize, j: usize| {
+                let pidx = (p * 2 + prf) * k + j;
+                (sp_done[pidx], mean_done[pidx], sigma_done[pidx])
+            };
+            let arc = |ai: usize| (st.arc_mean[ai][rf], st.arc_sigma[ai][rf]);
+            merge_node_queue(st, fanin.clone(), rf, k, &parent, &arc, qa, qm, qs, qsp);
         }
     }
 }

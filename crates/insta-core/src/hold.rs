@@ -341,6 +341,78 @@ mod tests {
         assert!((report.tns_ps - golden.tns_ps).abs() < 1e-9);
     }
 
+    /// The min-path (earliest) arrivals behind the hold slacks match the
+    /// reference hold analysis on fixed-seed designs — the hold check is
+    /// built on the right arrivals, not just the right differences.
+    #[test]
+    fn hold_min_arrivals_match_reference() {
+        for seed in [11, 13] {
+            let (d, mut sta, mut eng, attrs) = setup(seed);
+            let golden = sta.hold_update(&d);
+            let report = eng.propagate_hold(&attrs);
+            let mut checked = 0usize;
+            for (i, g) in golden.endpoints.iter().enumerate() {
+                if g.slack_ps.is_finite() {
+                    checked += 1;
+                    assert!(
+                        (report.arrivals[i] - g.arrival_ps).abs() < 1e-9,
+                        "seed {seed} ep {i}: min arrival {} vs golden {}",
+                        report.arrivals[i],
+                        g.arrival_ps
+                    );
+                }
+            }
+            assert!(checked > 0, "seed {seed}: no constrained hold endpoint");
+        }
+    }
+
+    /// A batched setup evaluation interleaved with hold passes stays
+    /// bit-correct: `propagate_hold` repurposes the Top-K buffers (and
+    /// desyncs them), so `evaluate_batch` must re-sync its shared base
+    /// before sweeping — scenario results before and after a hold pass
+    /// are bit-identical, and the hold report is unaffected by a batch.
+    #[test]
+    fn batched_evaluation_is_bit_stable_across_hold_passes() {
+        use crate::batch::DeltaSet;
+        use insta_refsta::eco::ArcDelta;
+
+        let (_d, sta, mut eng, attrs) = setup(9);
+        eng.propagate();
+        let delays = sta.delays();
+        let arc = (delays.mean.len() / 3) as u32;
+        let mean = delays.mean[arc as usize];
+        let scenarios = vec![
+            DeltaSet::default(),
+            DeltaSet::from(vec![ArcDelta {
+                arc,
+                mean: [mean[0] + 25.0, mean[1] + 25.0],
+                sigma: delays.sigma[arc as usize],
+            }]),
+        ];
+        let bits = |reports: &[crate::batch::ScenarioReport]| -> Vec<u64> {
+            reports
+                .iter()
+                .flat_map(|r| {
+                    r.outcome
+                        .as_ref()
+                        .expect("clean scenario")
+                        .slacks
+                        .iter()
+                        .map(|s| s.to_bits())
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let before = bits(&eng.evaluate_batch(&scenarios));
+        let hold_a = eng.propagate_hold(&attrs);
+        // The hold pass overwrote the shared base; the batch re-syncs.
+        let after = bits(&eng.evaluate_batch(&scenarios));
+        assert_eq!(before, after, "hold pass leaked into batched setup results");
+        // And the batch leaves hold analysis undisturbed in turn.
+        let hold_b = eng.propagate_hold(&attrs);
+        assert_eq!(hold_a.slacks, hold_b.slacks);
+    }
+
     /// Setup state is restored by re-propagating after a hold pass (the
     /// two modes share buffers by design).
     #[test]

@@ -38,6 +38,10 @@
 //!   copy-on-write epoch checkpoints, bit-identical rollback on poison,
 //!   cooperative per-level cancellation with deadlines, and drift-audited
 //!   degradation (see DESIGN.md "Session lifecycle and failure policy").
+//! * [`batch`] — batched multi-scenario evaluation: one shared sweep
+//!   propagates S delta-sets at once in SoA scenario lanes, bit-identical
+//!   per scenario to S serial sessions, with per-scenario quarantine (see
+//!   DESIGN.md "Batched scenario evaluation").
 //!
 //! # Examples
 //!
@@ -58,6 +62,7 @@
 //! ```
 
 pub mod backward;
+pub mod batch;
 pub mod checkpoint;
 pub mod correlate;
 pub mod engine;
@@ -73,6 +78,7 @@ pub mod session;
 pub mod topk;
 pub mod validate;
 
+pub use batch::{BatchOptions, DeltaSet, ScenarioReport};
 pub use correlate::{pearson, MismatchStats};
 pub use engine::{DriftPolicy, InstaConfig, InstaEngine};
 pub use error::{IncidentLog, InstaError, Kernel, PoisonedArray, RuntimeIncident};

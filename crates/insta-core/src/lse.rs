@@ -95,6 +95,24 @@ pub(crate) fn forward_lse(
     n_threads: usize,
     interrupt: Option<&Interrupt>,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
+    let ann = |ai: usize, rf: usize| (st.arc_mean[ai][rf], st.arc_sigma[ai][rf]);
+    forward_lse_with(st, state, tau, n_threads, interrupt, &ann)
+}
+
+/// [`forward_lse`] with arc-annotation reads routed through `ann(ai, rf) →
+/// (mean, sigma)`. The batched scenario path ([`crate::batch`]) uses this
+/// to run the differentiable pass against one scenario's overlaid deltas
+/// without mutating the engine's cloned annotations — sharing this body
+/// (instead of maintaining a second LSE kernel) is what makes the batched
+/// gradient bit-identical to a serial re-annotate + `forward_lse` run.
+pub(crate) fn forward_lse_with(
+    st: &Static,
+    state: &mut State,
+    tau: f64,
+    n_threads: usize,
+    interrupt: Option<&Interrupt>,
+    ann: &(impl Fn(usize, usize) -> (f64, f64) + Sync),
+) -> Result<Option<RuntimeIncident>, InstaError> {
     debug_assert!(tau > 0.0);
     state.lse_arrival.fill(f64::NEG_INFINITY);
     for w in state.lse_weight.iter_mut() {
@@ -125,7 +143,7 @@ pub(crate) fn forward_lse(
             let weights = &mut state.lse_weight[arc_lo..arc_hi];
 
             if nt <= 1 || len < PAR_THRESHOLD {
-                lse_chunk(st, tau, base, base..base + len, done, cur, weights, arc_lo);
+                lse_chunk(st, tau, base, base..base + len, done, cur, weights, arc_lo, ann);
                 None
             } else {
                 let chunk_nodes = len.div_ceil(nt);
@@ -149,7 +167,7 @@ pub(crate) fn forward_lse(
                         scope.spawn(move || {
                             cell.run(s0..e0, || {
                                 chaos::maybe_panic(Kernel::ForwardLse, l);
-                                lse_chunk(st, tau, base, s0..e0, done_ref, cn, cw, w_base);
+                                lse_chunk(st, tau, base, s0..e0, done_ref, cn, cw, w_base, ann);
                             });
                         });
                         s0 = e0;
@@ -183,6 +201,7 @@ pub(crate) fn forward_lse(
                     &mut cur_all[..len * 2],
                     &mut state.lse_weight[arc_lo..arc_hi],
                     arc_lo,
+                    ann,
                 );
             }));
             match retry {
@@ -217,6 +236,7 @@ fn lse_chunk(
     cur: &mut [f64],
     weights: &mut [[f64; 2]],
     w_base: usize,
+    ann: &impl Fn(usize, usize) -> (f64, f64),
 ) {
     let chunk_node_base = range.start;
     for v in range {
@@ -235,7 +255,8 @@ fn lse_chunk(
                 let c = if pa == f64::NEG_INFINITY {
                     f64::NEG_INFINITY
                 } else {
-                    pa + st.arc_mean[ai][rf] + st.n_sigma * st.arc_sigma[ai][rf]
+                    let (a_mean, a_sigma) = ann(ai, rf);
+                    pa + a_mean + st.n_sigma * a_sigma
                 };
                 weights[ai - w_base][rf] = c;
                 if c > m {

@@ -140,6 +140,14 @@ pub struct EngineCounters {
     /// Incidents evicted from the bounded ring
     /// ([`IncidentLog`](crate::error::IncidentLog)).
     pub incidents_dropped: u64,
+    /// [`evaluate_batch`](crate::engine::InstaEngine::evaluate_batch)
+    /// calls.
+    pub batches: u64,
+    /// Scenarios submitted across all batches.
+    pub batch_scenarios: u64,
+    /// Scenarios quarantined inside a batch (returned an error while
+    /// sibling scenarios completed normally).
+    pub batch_quarantined: u64,
 }
 
 impl crate::engine::InstaEngine {
@@ -157,6 +165,9 @@ impl crate::engine::InstaEngine {
             drift_mass: self.drift.mass,
             incidents_total: self.incidents.total(),
             incidents_dropped: self.incidents.dropped(),
+            batches: self.stats.batches,
+            batch_scenarios: self.stats.batch_scenarios,
+            batch_quarantined: self.stats.batch_quarantined,
         }
     }
 

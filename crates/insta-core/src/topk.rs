@@ -342,3 +342,202 @@ mod tests {
         );
     }
 }
+
+/// Per-scenario Top-K invariants after *batched* merges (ISSUE 4): every
+/// dirty (node, lane) queue written by the shared sweep must satisfy the
+/// same Algorithm-2 invariants as the serial kernel — descending order,
+/// dense occupancy, unique startpoints, consistent corner arrivals — with
+/// no aliasing between scenario lanes, and the per-lane CPPR endpoint
+/// evaluation must agree with the dense `metrics::evaluate` path.
+#[cfg(test)]
+mod batched_tests {
+    use super::NO_SP;
+    use crate::batch::{DeltaSet, ScenarioBatch};
+    use crate::engine::{InstaConfig, InstaEngine};
+    use insta_netlist::generator::{generate_design, GeneratorConfig};
+    use insta_refsta::eco::ArcDelta;
+    use insta_refsta::{RefSta, StaConfig};
+    use insta_support::prop::{for_all, Config};
+    use insta_support::rng::Rng;
+    use insta_support::{prop_assert, prop_assert_eq};
+
+    fn build(seed: u64) -> (RefSta, InstaEngine) {
+        let design = generate_design(&GeneratorConfig::small("topk_batch", seed));
+        let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+        golden.full_update(&design);
+        let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default())
+            .expect("valid snapshot");
+        engine.propagate();
+        (golden, engine)
+    }
+
+    fn scenarios(golden: &RefSta, rng: &mut Rng, s: usize) -> Vec<DeltaSet> {
+        let delays = golden.delays();
+        let n_arcs = delays.mean.len() as u64;
+        (0..s)
+            .map(|_| {
+                let len = 1 + rng.bounded_u64(4) as usize;
+                DeltaSet::from(
+                    (0..len)
+                        .map(|_| {
+                            let arc = rng.bounded_u64(n_arcs) as u32;
+                            let mean = delays.mean[arc as usize];
+                            let sigma = delays.sigma[arc as usize];
+                            ArcDelta {
+                                arc,
+                                mean: [mean[0] + rng.next_f64() * 30.0, mean[1] + rng.next_f64() * 30.0],
+                                sigma: [sigma[0] * 1.5, sigma[1] * 1.5],
+                            }
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    /// Queue invariants per dirty (node, lane): dense-from-front
+    /// occupancy, descending corner arrivals, unique startpoints, and
+    /// `arrival = mean + N_sigma·sigma` bit-exactly.
+    #[test]
+    fn batched_lane_queues_keep_algorithm2_invariants() {
+        for_all(
+            Config::cases(8).seed(0x70_9C03),
+            |rng| (rng.bounded_u64(32), rng.next_u64(), 1 + rng.bounded_u64(3) as usize),
+            |&(dseed, stream, nt)| {
+                let (golden, engine) = build(dseed);
+                let mut rng = Rng::seed_from_u64(stream);
+                let sets = scenarios(&golden, &mut rng, 7);
+                let idx: Vec<usize> = (0..sets.len()).collect();
+                let mut sb = ScenarioBatch::new(&engine.st, &engine.state, &sets, &idx);
+                sb.sweep(nt, None).expect("clean sweep");
+                let mut dirty_pairs = 0usize;
+                for v in 0..engine.st.n {
+                    for lane in 0..sb.lane_count() {
+                        if !sb.is_dirty(v, lane) {
+                            continue;
+                        }
+                        dirty_pairs += 1;
+                        for rf in 0..2 {
+                            let (qa, qm, qs, qsp) = sb.lane_queue(v, rf, lane);
+                            let occupied =
+                                qsp.iter().position(|&sp| sp == NO_SP).unwrap_or(qsp.len());
+                            // Dense from the front: nothing live past the
+                            // first empty slot.
+                            for j in occupied..qsp.len() {
+                                prop_assert_eq!(qsp[j], NO_SP);
+                                prop_assert_eq!(qa[j], f64::NEG_INFINITY);
+                            }
+                            let mut seen = std::collections::HashSet::new();
+                            for j in 0..occupied {
+                                prop_assert!(seen.insert(qsp[j]), "duplicate startpoint");
+                                if j > 0 {
+                                    prop_assert!(qa[j - 1] >= qa[j], "order violated");
+                                }
+                                let corner = qm[j] + engine.st.n_sigma * qs[j];
+                                prop_assert_eq!(qa[j].to_bits(), corner.to_bits());
+                            }
+                        }
+                    }
+                }
+                prop_assert!(dirty_pairs > 0, "deltas produced no dirty cone");
+                Ok(())
+            },
+        );
+    }
+
+    /// No cross-scenario aliasing: every lane of a multi-scenario batch is
+    /// bit-identical to the same scenario swept alone.
+    #[test]
+    fn batched_lanes_do_not_alias() {
+        for_all(
+            Config::cases(8).seed(0x70_9C04),
+            |rng| (rng.bounded_u64(32), rng.next_u64()),
+            |&(dseed, stream)| {
+                let (golden, engine) = build(dseed);
+                let mut rng = Rng::seed_from_u64(stream);
+                let sets = scenarios(&golden, &mut rng, 4);
+                let idx: Vec<usize> = (0..sets.len()).collect();
+                let mut all = ScenarioBatch::new(&engine.st, &engine.state, &sets, &idx);
+                all.sweep(2, None).expect("clean sweep");
+                for (lane, set) in sets.iter().enumerate() {
+                    let solo_set = [set.clone()];
+                    let mut solo =
+                        ScenarioBatch::new(&engine.st, &engine.state, &solo_set, &[0]);
+                    solo.sweep(1, None).expect("clean sweep");
+                    for v in 0..engine.st.n {
+                        prop_assert_eq!(all.is_dirty(v, lane), solo.is_dirty(v, 0));
+                        if !all.is_dirty(v, lane) {
+                            continue;
+                        }
+                        for rf in 0..2 {
+                            let (aa, am, asg, asp) = all.lane_queue(v, rf, lane);
+                            let (sa, sm, ssg, ssp) = solo.lane_queue(v, rf, 0);
+                            prop_assert_eq!(asp, ssp);
+                            let occupied =
+                                asp.iter().position(|&sp| sp == NO_SP).unwrap_or(asp.len());
+                            for j in 0..occupied {
+                                prop_assert_eq!(aa[j].to_bits(), sa[j].to_bits());
+                                prop_assert_eq!(am[j].to_bits(), sm[j].to_bits());
+                                prop_assert_eq!(asg[j].to_bits(), ssg[j].to_bits());
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// The per-lane endpoint evaluation — including the CPPR credit path —
+    /// agrees bit-for-bit with the dense `metrics::evaluate` run on a
+    /// state assembled from the lane's queues (dirty nodes) and the base
+    /// queues (clean nodes).
+    #[test]
+    fn batched_cppr_evaluation_matches_dense_metrics() {
+        for_all(
+            Config::cases(6).seed(0x70_9C05),
+            |rng| (rng.bounded_u64(32), rng.next_u64(), rng.bounded_u64(2) == 0),
+            |&(dseed, stream, cppr)| {
+                let (golden, engine) = build(dseed);
+                let mut rng = Rng::seed_from_u64(stream);
+                let sets = scenarios(&golden, &mut rng, 3);
+                let idx: Vec<usize> = (0..sets.len()).collect();
+                let mut sb = ScenarioBatch::new(&engine.st, &engine.state, &sets, &idx);
+                sb.sweep(1, None).expect("clean sweep");
+                // The base report must match the configured CPPR mode.
+                let base_report =
+                    crate::metrics::evaluate(&engine.st, &engine.state, cppr);
+                let k = engine.state.k;
+                for lane in 0..sb.lane_count() {
+                    let got = sb.lane_report(lane, &base_report, cppr);
+                    // Dense oracle: splice the lane's dirty queues into a
+                    // copy of the base state and evaluate it the serial way.
+                    let mut synth = engine.state.clone();
+                    for v in 0..engine.st.n {
+                        if !sb.is_dirty(v, lane) {
+                            continue;
+                        }
+                        for rf in 0..2 {
+                            let (qa, qm, qs, qsp) = sb.lane_queue(v, rf, lane);
+                            let off = (v * 2 + rf) * k;
+                            synth.topk_arrival[off..off + k].copy_from_slice(qa);
+                            synth.topk_mean[off..off + k].copy_from_slice(qm);
+                            synth.topk_sigma[off..off + k].copy_from_slice(qs);
+                            synth.topk_sp[off..off + k].copy_from_slice(qsp);
+                        }
+                    }
+                    let want = crate::metrics::evaluate(&engine.st, &synth, cppr);
+                    prop_assert_eq!(got.wns_ps.to_bits(), want.wns_ps.to_bits());
+                    prop_assert_eq!(got.tns_ps.to_bits(), want.tns_ps.to_bits());
+                    prop_assert_eq!(got.n_violations, want.n_violations);
+                    for i in 0..want.slacks.len() {
+                        prop_assert_eq!(got.slacks[i].to_bits(), want.slacks[i].to_bits());
+                        prop_assert_eq!(got.worst_sp[i], want.worst_sp[i]);
+                        prop_assert_eq!(got.worst_rf[i], want.worst_rf[i]);
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+}

@@ -9,7 +9,7 @@
 //! transfer components — recorded here as [`RefreshBreakdown`].
 
 use crate::db::PlacementDb;
-use insta_engine::{CancelToken, InstaConfig, InstaEngine};
+use insta_engine::{BatchOptions, CancelToken, DeltaSet, InstaConfig, InstaEngine};
 use insta_netlist::{Design, PinId, TimingArcKind};
 use insta_refsta::RefSta;
 use std::time::{Duration, Instant};
@@ -159,27 +159,21 @@ pub fn refresh_timing_guarded(
             breakdown.transfer_s = t.elapsed().as_secs_f64();
 
             let t = Instant::now();
-            // The gradient block runs in a session so a fired cancel
-            // token, an expired budget, or a numeric/runtime poison rolls
-            // the engine back instead of leaving half-propagated state.
-            let mut session = engine.begin_session();
-            if let Some(token) = &guard.cancel {
-                session = session.with_cancel(token.clone());
-            }
-            if let Some(budget) = guard.budget {
-                session = session.with_deadline(budget);
-            }
-            let gradients = session
-                .propagate()
-                .and_then(|_| session.forward_lse())
-                .and_then(|_| session.backward_tns())
-                .and_then(|_| session.commit());
+            // The gradient block runs through the batched evaluator (with
+            // a single base scenario): a fired cancel token, an expired
+            // budget, or a numeric/runtime poison quarantines the scenario
+            // and leaves the engine untouched instead of half-propagated.
+            let opts = BatchOptions {
+                gradients: true,
+                cancel: guard.cancel.clone(),
+                deadline: guard.budget,
+            };
+            let mut reports = engine.evaluate_batch_with(&[DeltaSet::default()], &opts);
             breakdown.insta_grad_s = t.elapsed().as_secs_f64();
 
-            match gradients {
-                Err(_) => degraded = true,
-                Ok(_) => {
-                    let grads = engine.arc_gradients();
+            let base = reports.pop().expect("one scenario in, one report out");
+            match (base.outcome, base.gradients) {
+                (Ok(_), Some(grads)) => {
                     let graph = sta.graph();
                     for (ai, arc) in graph.arcs().iter().enumerate() {
                         // Only interconnect arcs respond to placement
@@ -198,6 +192,7 @@ pub fn refresh_timing_guarded(
                         });
                     }
                 }
+                _ => degraded = true,
             }
         }
     }

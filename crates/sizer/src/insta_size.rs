@@ -2,14 +2,17 @@
 //!
 //! One backward pass on INSTA's TNS yields every stage's timing gradient;
 //! stages above a magnitude threshold are visited in descending order.
-//! For each stage, `estimate_eco` scores every family member, the best
-//! candidate is committed, INSTA is re-annotated and re-propagated, and
-//! the commit is rolled back if TNS degrades. A committed stage blocks its
-//! 3-hop neighbourhood for the rest of the round, matching the paper's
-//! interference mitigation (`estimate_eco` assumes frozen neighbours).
+//! For each stage, every family member's `estimate_eco` what-if deltas are
+//! scored in **one batched INSTA evaluation** ([`InstaEngine::evaluate_batch`]
+//! — the paper's batched candidate scoring of §IV-B): the candidate with
+//! the best true design TNS wins, is committed, and the commit is verified
+//! against exact golden delays inside a transactional session, rolling
+//! back if TNS degrades. A committed stage blocks its 3-hop neighbourhood
+//! for the rest of the round, matching the paper's interference mitigation
+//! (`estimate_eco` assumes frozen neighbours).
 
 use crate::stage::{cell_neighborhood, stage_gradients};
-use insta_engine::{InstaConfig, InstaEngine};
+use insta_engine::{DeltaSet, InstaConfig, InstaEngine};
 use insta_netlist::{CellId, Design, NodeId, TimingArcKind};
 use insta_refsta::eco::ArcDelta;
 use insta_refsta::{estimate_eco, RefSta};
@@ -155,20 +158,36 @@ pub fn insta_size(
             }
             let cur_lib = design.cell(stage.cell).lib_cell;
             let class = design.lib_cell_of(stage.cell).class;
-            // estimate_eco every family member; keep the best estimate.
-            let best = lib
+            // Score every family member's estimated what-if deltas in one
+            // batched INSTA evaluation: each candidate is a scenario, and
+            // the winner is the one with the best *true design TNS* — not
+            // the local stage-delay heuristic. A quarantined candidate
+            // (poisoned estimate) simply drops out of the race.
+            let candidates: Vec<_> = lib
                 .family(class)
                 .iter()
                 .copied()
                 .filter(|&cand| cand != cur_lib)
                 .map(|cand| (cand, estimate_eco(design, golden, stage.cell, cand)))
-                .min_by(|a, b| a.1.stage_delta_ps.total_cmp(&b.1.stage_delta_ps));
-            let Some((cand, est)) = best else { continue };
-            if est.stage_delta_ps >= 0.0 {
-                continue; // no candidate improves the stage
+                .collect();
+            if candidates.is_empty() {
+                continue;
             }
-
             let tns_prev = engine.report().tns_ps;
+            let scenarios: Vec<DeltaSet> = candidates
+                .iter()
+                .map(|(_, est)| DeltaSet::from(est.arc_deltas.clone()))
+                .collect();
+            let best = engine
+                .evaluate_batch(&scenarios)
+                .iter()
+                .filter_map(|r| r.outcome.as_ref().ok().map(|rep| (r.scenario, rep.tns_ps)))
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            let Some((pick, batch_tns)) = best else { continue };
+            if batch_tns <= tns_prev {
+                continue; // no candidate improves the design TNS
+            }
+            let cand = candidates[pick].0;
             design.resize_cell(stage.cell, cand);
             golden.incremental_update(design, &[stage.cell]);
             // Sync INSTA from the (now exact) golden annotation of the

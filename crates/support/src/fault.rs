@@ -127,6 +127,36 @@ impl SessionFault {
     }
 }
 
+/// A corruption class for *batched* multi-scenario evaluation: exactly one
+/// scenario of a batch is damaged, and the quarantine contract says only
+/// that scenario may fail — its siblings must return bit-identical results
+/// to a clean run.
+///
+/// The batch is modelled as per-scenario flat arrays (one `ids`/`values`
+/// pair per scenario, same layout as [`SessionFault`]'s single batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchFault {
+    /// Replace one value of one entry of one scenario with NaN.
+    NanValue,
+    /// Replace one id of one scenario with an out-of-range id.
+    HugeId,
+}
+
+impl BatchFault {
+    /// Every batch corruption class, for exhaustive sweeps.
+    pub const ALL: [BatchFault; 2] = [BatchFault::NanValue, BatchFault::HugeId];
+
+    /// Whether a validating engine must reject the damaged scenario up
+    /// front. Both classes are structurally invalid, so: always.
+    pub fn rejected_at_validation(self) -> bool {
+        true
+    }
+
+    fn discriminant(self) -> u64 {
+        Self::ALL.iter().position(|&f| f == self).expect("listed") as u64
+    }
+}
+
 /// A seeded corruption generator.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultPlan {
@@ -305,6 +335,61 @@ impl FaultPlan {
             }
         }
         true
+    }
+
+    /// Corrupts exactly one scenario of a flattened multi-scenario batch.
+    ///
+    /// `ids[s]` / `values[s]` are scenario `s`'s parallel arrays (entry
+    /// `i` owns `values[s][i * stride .. (i + 1) * stride]`). The damaged
+    /// scenario is drawn deterministically from the `(seed, case, class)`
+    /// stream among the non-empty scenarios; sibling scenarios are left
+    /// bit-untouched. Returns the damaged scenario's index, or `None`
+    /// when every scenario is empty or an array pair is not parallel.
+    pub fn corrupt_one_scenario(
+        &self,
+        case: u64,
+        fault: BatchFault,
+        ids: &mut [Vec<u32>],
+        values: &mut [Vec<f64>],
+        stride: usize,
+        id_limit: u32,
+    ) -> Option<usize> {
+        if ids.len() != values.len() || stride == 0 {
+            return None;
+        }
+        if ids
+            .iter()
+            .zip(values.iter())
+            .any(|(i, v)| v.len() != i.len() * stride)
+        {
+            return None;
+        }
+        let candidates: Vec<usize> = (0..ids.len()).filter(|&s| !ids[s].is_empty()).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        // Same (seed, case, class) stream derivation as the other
+        // corruption families; the high-byte tag keeps batch streams
+        // disjoint from snapshot (no tag) and session (0xA5) streams.
+        let mut rng = Rng::seed_from_u64(
+            self.seed
+                ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (fault.discriminant() << 56)
+                ^ (0xB7 << 48),
+        );
+        let scenario = candidates[rng.bounded_u64(candidates.len() as u64) as usize];
+        let entry = rng.bounded_u64(ids[scenario].len() as u64) as usize;
+        match fault {
+            BatchFault::NanValue => {
+                let slot = entry * stride + rng.bounded_u64(stride as u64) as usize;
+                values[scenario][slot] = f64::NAN;
+            }
+            BatchFault::HugeId => {
+                ids[scenario][entry] =
+                    id_limit.saturating_add(1 + (rng.next_u64() as u32 % 1000));
+            }
+        }
+        Some(scenario)
     }
 }
 
@@ -543,5 +628,61 @@ mod tests {
         let mut ids = vec![1u32];
         let mut short = vec![0.0f64]; // not parallel for stride 2
         assert!(!plan.corrupt_batch(0, SessionFault::NanValue, &mut ids, &mut short, 2, 5));
+    }
+
+    #[test]
+    fn scenario_corruption_damages_exactly_one_scenario_deterministically() {
+        let plan = FaultPlan::new(8);
+        for fault in BatchFault::ALL {
+            assert!(fault.rejected_at_validation());
+            let fresh = || {
+                (
+                    vec![vec![0u32, 3], vec![], vec![5u32]],
+                    vec![vec![1.0f64, 2.0, 3.0, 4.0], vec![], vec![5.0f64, 6.0]],
+                )
+            };
+            let (mut ia, mut va) = fresh();
+            let (mut ib, mut vb) = fresh();
+            let sa = plan
+                .corrupt_one_scenario(3, fault, &mut ia, &mut va, 2, 10)
+                .expect("non-empty batch");
+            let sb = plan
+                .corrupt_one_scenario(3, fault, &mut ib, &mut vb, 2, 10)
+                .expect("non-empty batch");
+            assert_eq!(sa, sb, "{fault:?} must pick the same scenario");
+            assert_eq!(ia, ib);
+            for (x, y) in va.iter().flatten().zip(vb.iter().flatten()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            // Only the reported scenario differs from a clean batch; the
+            // empty scenario is never picked.
+            let (ic, vc) = fresh();
+            assert_ne!(sa, 1, "empty scenarios must not be targeted");
+            for s in 0..ic.len() {
+                let changed = ia[s] != ic[s]
+                    || va[s]
+                        .iter()
+                        .zip(&vc[s])
+                        .any(|(a, b)| a.to_bits() != b.to_bits());
+                assert_eq!(changed, s == sa, "{fault:?} leaked into scenario {s}");
+            }
+            match fault {
+                BatchFault::NanValue => {
+                    assert_eq!(va[sa].iter().filter(|v| v.is_nan()).count(), 1)
+                }
+                BatchFault::HugeId => assert!(ia[sa].iter().any(|&i| i > 10)),
+            }
+        }
+        // Degenerate batches are refused untouched.
+        let mut no_ids: Vec<Vec<u32>> = vec![vec![]];
+        let mut no_vals: Vec<Vec<f64>> = vec![vec![]];
+        assert!(plan
+            .corrupt_one_scenario(0, BatchFault::NanValue, &mut no_ids, &mut no_vals, 2, 5)
+            .is_none());
+        let mut ids = vec![vec![1u32]];
+        let mut short = vec![vec![0.0f64]]; // not parallel for stride 2
+        assert!(plan
+            .corrupt_one_scenario(0, BatchFault::NanValue, &mut ids, &mut short, 2, 5)
+            .is_none());
     }
 }

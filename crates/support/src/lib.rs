@@ -24,7 +24,7 @@ pub mod prop;
 pub mod rng;
 pub mod timer;
 
-pub use fault::{Fault, FaultPlan, SessionFault};
+pub use fault::{BatchFault, Fault, FaultPlan, SessionFault};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use prop::{for_all, Config as PropConfig, Shrink};
 pub use rng::Rng;

@@ -19,14 +19,20 @@ cargo test -q --offline -p insta-engine --test fault_tolerance
 echo "==> session-chaos gate (rollback bit-identity under seeded corruption + worker panics)"
 cargo test -q --offline --test sessions
 
+echo "==> batch-equivalence gate (batched scenarios bit-identical to serial sessions)"
+cargo test -q --offline --test batch_equivalence
+
 echo "==> cancellation-latency smoke (fired token/deadline stops at the next level poll)"
 cargo test -q --offline --test sessions -- cancel deadline
 
 echo "==> benches compile (offline)"
 cargo build --release --offline --benches -p insta-bench
 
-echo "==> session-overhead smoke (fast budget; prints the JSON gate line)"
-INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench session_overhead | tail -1
+echo "==> session-overhead smoke (fast budget; records the JSON gate line)"
+INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench session_overhead | tail -1 | tee BENCH_session.json
+
+echo "==> batch-throughput smoke (fast budget; records the JSON gate line)"
+INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench batch_throughput | tail -1 | tee BENCH_batch.json
 
 echo "==> quickstart smoke run"
 cargo run -q --release --offline --example quickstart

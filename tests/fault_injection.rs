@@ -387,3 +387,141 @@ fn mid_session_corruption_rolls_back_bit_identically() {
     assert_eq!(counters.sessions_committed, 0);
     assert_eq!(counters.drift_updates, 0, "rolled-back drift must not stick");
 }
+
+/// Batched-evaluation corruption: every [`BatchFault`] class damages
+/// exactly one scenario of an S-scenario batch. The quarantine contract
+/// (ISSUE 4): only that scenario fails — with the same typed `Validate`
+/// error a serial session would raise — while every sibling returns
+/// results bit-identical to a clean batch run, the engine's own report
+/// stays bit-untouched, and no poison enters the engine state.
+#[test]
+fn batched_corruption_quarantines_only_the_damaged_scenario() {
+    use insta_sta::engine::DeltaSet;
+    use insta_sta::refsta::eco::ArcDelta;
+    use insta_sta::support::rng::Rng;
+    use insta_sta::support::BatchFault;
+
+    const SCENARIOS: usize = 6;
+
+    let d = generate_design(&GeneratorConfig::small("fault-inject", 17));
+    let mut golden = RefSta::new(&d, StaConfig::default()).expect("build");
+    golden.full_update(&d);
+    let mut engine = InstaEngine::new(clean_init().clone(), InstaConfig::default())
+        .expect("clean snapshot");
+    let baseline: Vec<u64> = engine
+        .propagate()
+        .slacks
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+
+    let plan = FaultPlan::new(SUITE_SEED);
+    let delays = golden.delays();
+    let id_limit = delays.mean.len() as u32;
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0xBA7C);
+
+    let rebuild = |ids: &[Vec<u32>], values: &[Vec<f64>]| -> Vec<DeltaSet> {
+        ids.iter()
+            .zip(values)
+            .map(|(ids, vals)| {
+                DeltaSet::from(
+                    ids.iter()
+                        .enumerate()
+                        .map(|(i, &arc)| ArcDelta {
+                            arc,
+                            mean: [vals[i * 4], vals[i * 4 + 1]],
+                            sigma: [vals[i * 4 + 2], vals[i * 4 + 3]],
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    };
+
+    for &fault in BatchFault::ALL.iter() {
+        for case in 0..CASES_PER_FAULT {
+            // S valid scenarios of exact golden re-annotations in the
+            // harness's flat form (stride 4: means, then sigmas) ...
+            let mut ids: Vec<Vec<u32>> = (0..SCENARIOS)
+                .map(|s| {
+                    (0..1 + (case as usize + s) % 4)
+                        .map(|_| rng.bounded_u64(id_limit as u64) as u32)
+                        .collect()
+                })
+                .collect();
+            let mut values: Vec<Vec<f64>> = ids
+                .iter()
+                .map(|ids| {
+                    ids.iter()
+                        .flat_map(|&a| {
+                            let (m, s) = (delays.mean[a as usize], delays.sigma[a as usize]);
+                            [m[0], m[1], s[0], s[1]]
+                        })
+                        .collect()
+                })
+                .collect();
+            // ... a clean reference run of the whole batch ...
+            let clean = engine.evaluate_batch(&rebuild(&ids, &values));
+            // ... then one seeded corruption of exactly one scenario.
+            let damaged = plan
+                .corrupt_one_scenario(case, fault, &mut ids, &mut values, 4, id_limit)
+                .expect("non-empty batch");
+
+            let got = match catch_unwind(AssertUnwindSafe(|| {
+                engine.evaluate_batch(&rebuild(&ids, &values))
+            })) {
+                Ok(got) => got,
+                Err(_) => panic!("{fault:?} case {case}: PANICKED (seed {SUITE_SEED:#x})"),
+            };
+
+            assert_eq!(got.len(), SCENARIOS);
+            for (s, (g, c)) in got.iter().zip(&clean).enumerate() {
+                if s == damaged {
+                    // The damaged scenario fails exactly where a serial
+                    // session would: up-front validation.
+                    assert!(fault.rejected_at_validation());
+                    let err = g.outcome.as_ref().expect_err("damaged scenario must fail");
+                    assert_eq!(
+                        err.category(),
+                        "validate",
+                        "{fault:?} case {case}: wrong rejection {err}"
+                    );
+                } else {
+                    // Siblings are bit-identical to the clean run.
+                    let (gr, cr) = (
+                        g.outcome.as_ref().expect("sibling quarantined"),
+                        c.outcome.as_ref().expect("clean run failed"),
+                    );
+                    let gb: Vec<u64> = gr.slacks.iter().map(|v| v.to_bits()).collect();
+                    let cb: Vec<u64> = cr.slacks.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        gb, cb,
+                        "{fault:?} case {case}: scenario {s} drifted from clean run"
+                    );
+                    assert_eq!(gr.tns_ps.to_bits(), cr.tns_ps.to_bits());
+                }
+            }
+
+            // The engine itself is untouched and unpoisoned.
+            let after: Vec<u64> = engine
+                .propagate()
+                .slacks
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            assert_eq!(
+                baseline, after,
+                "{fault:?} case {case}: batch mutated the engine (seed {SUITE_SEED:#x})"
+            );
+            engine.health_check().expect("no poison may enter the engine");
+        }
+    }
+
+    let counters = engine.counters();
+    let batches = 2 * BatchFault::ALL.len() as u64 * CASES_PER_FAULT;
+    assert_eq!(counters.batches, batches);
+    assert_eq!(counters.batch_scenarios, batches * SCENARIOS as u64);
+    // Exactly one quarantine per *corrupted* batch (half of all batches).
+    assert_eq!(counters.batch_quarantined, batches / 2);
+    assert_eq!(counters.sessions_begun, 0, "fast path must not open sessions");
+}

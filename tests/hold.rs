@@ -39,3 +39,74 @@ fn insta_hold_matches_reference_on_medium_design() {
     let setup = engine.propagate().clone();
     assert_eq!(setup.slacks.len(), report.slacks.len());
 }
+
+/// Batched setup scenarios and hold analysis interleave without bleeding
+/// into each other on a fixed-seed design: every batched scenario is
+/// bit-identical before and after a hold pass (which desyncs the shared
+/// Top-K base), and hold slacks keep matching the reference afterwards.
+#[test]
+fn batched_scenarios_and_hold_interleave_bit_stably() {
+    use insta_sta::engine::DeltaSet;
+    use insta_sta::refsta::eco::ArcDelta;
+
+    let design = generate_design(&GeneratorConfig::small("hold_ix", 43));
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let golden_hold = golden.hold_update(&design);
+    let attrs = hold_attributes(&design, &golden);
+    let mut engine = InstaEngine::new(golden.export_insta_init(), InstaConfig::default())
+        .expect("valid snapshot");
+    engine.propagate();
+
+    let delays = golden.delays();
+    let scenarios: Vec<DeltaSet> = (0..4)
+        .map(|i| {
+            let arc = (i * delays.mean.len() / 4) as u32;
+            let mean = delays.mean[arc as usize];
+            DeltaSet::from(vec![ArcDelta {
+                arc,
+                mean: [mean[0] + 10.0 * (i + 1) as f64, mean[1] + 10.0 * (i + 1) as f64],
+                sigma: delays.sigma[arc as usize],
+            }])
+        })
+        .collect();
+    let bits = |reports: &[insta_sta::engine::ScenarioReport]| -> Vec<u64> {
+        reports
+            .iter()
+            .flat_map(|r| {
+                r.outcome
+                    .as_ref()
+                    .expect("clean scenario")
+                    .slacks
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+
+    let before = bits(&engine.evaluate_batch(&scenarios));
+    let hold = engine.propagate_hold(&attrs);
+    let after = bits(&engine.evaluate_batch(&scenarios));
+    assert_eq!(before, after, "hold pass leaked into batched setup results");
+
+    // Hold still matches the reference after the batched evaluations.
+    let hold_again = engine.propagate_hold(&attrs);
+    assert_eq!(hold.slacks, hold_again.slacks);
+    for (i, g) in golden_hold.endpoints.iter().enumerate() {
+        if g.slack_ps.is_finite() {
+            assert!(
+                (hold_again.slacks[i] - g.slack_ps).abs() < 1e-9,
+                "ep {i}: insta {} vs golden {}",
+                hold_again.slacks[i],
+                g.slack_ps
+            );
+            assert!(
+                (hold_again.arrivals[i] - g.arrival_ps).abs() < 1e-9,
+                "ep {i}: min arrival {} vs golden {}",
+                hold_again.arrivals[i],
+                g.arrival_ps
+            );
+        }
+    }
+}
