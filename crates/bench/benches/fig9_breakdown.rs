@@ -1,29 +1,53 @@
-//! Fig. 9 bench: the cost of one timing refresh per mode (the
-//! timer / transfer / gradient breakdown).
+//! Fig. 9 bench: the per-level forward / LSE / backward runtime
+//! breakdown, rendered from the engine's own trace profiles
+//! (`InstaEngine::perf_report`) instead of ad-hoc timers around the
+//! public entry points.
+//!
+//! Prints the human-readable levelized table, then one machine-readable
+//! JSON line with the cumulative kernel totals (CI tees the last line).
 
-use insta_engine::InstaConfig;
-use insta_netlist::generator::{generate_design, GeneratorConfig};
-use insta_placer::{refresh_timing, PlacementDb, TimingMode};
+use insta_bench::block_specs;
+use insta_engine::{InstaConfig, InstaEngine};
 use insta_refsta::{RefSta, StaConfig};
-use insta_support::timer::{black_box, Harness};
+use insta_support::json::{obj, Json};
+use insta_support::timer::black_box;
 
 fn main() {
-    let mut gen = GeneratorConfig::medium("bench_refresh", 7);
-    gen.clock_period_ps = 1200.0;
-    let mut design = generate_design(&gen);
-    let db = PlacementDb::random(&design, 0.45, 3);
+    let fast = std::env::var_os("INSTA_BENCH_FAST").is_some();
+    let spec = &block_specs()[if fast { 0 } else { 4 }];
+    let design = spec.build();
     let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
+    sta.full_update(&design);
+    let mut engine = InstaEngine::new(
+        sta.export_insta_init(),
+        InstaConfig {
+            top_k: 8,
+            ..InstaConfig::default()
+        },
+    )
+    .expect("valid snapshot");
 
-    let mut h = Harness::new("fig9_timing_refresh");
-    for (label, mode) in [
-        ("timer_only", TimingMode::None),
-        ("net_weighting", TimingMode::NetWeighting),
-        ("insta_gradients", TimingMode::InstaPlace),
-    ] {
-        h.bench(format!("refresh/{label}"), || {
-            let r = refresh_timing(&mut design, &db, &mut sta, mode, &InstaConfig::default());
-            black_box(r.tns_ps)
-        });
+    engine.enable_tracing();
+    let passes = if fast { 3 } else { 25 };
+    for _ in 0..passes {
+        black_box(engine.propagate().tns_ps);
+        engine.forward_lse();
+        engine.backward_tns();
     }
-    h.finish();
+
+    let report = engine.perf_report();
+    print!("{report}");
+    let (forward_ns, lse_ns, backward_ns) = report.totals_ns();
+    println!(
+        "{}",
+        obj([
+            ("suite", Json::Str("fig9_breakdown".into())),
+            ("block", Json::Str(spec.name.into())),
+            ("passes", Json::Num(passes as f64)),
+            ("levels", Json::Num(report.rows.len() as f64)),
+            ("forward_ns", Json::Num(forward_ns as f64)),
+            ("lse_ns", Json::Num(lse_ns as f64)),
+            ("backward_ns", Json::Num(backward_ns as f64)),
+        ])
+    );
 }

@@ -15,6 +15,7 @@
 use crate::engine::{InstaEngine, State, Static};
 use crate::error::{InstaError, Kernel, RuntimeIncident};
 use crate::parallel::{chaos, resolve_threads, Interrupt, PanicCell, PAR_THRESHOLD};
+use crate::trace::LevelProfile;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 impl InstaEngine {
@@ -59,24 +60,29 @@ impl InstaEngine {
         }
         self.last_incident = None;
         self.grad_writes += 1;
-        match backward(
+        self.trace.begin("backward");
+        let res = backward(
             &self.st,
             &mut self.state,
             &report,
             self.cfg.lse_tau,
             self.cfg.n_threads,
             self.interrupt.as_ref(),
-        ) {
+            self.trace.profile_mut(Kernel::Backward),
+        );
+        self.trace
+            .end_with(&[("ok", if res.is_ok() { 1.0 } else { 0.0 })]);
+        match res {
             Ok(incident) => {
                 if let Some(inc) = &incident {
-                    self.incidents.record(inc.clone());
+                    self.record_incident(inc);
                 }
                 self.last_incident = incident;
                 Ok(())
             }
             Err(e) => {
                 if let InstaError::Runtime(inc) = &e {
-                    self.incidents.record(inc.clone());
+                    self.record_incident(inc);
                 }
                 Err(e)
             }
@@ -157,17 +163,27 @@ impl InstaEngine {
             }
         }
         self.last_incident = None;
-        match sweep(st, state, self.cfg.n_threads, self.interrupt.as_ref()) {
+        self.trace.begin("backward");
+        let res = sweep(
+            st,
+            state,
+            self.cfg.n_threads,
+            self.interrupt.as_ref(),
+            self.trace.profile_mut(Kernel::Backward),
+        );
+        self.trace
+            .end_with(&[("ok", if res.is_ok() { 1.0 } else { 0.0 })]);
+        match res {
             Ok(incident) => {
                 if let Some(inc) = &incident {
-                    self.incidents.record(inc.clone());
+                    self.record_incident(inc);
                 }
                 self.last_incident = incident;
                 Ok(())
             }
             Err(e) => {
                 if let InstaError::Runtime(inc) = &e {
-                    self.incidents.record(inc.clone());
+                    self.record_incident(inc);
                 }
                 Err(e)
             }
@@ -209,6 +225,7 @@ pub(crate) fn backward(
     tau: f64,
     n_threads: usize,
     interrupt: Option<&Interrupt>,
+    prof: Option<&mut LevelProfile>,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
     state.grad_arrival.fill(0.0);
     for g in state.grad_fanout.iter_mut() {
@@ -229,7 +246,7 @@ pub(crate) fn backward(
         state.grad_arrival[v * 2 + 1] = -wf;
     }
 
-    sweep(st, state, n_threads, interrupt)
+    sweep(st, state, n_threads, interrupt, prof)
 }
 
 /// The shared reverse level sweep (pull from children) plus the final
@@ -240,10 +257,18 @@ fn sweep(
     state: &mut State,
     n_threads: usize,
     interrupt: Option<&Interrupt>,
+    mut prof: Option<&mut LevelProfile>,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
+    // Restart the interrupt's reporting clock at pass entry (see
+    // `Interrupt::restarted`).
+    let restarted = interrupt.map(Interrupt::restarted);
+    let interrupt = restarted.as_ref();
     let nt = resolve_threads(n_threads);
     let n_levels = st.num_levels();
     let mut recovered: Option<RuntimeIncident> = None;
+    if let Some(p) = prof.as_deref_mut() {
+        p.passes += 1;
+    }
     for l in (0..n_levels.saturating_sub(1)).rev() {
         // One cancellation poll per level (bounded-latency contract).
         if let Some(e) = interrupt.and_then(|i| i.check(Kernel::Backward, l)) {
@@ -254,6 +279,7 @@ fn sweep(
         if len == 0 {
             continue;
         }
+        let t_level = prof.is_some().then(std::time::Instant::now);
         let split = (base + len) * 2;
         let arc_lo = st.fanout_start[base] as usize;
         let arc_hi = st.fanout_start[base + len] as usize;
@@ -343,6 +369,9 @@ fn sweep(
                     }))
                 }
             }
+        }
+        if let (Some(p), Some(t0)) = (prof.as_deref_mut(), t_level) {
+            p.record_level(l, t0.elapsed().as_nanos() as u64, len as u64);
         }
         #[cfg(debug_assertions)]
         crate::health::debug_assert_grad_level_clean(st, state, l);

@@ -255,7 +255,18 @@ impl InstaEngine {
     ) -> Vec<(Result<InstaReport, InstaError>, Option<Vec<f64>>)> {
         let nt = resolve_threads(self.cfg.n_threads);
         let mut sb = ScenarioBatch::new(&self.st, &self.state, scenarios, lanes_idx);
-        match sb.sweep(nt, interrupt) {
+        self.trace.begin("batch.sweep");
+        let swept = sb.sweep(nt, interrupt);
+        if self.trace.is_enabled() {
+            let (dirty_levels, dirty_nodes) = sb.occupancy();
+            self.trace.end_with(&[
+                ("lanes", lanes_idx.len() as f64),
+                ("dirty_levels", dirty_levels as f64),
+                ("dirty_nodes", dirty_nodes as f64),
+                ("ok", if swept.is_ok() { 1.0 } else { 0.0 }),
+            ]);
+        }
+        match swept {
             Err(e) => {
                 // The shared sweep died (cancelled, or a worker panic the
                 // serial retry couldn't contain): every lane of this chunk
@@ -266,7 +277,7 @@ impl InstaEngine {
                     .collect();
                 drop(sb);
                 if let InstaError::Runtime(inc) = e {
-                    self.incidents.record(inc.clone());
+                    self.record_incident(&inc);
                     self.last_incident = Some(inc);
                 }
                 out
@@ -296,7 +307,7 @@ impl InstaEngine {
                 }
                 drop(sb);
                 if let Some(inc) = recovered {
-                    self.incidents.record(inc.clone());
+                    self.record_incident(&inc);
                     self.last_incident = Some(inc);
                 }
                 out
@@ -342,6 +353,9 @@ impl InstaEngine {
             self.cfg.n_threads,
             interrupt,
             &ann,
+            // Lane passes run on scratch buffers; they never feed the
+            // engine's per-level kernel profiles.
+            None,
         )?;
         crate::backward::backward(
             st,
@@ -350,6 +364,7 @@ impl InstaEngine {
             self.cfg.lse_tau,
             self.cfg.n_threads,
             interrupt,
+            None,
         )?;
         // Aggregate expanded-arc gradients onto graph arcs, exactly like
         // `arc_gradients`.
@@ -583,6 +598,15 @@ impl<'a> ScenarioBatch<'a> {
         }
     }
 
+    /// Dirty-cone occupancy for tracing: `(dirty levels, dirty nodes)`
+    /// summed over the batch. Cheap (two short scans) and only consulted
+    /// when a trace sink is attached.
+    pub(crate) fn occupancy(&self) -> (u64, u64) {
+        let levels = self.level_dirty.iter().filter(|&&m| m != 0).count() as u64;
+        let nodes = self.level_dirty_nodes.iter().map(|&c| u64::from(c)).sum();
+        (levels, nodes)
+    }
+
     /// See [`LaneCtx::arc_ann`].
     #[inline]
     fn arc_ann(&self, ai: usize, rf: usize, lane: usize) -> (f64, f64) {
@@ -604,6 +628,10 @@ impl<'a> ScenarioBatch<'a> {
         nt: usize,
         interrupt: Option<&Interrupt>,
     ) -> Result<Option<RuntimeIncident>, InstaError> {
+        // Reused tokens report cancellation latency per pass, not since
+        // arming (same contract as the serial kernels).
+        let restarted = interrupt.map(Interrupt::restarted);
+        let interrupt = restarted.as_ref();
         let st = self.st;
         let lstride = 2 * self.lanes * self.k;
         let ctx = LaneCtx {

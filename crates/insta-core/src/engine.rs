@@ -11,6 +11,7 @@
 
 use crate::error::{IncidentLog, InstaError, RuntimeIncident};
 use crate::parallel::Interrupt;
+use crate::trace::{kernel_code, TraceSink};
 use crate::validate::{self, Issue, ValidationMode, ValidationReport};
 use insta_refsta::export::{EndpointInit, InstaInit, SourceInit, NO_LEAF};
 use insta_refsta::ExceptionSet;
@@ -292,6 +293,8 @@ pub struct InstaEngine {
     pub(crate) lse_writes: u64,
     /// Write generation of the gradient buffers.
     pub(crate) grad_writes: u64,
+    /// The observability sink (disabled by default; see [`crate::trace`]).
+    pub(crate) trace: TraceSink,
 }
 
 impl InstaEngine {
@@ -445,7 +448,27 @@ impl InstaEngine {
             topk_writes: 0,
             lse_writes: 0,
             grad_writes: 0,
+            trace: TraceSink::disabled(),
         })
+    }
+
+    /// Records a runtime incident in the bounded [`IncidentLog`] *and*
+    /// journals it as a trace event — the single funnel every kernel entry
+    /// point reports worker-panic incidents through, so the incident ring
+    /// and the trace journal can never disagree on totals.
+    pub(crate) fn record_incident(&mut self, inc: &RuntimeIncident) {
+        self.incidents.record(inc.clone());
+        self.trace.event(
+            "incident",
+            &[
+                ("kernel", kernel_code(inc.kernel)),
+                ("level", inc.level as f64),
+                (
+                    "serial_retry_failed",
+                    if inc.serial_retry_failed { 1.0 } else { 0.0 },
+                ),
+            ],
+        );
     }
 
     /// The construction-time validation report: `None` in
@@ -593,7 +616,7 @@ fn csr(n: usize, keys: impl Iterator<Item = usize> + Clone) -> (Vec<u32>, Vec<u3
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use insta_netlist::generator::{generate_design, GeneratorConfig};
     use insta_refsta::{RefSta, StaConfig};
@@ -729,5 +752,29 @@ mod tests {
         let report = eng.validation_report().expect("repair reports");
         assert_eq!(report.n_repaired, report.n_repairable);
         assert!(report.n_repaired >= 2, "{report}");
+    }
+
+    /// Regression: an interrupt armed once and reused across several
+    /// kernel passes must report `Cancelled { elapsed }` relative to the
+    /// pass it cut, not to when the token was first armed.
+    #[test]
+    fn a_reused_interrupt_reports_cancellation_latency_per_pass() {
+        let (_d, _r, mut eng) = build_engine(91, 4);
+        eng.propagate();
+        let tok = insta_support::timer::CancelToken::new();
+        eng.set_interrupt(crate::parallel::Interrupt::new(Some(tok.clone()), None));
+        // Age the armed interrupt well past what a small-design pass takes.
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        tok.cancel();
+        for pass in 0..2 {
+            let err = eng.try_propagate().expect_err("token fired");
+            let crate::error::InstaError::Cancelled { elapsed, .. } = err else {
+                panic!("expected Cancelled, got {err:?}");
+            };
+            assert!(
+                elapsed < std::time::Duration::from_millis(40),
+                "pass {pass} reported elapsed since arming, not since entry: {elapsed:?}"
+            );
+        }
     }
 }

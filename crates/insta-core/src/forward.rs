@@ -17,6 +17,7 @@ use crate::engine::{InstaEngine, State, Static};
 use crate::error::{InstaError, Kernel, RuntimeIncident};
 use crate::parallel::{chaos, resolve_threads, Interrupt, PanicCell, PAR_THRESHOLD};
 use crate::topk::{update_topk_slices, Candidate, NO_SP};
+use crate::trace::LevelProfile;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 impl InstaEngine {
@@ -49,21 +50,26 @@ impl InstaEngine {
         // only a completed pass leaves them in sync with the annotations.
         self.topk_writes += 1;
         self.topk_synced = false;
-        match forward(
+        self.trace.begin("forward");
+        let res = forward(
             &self.st,
             &mut self.state,
             self.cfg.n_threads,
             self.interrupt.as_ref(),
-        ) {
+            self.trace.profile_mut(Kernel::Forward),
+        );
+        self.trace
+            .end_with(&[("ok", if res.is_ok() { 1.0 } else { 0.0 })]);
+        match res {
             Ok(incident) => {
                 if let Some(inc) = &incident {
-                    self.incidents.record(inc.clone());
+                    self.record_incident(inc);
                 }
                 self.last_incident = incident;
             }
             Err(e) => {
                 if let InstaError::Runtime(inc) = &e {
-                    self.incidents.record(inc.clone());
+                    self.record_incident(inc);
                 }
                 return Err(e);
             }
@@ -99,9 +105,15 @@ pub(crate) fn forward(
     state: &mut State,
     n_threads: usize,
     interrupt: Option<&Interrupt>,
+    mut prof: Option<&mut LevelProfile>,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
     let k = state.k;
     let stride = 2 * k;
+
+    // Restart the interrupt's reporting clock at pass entry: a token or
+    // deadline reused across passes must report elapsed-in-*this*-pass.
+    let restarted = interrupt.map(Interrupt::restarted);
+    let interrupt = restarted.as_ref();
 
     // Reset the final Top-K structures (pre-kernel initialization).
     state.topk_arrival.fill(f64::NEG_INFINITY);
@@ -110,6 +122,9 @@ pub(crate) fn forward(
 
     let nt = resolve_threads(n_threads);
     let mut recovered: Option<RuntimeIncident> = None;
+    if let Some(p) = prof.as_deref_mut() {
+        p.passes += 1;
+    }
     for l in 1..st.num_levels() {
         // Cooperative cancellation: one poll per level bounds the latency
         // between a cancel/deadline firing and this return by one level's
@@ -123,6 +138,8 @@ pub(crate) fn forward(
         if len == 0 {
             continue;
         }
+        // Two timestamp reads per level, only when a profile is attached.
+        let t_level = prof.is_some().then(std::time::Instant::now);
         let panicked = {
             let split = base * stride;
             let (arr_done, arr_cur) = state.topk_arrival.split_at_mut(split);
@@ -222,6 +239,9 @@ pub(crate) fn forward(
                     }))
                 }
             }
+        }
+        if let (Some(p), Some(t0)) = (prof.as_deref_mut(), t_level) {
+            p.record_level(l, t0.elapsed().as_nanos() as u64, len as u64);
         }
         #[cfg(debug_assertions)]
         crate::health::debug_assert_topk_level_clean(st, state, l);

@@ -34,6 +34,25 @@ impl InstaEngine {
                     arc: d.arc,
                     n_graph_arcs: self.st.n_graph_arcs,
                 });
+            } else {
+                // The batched dirty sweep seeds dirt on expansion-arc
+                // children and propagates from level 1 upward; a child at
+                // level 0 (only possible in a Trust-mode snapshot with a
+                // corrupt level CSR) would silently fall outside the
+                // sweep, so it is rejected here instead.
+                let g = d.arc as usize;
+                let range = self.st.expansion_start[g] as usize
+                    ..self.st.expansion_start[g + 1] as usize;
+                for &e in &self.st.expansion_arc[range] {
+                    let child = self.st.arc_child[e as usize];
+                    if crate::health::level_of(&self.st, child as usize) == 0 {
+                        report.record(Issue::DeltaChildAtLevelZero {
+                            index,
+                            arc: d.arc,
+                            child: self.st.node_orig[child as usize],
+                        });
+                    }
+                }
             }
             for rf in 0..2 {
                 if !d.mean[rf].is_finite() {
@@ -224,6 +243,65 @@ mod tests {
         for (a, b) in before.slacks.iter().zip(&after.slacks) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    /// Regression (ISSUE 5): the batched dirty-mask sweep seeds dirt on
+    /// expansion-arc children and starts propagation at level 1, so a
+    /// delta child at level 0 would be silently skipped. Only a corrupt
+    /// Trust-mode level CSR can produce one — `validate_deltas` must
+    /// reject it as a typed fatal issue instead of sweeping past it.
+    #[test]
+    fn trust_mode_level_zero_delta_child_is_a_typed_fatal_rejection() {
+        let design = generate_design(&GeneratorConfig::small("incr", 41));
+        let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+        golden.full_update(&design);
+        let mut eng = InstaEngine::new(
+            golden.export_insta_init(),
+            InstaConfig {
+                validation: crate::validate::ValidationMode::Trust,
+                ..InstaConfig::default()
+            },
+        )
+        .expect("trust accepts");
+
+        // Pick a graph arc with an expansion child at level 1, then
+        // corrupt the level CSR (Trust mode never re-checks it) so that
+        // child reads as level 0.
+        let mut found = None;
+        'outer: for g in 0..eng.st.n_graph_arcs {
+            let r = eng.st.expansion_start[g] as usize..eng.st.expansion_start[g + 1] as usize;
+            for &e in &eng.st.expansion_arc[r] {
+                let c = eng.st.arc_child[e as usize];
+                if crate::health::level_of(&eng.st, c as usize) == 1 {
+                    found = Some((g, c));
+                    break 'outer;
+                }
+            }
+        }
+        let (g, child) = found.expect("a level-1 arc child");
+        // `child` is at level 1, so `child + 1 <= level_start[2]`: the
+        // CSR stays sorted and only the level-0/1 boundary moves.
+        eng.st.level_start[1] = child + 1;
+
+        let deltas = [insta_refsta::eco::ArcDelta {
+            arc: g as u32,
+            mean: [1.0; 2],
+            sigma: [0.1; 2],
+        }];
+        let err = eng.validate_deltas(&deltas).expect_err("level-0 child");
+        let crate::error::InstaError::Validate(report) = &err else {
+            panic!("expected Validate, got {err:?}");
+        };
+        assert!(report.rejects_repair(), "must be fatal: {report}");
+        assert!(matches!(
+            report.issues[0],
+            crate::validate::Issue::DeltaChildAtLevelZero { index: 0, .. }
+        ));
+        assert!(err.to_string().contains("timing level 0"), "{err}");
+        // update_timing routes through the same validation: annotations
+        // stay untouched.
+        let err2 = eng.update_timing(&deltas).expect_err("same rejection");
+        assert_eq!(err2.category(), "validate");
     }
 
     #[test]

@@ -42,6 +42,12 @@
 //!   propagates S delta-sets at once in SoA scenario lanes, bit-identical
 //!   per scenario to S serial sessions, with per-scenario quarantine (see
 //!   DESIGN.md "Batched scenario evaluation").
+//! * [`trace`] — the observability layer: a [`TraceSink`](trace::TraceSink)
+//!   threaded through every kernel pass recording spans, per-level
+//!   duration/touched-node profiles (the paper's Fig. 9 breakdown via
+//!   [`InstaEngine::perf_report`](engine::InstaEngine::perf_report)),
+//!   batch lane occupancy, and session/incident events — zero overhead
+//!   when disabled (see DESIGN.md "Observability").
 //!
 //! # Examples
 //!
@@ -76,6 +82,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod session;
 pub mod topk;
+pub mod trace;
 pub mod validate;
 
 pub use batch::{BatchOptions, DeltaSet, ScenarioReport};
@@ -86,6 +93,7 @@ pub use hold::{hold_attributes, HoldAttributes};
 pub use metrics::{EngineCounters, InstaReport};
 pub use session::{SessionStatus, TimingSession};
 pub use topk::TopKQueue;
+pub use trace::{LevelProfile, PerfReport, PerfRow};
 pub use validate::{ValidationMode, ValidationReport};
 // Session control handles, re-exported so engine clients don't need a
 // direct `insta_support` dependency.

@@ -18,6 +18,7 @@
 use crate::engine::{InstaEngine, State, Static};
 use crate::error::{InstaError, Kernel, RuntimeIncident};
 use crate::parallel::{chaos, resolve_threads, Interrupt, PanicCell, PAR_THRESHOLD};
+use crate::trace::LevelProfile;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 impl InstaEngine {
@@ -41,16 +42,21 @@ impl InstaEngine {
         self.last_incident = None;
         self.lse_writes += 1;
         self.state.lse_tau_used = None;
-        match forward_lse(
+        self.trace.begin("forward_lse");
+        let res = forward_lse(
             &self.st,
             &mut self.state,
             self.cfg.lse_tau,
             self.cfg.n_threads,
             self.interrupt.as_ref(),
-        ) {
+            self.trace.profile_mut(Kernel::ForwardLse),
+        );
+        self.trace
+            .end_with(&[("ok", if res.is_ok() { 1.0 } else { 0.0 })]);
+        match res {
             Ok(incident) => {
                 if let Some(inc) = &incident {
-                    self.incidents.record(inc.clone());
+                    self.record_incident(inc);
                 }
                 self.last_incident = incident;
                 self.state.lse_tau_used = Some(self.cfg.lse_tau);
@@ -58,7 +64,7 @@ impl InstaEngine {
             }
             Err(e) => {
                 if let InstaError::Runtime(inc) = &e {
-                    self.incidents.record(inc.clone());
+                    self.record_incident(inc);
                 }
                 Err(e)
             }
@@ -94,9 +100,10 @@ pub(crate) fn forward_lse(
     tau: f64,
     n_threads: usize,
     interrupt: Option<&Interrupt>,
+    prof: Option<&mut LevelProfile>,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
     let ann = |ai: usize, rf: usize| (st.arc_mean[ai][rf], st.arc_sigma[ai][rf]);
-    forward_lse_with(st, state, tau, n_threads, interrupt, &ann)
+    forward_lse_with(st, state, tau, n_threads, interrupt, &ann, prof)
 }
 
 /// [`forward_lse`] with arc-annotation reads routed through `ann(ai, rf) →
@@ -105,6 +112,7 @@ pub(crate) fn forward_lse(
 /// without mutating the engine's cloned annotations — sharing this body
 /// (instead of maintaining a second LSE kernel) is what makes the batched
 /// gradient bit-identical to a serial re-annotate + `forward_lse` run.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn forward_lse_with(
     st: &Static,
     state: &mut State,
@@ -112,8 +120,13 @@ pub(crate) fn forward_lse_with(
     n_threads: usize,
     interrupt: Option<&Interrupt>,
     ann: &(impl Fn(usize, usize) -> (f64, f64) + Sync),
+    mut prof: Option<&mut LevelProfile>,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
     debug_assert!(tau > 0.0);
+    // Restart the interrupt's reporting clock at pass entry (see
+    // `Interrupt::restarted`).
+    let restarted = interrupt.map(Interrupt::restarted);
+    let interrupt = restarted.as_ref();
     state.lse_arrival.fill(f64::NEG_INFINITY);
     for w in state.lse_weight.iter_mut() {
         *w = [0.0; 2];
@@ -122,6 +135,9 @@ pub(crate) fn forward_lse_with(
 
     let nt = resolve_threads(n_threads);
     let mut recovered: Option<RuntimeIncident> = None;
+    if let Some(p) = prof.as_deref_mut() {
+        p.passes += 1;
+    }
     for l in 1..st.num_levels() {
         // One cancellation poll per level (bounded-latency contract).
         if let Some(e) = interrupt.and_then(|i| i.check(Kernel::ForwardLse, l)) {
@@ -132,6 +148,7 @@ pub(crate) fn forward_lse_with(
         if len == 0 {
             continue;
         }
+        let t_level = prof.is_some().then(std::time::Instant::now);
         // The level's fanin arcs are contiguous because arcs are stored in
         // renumbered-child order.
         let arc_lo = st.fanin_start[base] as usize;
@@ -215,6 +232,9 @@ pub(crate) fn forward_lse_with(
                     }))
                 }
             }
+        }
+        if let (Some(p), Some(t0)) = (prof.as_deref_mut(), t_level) {
+            p.record_level(l, t0.elapsed().as_nanos() as u64, len as u64);
         }
         #[cfg(debug_assertions)]
         crate::health::debug_assert_lse_level_clean(st, state, l);

@@ -45,6 +45,21 @@ impl Interrupt {
         }
     }
 
+    /// A copy of this interrupt with the elapsed clock restarted at *now*.
+    ///
+    /// Kernel passes call this at entry so a token or deadline reused
+    /// across several passes reports `Cancelled { elapsed }` relative to
+    /// the pass it actually interrupted, not to when the interrupt was
+    /// first armed. The deadline itself is an absolute instant and is
+    /// carried over unchanged — only the reporting clock resets.
+    pub(crate) fn restarted(&self) -> Interrupt {
+        Interrupt {
+            cancel: self.cancel.clone(),
+            deadline: self.deadline,
+            started: Instant::now(),
+        }
+    }
+
     /// Whether either trigger has fired.
     pub fn fired(&self) -> bool {
         self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
@@ -279,5 +294,26 @@ mod tests {
     fn resolve_threads_defaults_to_cores() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn restarted_resets_the_reporting_clock_but_keeps_the_triggers() {
+        let tok = insta_support::timer::CancelToken::new();
+        let armed = Interrupt::new(Some(tok.clone()), None);
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        tok.cancel();
+        let stale = armed.check(Kernel::Forward, 3).expect("token fired");
+        let fresh = armed
+            .restarted()
+            .check(Kernel::Forward, 3)
+            .expect("restart must keep the cancelled token");
+        let InstaError::Cancelled { elapsed: aged, .. } = stale else {
+            panic!("expected Cancelled");
+        };
+        let InstaError::Cancelled { elapsed: reset, .. } = fresh else {
+            panic!("expected Cancelled");
+        };
+        assert!(aged >= std::time::Duration::from_millis(25), "{aged:?}");
+        assert!(reset < std::time::Duration::from_millis(25), "{reset:?}");
     }
 }

@@ -174,6 +174,9 @@ impl<'e> TimingSession<'e> {
         self.status = SessionStatus::Committed;
         self.eng.epoch += 1;
         self.eng.stats.committed += 1;
+        self.eng
+            .trace
+            .event("session.commit", &[("epoch", self.eng.epoch as f64)]);
         Ok(self.eng.epoch)
     }
 
@@ -272,10 +275,15 @@ impl<'e> TimingSession<'e> {
         }
         self.cp.restore(self.eng);
         self.status = status;
+        let cancelled = matches!(status, SessionStatus::Cancelled);
         match status {
             SessionStatus::Cancelled => self.eng.stats.cancelled += 1,
             _ => self.eng.stats.rolled_back += 1,
         }
+        self.eng.trace.event(
+            "session.rollback",
+            &[("cancelled", if cancelled { 1.0 } else { 0.0 })],
+        );
     }
 }
 

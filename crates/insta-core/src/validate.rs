@@ -105,6 +105,20 @@ pub enum Issue {
         /// Number of graph arcs in the snapshot (exclusive bound).
         n_graph_arcs: usize,
     },
+    /// An incremental update delta expands to an arc whose child sits at
+    /// timing level 0. The batched dirty-mask sweep seeds dirt on arc
+    /// children and starts its levelized propagation at level 1, so a
+    /// level-0 child would be silently skipped — it can only arise from a
+    /// malformed snapshot (a level-0 node with fanin), so it is rejected
+    /// as fatal before any annotation is written.
+    DeltaChildAtLevelZero {
+        /// Position of the delta in the caller's batch.
+        index: usize,
+        /// The graph-arc id the delta targets.
+        arc: u32,
+        /// The offending expanded-arc child (original node id).
+        child: u32,
+    },
     /// An arc's parent is not in a strictly earlier level than its child
     /// (mis-levelization or a combinational cycle squeezed into the CSR).
     ArcLevelInversion {
@@ -249,7 +263,8 @@ impl Issue {
             | Issue::OrderNotPermutation { .. }
             | Issue::LevelCsrBroken { .. }
             | Issue::FaninCsrBroken { .. }
-            | Issue::DeltaArcOutOfRange { .. } => Severity::Fatal,
+            | Issue::DeltaArcOutOfRange { .. }
+            | Issue::DeltaChildAtLevelZero { .. } => Severity::Fatal,
             Issue::UnreachableEndpoint { .. } => Severity::Warning,
             _ => Severity::Repairable,
         }
@@ -278,6 +293,11 @@ impl std::fmt::Display for Issue {
             } => write!(
                 f,
                 "delta {index}: arc {arc} out of range (snapshot has {n_graph_arcs} graph arcs)"
+            ),
+            Issue::DeltaChildAtLevelZero { index, arc, child } => write!(
+                f,
+                "delta {index}: arc {arc} expands to child {child} at timing level 0 \
+                 (outside the batched dirty sweep)"
             ),
             Issue::ArcLevelInversion { arc, parent, child } => write!(
                 f,

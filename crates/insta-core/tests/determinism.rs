@@ -84,6 +84,53 @@ fn forward_backward_results_are_bit_identical_across_thread_counts() {
     assert!(nonzero > 0, "backward pass must produce gradients");
 }
 
+/// Tracing is observation-only: every numeric result — arrivals, slacks,
+/// gradients — must be bit-identical with the span recorder on and off
+/// (ISSUE 5 overhead contract).
+#[test]
+fn tracing_on_and_off_are_bit_identical() {
+    let init = wide_init();
+    let mut plain = engine(init.clone(), 4);
+    let mut traced = engine(init, 4);
+    traced.enable_tracing();
+
+    let rp = plain.propagate().clone();
+    let rt = traced.propagate().clone();
+    for (i, (a, b)) in rp.slacks.iter().zip(&rt.slacks).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "slack {i}: {a} vs {b}");
+    }
+    assert_eq!(rp.wns_ps.to_bits(), rt.wns_ps.to_bits());
+    assert_eq!(rp.tns_ps.to_bits(), rt.tns_ps.to_bits());
+    for v in 0..plain.num_nodes() as u32 {
+        for rf in 0..2 {
+            assert_eq!(
+                plain.arrival_at(v, rf).map(f64::to_bits),
+                traced.arrival_at(v, rf).map(f64::to_bits),
+                "arrival at node {v} rf {rf}"
+            );
+        }
+    }
+
+    plain.forward_lse();
+    traced.forward_lse();
+    plain.backward_tns();
+    traced.backward_tns();
+    let gp = plain.arc_gradients();
+    let gt = traced.arc_gradients();
+    for (i, (a, b)) in gp.iter().zip(&gt).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "gradient {i}: {a} vs {b}");
+    }
+
+    // The traced engine actually observed the passes it ran.
+    let report = traced.perf_report();
+    assert!(!report.is_empty());
+    assert_eq!(report.forward_passes, 1);
+    assert_eq!(report.lse_passes, 1);
+    assert_eq!(report.backward_passes, 1);
+    assert!(traced.trace_journal().is_some_and(|j| j.len() >= 3));
+    assert!(plain.trace_journal().is_none());
+}
+
 #[test]
 fn thread_count_zero_matches_explicit_counts() {
     let init = wide_init();

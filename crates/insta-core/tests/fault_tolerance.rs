@@ -208,3 +208,58 @@ fn incident_ring_outlives_passes_and_counts_evictions() {
     assert_eq!(log.dropped(), 2);
     assert!(log.iter().all(|i| i.kernel == Kernel::Forward));
 }
+
+/// Incident unification (ISSUE 5): with tracing enabled, every
+/// `RuntimeIncident` the engine records is mirrored into the trace
+/// journal as an `"incident"` event whose kernel/level payload matches
+/// the incident ring entry, and the totals agree.
+#[test]
+fn incidents_are_mirrored_into_the_trace_journal() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let mut eng = engine(wide_init());
+    eng.enable_tracing();
+    eng.propagate();
+
+    with_quiet_panics(|| {
+        chaos::arm(Kernel::Forward, 3, false);
+        eng.try_propagate().expect("recovered");
+        chaos::disarm();
+        chaos::arm(Kernel::ForwardLse, 2, false);
+        eng.try_forward_lse().expect("recovered");
+        chaos::disarm();
+        chaos::arm(Kernel::Backward, 2, false);
+        eng.try_backward_tns().expect("recovered");
+        chaos::disarm();
+    });
+
+    let log = eng.incident_log();
+    assert_eq!(log.total(), 3);
+    let journal = eng.trace_journal().expect("tracing enabled");
+    let mirrored: Vec<_> = journal.events().filter(|e| e.name == "incident").collect();
+    assert_eq!(mirrored.len() as u64, log.total(), "one event per incident");
+    for (ev, inc) in mirrored.iter().zip(log.iter()) {
+        assert_eq!(ev.field("level"), Some(inc.level as f64));
+        assert_eq!(
+            ev.field("serial_retry_failed"),
+            Some(if inc.serial_retry_failed { 1.0 } else { 0.0 })
+        );
+        assert!(ev.instant);
+    }
+    // Kernel codes follow the forward(0) / lse(1) / backward(2) taxonomy.
+    assert_eq!(mirrored[0].field("kernel"), Some(0.0));
+    assert_eq!(mirrored[1].field("kernel"), Some(1.0));
+    assert_eq!(mirrored[2].field("kernel"), Some(2.0));
+    // Each mirrored incident sits inside its kernel-pass span: the spans
+    // are journaled too (parents close after children, so the events
+    // precede their spans in the ring).
+    let names: Vec<&str> = journal.events().map(|e| e.name).collect();
+    for pass in ["forward", "forward_lse", "backward"] {
+        assert!(names.contains(&pass), "missing {pass} span in {names:?}");
+    }
+    // And the JSON-lines export carries them through.
+    let jsonl = eng.export_trace_jsonl().expect("tracing enabled");
+    assert_eq!(
+        jsonl.lines().filter(|l| l.contains("\"incident\"")).count(),
+        3
+    );
+}

@@ -31,5 +31,8 @@ pub use density::DensityGrid;
 pub use global::{place, PlaceResult, PlacerConfig, PlacerMode};
 pub use legalize::legalize;
 pub use optimizer::{Adam, NormalizedMomentum};
-pub use timing::{refresh_timing, RefreshBreakdown, TimingMode, TimingRefresh};
+pub use timing::{
+    refresh_timing, refresh_timing_guarded, refresh_timing_traced, RefreshBreakdown,
+    RefreshGuard, TimingMode, TimingRefresh,
+};
 pub use wirelength::WaWirelength;

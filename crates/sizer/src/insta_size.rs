@@ -17,6 +17,7 @@ use insta_netlist::{CellId, Design, NodeId, TimingArcKind};
 use insta_refsta::eco::ArcDelta;
 use insta_refsta::{estimate_eco, RefSta};
 use insta_liberty::Transition;
+use insta_support::obs::Recorder;
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -116,7 +117,32 @@ pub fn insta_size(
     golden: &mut RefSta,
     cfg: &InstaSizeConfig,
 ) -> SizeOutcome {
+    insta_size_with(design, golden, cfg, None)
+}
+
+/// [`insta_size`] with a span recorder: the run is journaled as one
+/// `sizer.run` span containing a `sizer.round` span per optimization round
+/// (fields: commits, TNS) and a `sizer.resync` span per drift-triggered
+/// golden resync — the same taxonomy the engine's own trace sink uses.
+pub fn insta_size_traced(
+    design: &mut Design,
+    golden: &mut RefSta,
+    cfg: &InstaSizeConfig,
+    recorder: &mut Recorder,
+) -> SizeOutcome {
+    insta_size_with(design, golden, cfg, Some(recorder))
+}
+
+fn insta_size_with(
+    design: &mut Design,
+    golden: &mut RefSta,
+    cfg: &InstaSizeConfig,
+    mut rec: Option<&mut Recorder>,
+) -> SizeOutcome {
     let t_start = Instant::now();
+    if let Some(r) = rec.as_deref_mut() {
+        r.begin("sizer.run");
+    }
     let before = golden.full_update(design);
     let original: Vec<insta_liberty::LibCellId> =
         design.cells().iter().map(|c| c.lib_cell).collect();
@@ -126,14 +152,23 @@ pub fn insta_size(
     let lib = design.library_arc();
 
     for _round in 0..cfg.rounds {
+        if let Some(r) = rec.as_deref_mut() {
+            r.begin("sizer.round");
+        }
         if engine.drift_exceeded() {
             // The incremental annotations have drifted past the configured
             // budget: resync every arc from the golden engine's exact
             // delays and reset the odometer.
+            if let Some(r) = rec.as_deref_mut() {
+                r.begin("sizer.resync");
+            }
             let n_arcs = golden.delays().mean.len() as u32;
             let resync = deltas_from_golden(golden, 0..n_arcs);
             engine.reannotate(&resync).expect("golden arcs are in range");
             engine.reset_drift();
+            if let Some(r) = rec.as_deref_mut() {
+                r.end_with(&[("arcs", f64::from(n_arcs))]);
+            }
         }
         engine.propagate();
         engine.forward_lse();
@@ -143,6 +178,9 @@ pub fn insta_size(
 
         let stages = stage_gradients(design, golden.graph(), &engine);
         let Some(max_mag) = stages.first().map(|s| s.magnitude) else {
+            if let Some(r) = rec.as_deref_mut() {
+                r.end_with(&[("committed", 0.0), ("stalled", 1.0)]);
+            }
             break; // no gradient flow → nothing to fix
         };
         let threshold = max_mag * cfg.grad_threshold_frac;
@@ -213,6 +251,12 @@ pub fn insta_size(
                 continue;
             }
         }
+        if let Some(r) = rec.as_deref_mut() {
+            r.end_with(&[
+                ("committed", committed_this_round as f64),
+                ("tns_ps", engine.report().tns_ps),
+            ]);
+        }
         if committed_this_round == 0 {
             break;
         }
@@ -225,6 +269,13 @@ pub fn insta_size(
         .zip(&original)
         .filter(|(c, &orig)| c.lib_cell != orig)
         .count();
+    if let Some(r) = rec.as_deref_mut() {
+        r.end_with(&[
+            ("cells_sized", cells_sized as f64),
+            ("tns_after_ps", after.tns_ps),
+            ("backward_s", backward_s),
+        ]);
+    }
     SizeOutcome {
         wns_before_ps: before.wns_ps,
         wns_after_ps: after.wns_ps,
@@ -307,6 +358,26 @@ mod tests {
         let report = fresh.full_update(&design);
         assert!((report.tns_ps - outcome.tns_after_ps).abs() < 1e-6);
         assert!((report.wns_ps - outcome.wns_after_ps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn traced_sizing_journals_rounds_and_the_run() {
+        let mut design = violating_design(7);
+        let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+        golden.full_update(&design);
+        let mut rec = Recorder::new();
+        let outcome =
+            insta_size_traced(&mut design, &mut golden, &InstaSizeConfig::default(), &mut rec);
+        assert!(outcome.cells_sized > 0);
+        assert_eq!(rec.open_depth(), 0, "all spans closed");
+        let rounds: Vec<_> = rec.events().filter(|e| e.name == "sizer.round").collect();
+        assert!(!rounds.is_empty());
+        assert!(rounds.iter().all(|e| e.depth == 1), "rounds nest in the run");
+        assert!(rounds.iter().any(|e| e.field("committed").unwrap_or(0.0) > 0.0));
+        let run = rec.events().last().expect("journal non-empty");
+        assert_eq!(run.name, "sizer.run");
+        assert_eq!(run.field("cells_sized"), Some(outcome.cells_sized as f64));
+        assert!(run.field("backward_s").is_some_and(|s| s > 0.0));
     }
 
     #[test]

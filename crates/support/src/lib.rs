@@ -16,16 +16,21 @@
 //! * [`timer`] — a `std::time::Instant` benchmark harness (replaces
 //!   `criterion` in `crates/bench`),
 //! * [`fault`] — a deterministic fault-injection harness (seeded snapshot
-//!   corruption for the robustness suites).
+//!   corruption for the robustness suites),
+//! * [`obs`] — a hierarchical span recorder with a bounded journal and
+//!   JSON-lines export (replaces `tracing`/`tracing-subscriber` in the
+//!   observability layer).
 
 pub mod fault;
 pub mod json;
+pub mod obs;
 pub mod prop;
 pub mod rng;
 pub mod timer;
 
 pub use fault::{BatchFault, Fault, FaultPlan, SessionFault};
 pub use json::{FromJson, Json, JsonError, ToJson};
+pub use obs::{Recorder, SpanEvent};
 pub use prop::{for_all, Config as PropConfig, Shrink};
 pub use rng::Rng;
 pub use timer::{black_box, CancelToken, Deadline, Harness};

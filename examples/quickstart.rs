@@ -35,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = Instant::now();
     let init = golden.export_insta_init();
     let mut insta = InstaEngine::new(init, InstaConfig::default()).expect("valid snapshot");
+    insta.enable_tracing();
     println!(
         "INSTA initialization: {:.1} ms  ({} nodes, {} arcs, {} levels, Top-K={})",
         t.elapsed().as_secs_f64() * 1e3,
@@ -74,5 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(i, g)| format!("arc {i} with dTNS/d(delay) = {g:.4}"))
         .unwrap_or_default();
     println!("most critical timing arc: {most_critical}");
+
+    // Where did the time go? The built-in tracer records one entry per
+    // (kernel, level); perf_report() renders the Fig.-9 levelized
+    // breakdown without any external profiler.
+    println!("\nlevelized kernel breakdown (perf_report):");
+    print!("{}", insta.perf_report());
     Ok(())
 }

@@ -34,6 +34,12 @@ INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench session_overhead
 echo "==> batch-throughput smoke (fast budget; records the JSON gate line)"
 INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench batch_throughput | tail -1 | tee BENCH_batch.json
 
+echo "==> trace-overhead gate (traced update_timing <= 3% over untraced; bench exits non-zero on breach)"
+INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench obs_overhead | tail -1 | tee BENCH_obs.json
+
+echo "==> fig9 levelized-breakdown smoke (fast budget; perf_report drives the table)"
+INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench fig9_breakdown | tail -1 | tee BENCH_fig9.json
+
 echo "==> quickstart smoke run"
 cargo run -q --release --offline --example quickstart
 

@@ -304,6 +304,48 @@ fn drift_exhausted_batches_match_serial() {
     assert_batch_matches(&got, &want).expect("degraded-path equivalence");
 }
 
+/// Counter accounting on the degraded batch path (ISSUE 5 satellite):
+/// a batch on a drift-exhausted engine routes its scenarios through real
+/// checkpoint/rollback sessions, and each such session must bump
+/// `incremental_updates` and `degraded_passes` exactly once per scenario
+/// while the drift odometer (`drift_updates` / `drift_mass`) is restored
+/// by the rollback — the batch as a whole leaves it bit-untouched.
+#[test]
+fn degraded_batch_accounting_is_exact_and_drift_neutral() {
+    let cfg = InstaConfig {
+        drift_policy: insta_engine::DriftPolicy {
+            max_updates: 1,
+            ..insta_engine::DriftPolicy::default()
+        },
+        ..InstaConfig::default()
+    };
+    let (golden, mut engine) = build(77, cfg);
+    engine.propagate();
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0x5EED);
+    // Exhaust the drift budget so every batch scenario degrades.
+    let warm = random_scenarios(&golden, &mut rng, 1);
+    engine.reannotate(&warm[0].deltas).expect("valid warm-up deltas");
+    engine.propagate();
+    assert!(engine.drift_exceeded());
+
+    let scenarios = random_scenarios(&golden, &mut rng, 3);
+    let before = engine.counters();
+    let got = engine.evaluate_batch(&scenarios);
+    let after = engine.counters();
+    let succeeded = got.iter().filter(|r| r.outcome.is_ok()).count() as u64;
+    assert_eq!(succeeded, 3, "all degraded scenarios should evaluate");
+    // Exactly one degraded pass and one incremental update per scenario —
+    // no double-counting from the session wrapper or the health gate.
+    assert_eq!(after.degraded_passes, before.degraded_passes + 3);
+    assert_eq!(after.incremental_updates, before.incremental_updates + 3);
+    // The drift odometer is checkpointed state: the rolled-back sessions
+    // restore it bit-exactly, so the batch is drift-neutral.
+    assert_eq!(after.drift_updates, before.drift_updates);
+    assert_eq!(after.drift_mass.to_bits(), before.drift_mass.to_bits());
+    // And the engine still reports the pre-existing exhaustion.
+    assert!(engine.drift_exceeded());
+}
+
 /// Batch counters are monotonic and quarantine-aware.
 #[test]
 fn batch_counters_account_for_every_scenario() {
