@@ -30,8 +30,10 @@ fn main() {
     engine.enable_tracing();
     let passes = if fast { 3 } else { 25 };
     for _ in 0..passes {
-        black_box(engine.propagate().tns_ps);
-        engine.forward_lse();
+        // The fused sweep computes the Top-K queues and LSE arrivals in
+        // one pass over the levels; the trace profiles still attribute
+        // evaluation time to `forward` and smooth-merge time to `lse`.
+        black_box(engine.propagate_fused().tns_ps);
         engine.backward_tns();
     }
 

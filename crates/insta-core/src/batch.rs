@@ -11,9 +11,13 @@
 //!   state. The base is propagated (at most) once; each scenario only
 //!   recomputes the nodes inside its own dirty fanout cone.
 //! * **SoA scenario lanes.** A [`ScenarioBatch`] holds per-lane Top-K
-//!   queues in structure-of-arrays layout — index
-//!   `((node·2 + rf)·S + lane)·k + j` — so every lane's k-slice is
-//!   contiguous and the serial kernels' queue primitives apply unchanged.
+//!   queues in a *compact* structure-of-arrays layout: storage exists
+//!   only for dirty `(node, lane)` pairs. A prefix sum of
+//!   `popcount(dirty[node])` assigns each pair a dense slot (node-major,
+//!   lane-minor), element index `(slot·2 + rf)·k + j` — so every lane's
+//!   k-slice is contiguous, the serial kernels' queue primitives apply
+//!   unchanged, and the allocation scales with the dirty cone instead of
+//!   `nodes × lanes`.
 //! * **Bit-identity by construction.** The per-node merge body is the
 //!   *same function* the serial kernel runs
 //!   ([`merge_node_queue`](crate::forward)), with parent and annotation
@@ -43,7 +47,7 @@ use crate::engine::{InstaEngine, State, Static};
 use crate::error::{InstaError, Kernel, PoisonedArray, RuntimeIncident};
 use crate::forward::merge_node_queue;
 use crate::metrics::InstaReport;
-use crate::parallel::{chaos, resolve_threads, Interrupt, PanicCell, PAR_THRESHOLD};
+use crate::parallel::{chaos, resolve_threads, Interrupt, MergeArena, PanicCell, PAR_THRESHOLD};
 use crate::topk::NO_SP;
 use insta_refsta::eco::ArcDelta;
 use insta_refsta::{EpId, SpId};
@@ -457,8 +461,14 @@ pub(crate) struct ScenarioBatch<'a> {
     /// Node → index into `st.sources` (`u32::MAX` = not a startpoint;
     /// the *last* source wins, like the serial seeding).
     source_of: Vec<u32>,
-    /// Per-lane Top-K queues, indexed `((v·2 + rf)·lanes + lane)·k + j`.
-    /// Only slices of dirty `(node, lane)` pairs are ever written or read.
+    /// Prefix sum of `popcount(dirty[v])` over nodes (length `n + 1`):
+    /// dirty `(node, lane)` pair → dense storage slot. The slot of lane
+    /// `L` at node `v` is `slot_start[v] + popcount(dirty[v] & (2^L − 1))`
+    /// — node-major, lane-minor, so a level's slots are one contiguous
+    /// window (levels are contiguous node ranges).
+    slot_start: Vec<u32>,
+    /// Per-lane Top-K queues, compact: element `(slot·2 + rf)·k + j`.
+    /// Only dirty `(node, lane)` pairs have storage at all.
     sc_arrival: Vec<f64>,
     sc_mean: Vec<f64>,
     sc_sigma: Vec<f64>,
@@ -478,6 +488,7 @@ struct LaneCtx<'a> {
     over_mean: &'a [[f64; 2]],
     over_sigma: &'a [[f64; 2]],
     source_of: &'a [u32],
+    slot_start: &'a [u32],
 }
 
 impl LaneCtx<'_> {
@@ -492,6 +503,15 @@ impl LaneCtx<'_> {
         } else {
             (self.st.arc_mean[ai][rf], self.st.arc_sigma[ai][rf])
         }
+    }
+
+    /// Compact storage slot of a dirty `(node, lane)` pair: the node's
+    /// slot base plus the lane's rank among the node's dirty lanes.
+    #[inline]
+    fn lane_slot(&self, v: usize, lane: usize) -> usize {
+        debug_assert!(self.dirty[v] >> lane & 1 == 1, "slot of a clean pair");
+        let rank = (self.dirty[v] & ((1u64 << lane) - 1)).count_ones();
+        (self.slot_start[v] + rank) as usize
     }
 }
 
@@ -575,10 +595,22 @@ impl<'a> ScenarioBatch<'a> {
             source_of[s.node as usize] = i as u32;
         }
 
-        // Lane queues are allocated zeroed and written lazily: only dirty
-        // (node, lane) slices are reset + computed, and reads are guarded
-        // by the dirty masks, so untouched zero pages are never consulted.
-        let lstride = 2 * lanes * k;
+        // Compact slot map: storage only for dirty (node, lane) pairs.
+        // The dense alternative (`nodes × lanes × 2k` per array) zeroes
+        // hundreds of megabytes per call on large blocks — more time than
+        // the sweep itself when the dirty cone is sparse.
+        let mut slot_start = vec![0u32; n + 1];
+        let mut slots = 0u32;
+        for v in 0..n {
+            slot_start[v] = slots;
+            slots += dirty[v].count_ones();
+        }
+        slot_start[n] = slots;
+
+        // Lane queues are written before they are read (every dirty pair
+        // is reset + computed by the sweep), so zero-init is only a
+        // fresh-page guarantee, sized by the dirty cone.
+        let elems = slots as usize * 2 * k;
         Self {
             st,
             base,
@@ -591,10 +623,11 @@ impl<'a> ScenarioBatch<'a> {
             level_dirty,
             level_dirty_nodes,
             source_of,
-            sc_arrival: vec![0.0; n * lstride],
-            sc_mean: vec![0.0; n * lstride],
-            sc_sigma: vec![0.0; n * lstride],
-            sc_sp: vec![0; n * lstride],
+            slot_start,
+            sc_arrival: vec![0.0; elems],
+            sc_mean: vec![0.0; elems],
+            sc_sigma: vec![0.0; elems],
+            sc_sp: vec![0; elems],
         }
     }
 
@@ -605,6 +638,14 @@ impl<'a> ScenarioBatch<'a> {
         let levels = self.level_dirty.iter().filter(|&&m| m != 0).count() as u64;
         let nodes = self.level_dirty_nodes.iter().map(|&c| u64::from(c)).sum();
         (levels, nodes)
+    }
+
+    /// See [`LaneCtx::lane_slot`].
+    #[inline]
+    fn lane_slot(&self, v: usize, lane: usize) -> usize {
+        debug_assert!(self.dirty[v] >> lane & 1 == 1, "slot of a clean pair");
+        let rank = (self.dirty[v] & ((1u64 << lane) - 1)).count_ones();
+        (self.slot_start[v] + rank) as usize
     }
 
     /// See [`LaneCtx::arc_ann`].
@@ -633,7 +674,8 @@ impl<'a> ScenarioBatch<'a> {
         let restarted = interrupt.map(Interrupt::restarted);
         let interrupt = restarted.as_ref();
         let st = self.st;
-        let lstride = 2 * self.lanes * self.k;
+        // Per-slot stride: each dirty (node, lane) pair owns 2k elements.
+        let stride = 2 * self.k;
         let ctx = LaneCtx {
             st,
             base: self.base,
@@ -644,8 +686,11 @@ impl<'a> ScenarioBatch<'a> {
             over_mean: &self.over_mean,
             over_sigma: &self.over_sigma,
             source_of: &self.source_of,
+            slot_start: &self.slot_start,
         };
         let mut recovered: Option<RuntimeIncident> = None;
+        // One merge arena per worker, reused across every dirty level.
+        let mut arenas = MergeArena::bank(nt);
         for l in 1..st.num_levels() {
             if self.level_dirty[l] == 0 {
                 continue; // no lane touches this level
@@ -657,50 +702,80 @@ impl<'a> ScenarioBatch<'a> {
             }
             let r = st.level_range(l);
             let (base_n, len) = (r.start, r.len());
-            let split = base_n * lstride;
+            // Levels are contiguous node ranges, so a level's dirty slots
+            // are one contiguous storage window.
+            let split = self.slot_start[base_n] as usize * stride;
+            let cur_elems =
+                (self.slot_start[base_n + len] as usize - self.slot_start[base_n] as usize)
+                    * stride;
             let panicked = {
                 let (mean_done, mean_tail) = self.sc_mean.split_at_mut(split);
                 let (sigma_done, sigma_tail) = self.sc_sigma.split_at_mut(split);
                 let (sp_done, sp_tail) = self.sc_sp.split_at_mut(split);
                 let (_, arr_tail) = self.sc_arrival.split_at_mut(split);
-                let arr_cur = &mut arr_tail[..len * lstride];
-                let mean_cur = &mut mean_tail[..len * lstride];
-                let sigma_cur = &mut sigma_tail[..len * lstride];
-                let sp_cur = &mut sp_tail[..len * lstride];
+                let arr_cur = &mut arr_tail[..cur_elems];
+                let mean_cur = &mut mean_tail[..cur_elems];
+                let sigma_cur = &mut sigma_tail[..cur_elems];
+                let sp_cur = &mut sp_tail[..cur_elems];
 
                 if nt <= 1 || (self.level_dirty_nodes[l] as usize) < PAR_THRESHOLD {
                     batch_level_chunk(
-                        &ctx, base_n, mean_done, sigma_done, sp_done, arr_cur, mean_cur,
-                        sigma_cur, sp_cur,
+                        &ctx,
+                        base_n..base_n + len,
+                        mean_done,
+                        sigma_done,
+                        sp_done,
+                        arr_cur,
+                        mean_cur,
+                        sigma_cur,
+                        sp_cur,
+                        &mut arenas[0],
                     );
                     None
                 } else {
+                    // Carve the level into node-granular chunks; each
+                    // chunk's storage window follows from the slot map
+                    // (chunks vary in element count with their dirt).
                     let chunk_nodes = len.div_ceil(nt);
-                    let chunk_elems = chunk_nodes * lstride;
                     let cell = PanicCell::new();
                     std::thread::scope(|scope| {
                         let mut rest = (arr_cur, mean_cur, sigma_cur, sp_cur);
+                        let mut rest_arenas = &mut arenas[..];
                         let mut cbase = base_n;
-                        loop {
-                            let take = chunk_elems.min(rest.0.len());
-                            if take == 0 {
-                                break;
-                            }
+                        while cbase < base_n + len {
+                            let cend = (cbase + chunk_nodes).min(base_n + len);
+                            let take = (ctx.slot_start[cend] as usize
+                                - ctx.slot_start[cbase] as usize)
+                                * stride;
                             let (a, ra) = rest.0.split_at_mut(take);
                             let (m, rm) = rest.1.split_at_mut(take);
                             let (sg, rs) = rest.2.split_at_mut(take);
                             let (sp, rsp) = rest.3.split_at_mut(take);
                             rest = (ra, rm, rs, rsp);
+                            let (ar, rar) = rest_arenas.split_at_mut(1);
+                            rest_arenas = rar;
+                            let arena = &mut ar[0];
                             let (md, sd, spd) = (&*mean_done, &*sigma_done, &*sp_done);
                             let cell = &cell;
                             let ctx = &ctx;
                             scope.spawn(move || {
-                                cell.run(cbase..cbase + take / lstride, || {
+                                cell.run(cbase..cend, || {
                                     chaos::maybe_panic(Kernel::Forward, l);
-                                    batch_level_chunk(ctx, cbase, md, sd, spd, a, m, sg, sp);
+                                    batch_level_chunk(
+                                        ctx,
+                                        cbase..cend,
+                                        md,
+                                        sd,
+                                        spd,
+                                        a,
+                                        m,
+                                        sg,
+                                        sp,
+                                        arena,
+                                    );
                                 });
                             });
-                            cbase += take / lstride;
+                            cbase = cend;
                         }
                     });
                     cell.take()
@@ -726,14 +801,15 @@ impl<'a> ScenarioBatch<'a> {
                     let (_, arr_tail) = self.sc_arrival.split_at_mut(split);
                     batch_level_chunk(
                         &ctx,
-                        base_n,
+                        base_n..base_n + len,
                         mean_done,
                         sigma_done,
                         sp_done,
-                        &mut arr_tail[..len * lstride],
-                        &mut mean_tail[..len * lstride],
-                        &mut sigma_tail[..len * lstride],
-                        &mut sp_tail[..len * lstride],
+                        &mut arr_tail[..cur_elems],
+                        &mut mean_tail[..cur_elems],
+                        &mut sigma_tail[..cur_elems],
+                        &mut sp_tail[..cur_elems],
+                        &mut arenas[0],
                     );
                 }));
                 match retry {
@@ -785,9 +861,10 @@ impl<'a> ScenarioBatch<'a> {
                 worst_rf[i] = base_report.worst_rf[i];
             } else {
                 let ep_id = EpId(ep.ep);
+                let slot = self.lane_slot(v, lane);
                 for rf in 0..2usize {
                     for j in 0..k {
-                        let idx = ((v * 2 + rf) * self.lanes + lane) * k + j;
+                        let idx = (slot * 2 + rf) * k + j;
                         let sp = self.sc_sp[idx];
                         if sp == NO_SP {
                             break; // the queue is dense from the front
@@ -845,7 +922,7 @@ impl<'a> ScenarioBatch<'a> {
 #[allow(clippy::too_many_arguments)]
 fn batch_level_chunk(
     ctx: &LaneCtx<'_>,
-    chunk_base: usize,
+    nodes: std::ops::Range<usize>,
     mean_done: &[f64],
     sigma_done: &[f64],
     sp_done: &[u32],
@@ -853,34 +930,38 @@ fn batch_level_chunk(
     mean_cur: &mut [f64],
     sigma_cur: &mut [f64],
     sp_cur: &mut [u32],
+    arena: &mut MergeArena,
 ) {
-    let (st, k, lanes) = (ctx.st, ctx.k, ctx.lanes);
-    let lstride = 2 * lanes * k;
-    let n_local = arr_cur.len() / lstride;
-    for li in 0..n_local {
-        let v = chunk_base + li;
+    let (st, k) = (ctx.st, ctx.k);
+    // The chunk's slices start at its first node's slot window.
+    let chunk_slot0 = ctx.slot_start[nodes.start] as usize;
+    for v in nodes {
         let mut mask = ctx.dirty[v];
         if mask == 0 {
             continue;
         }
         let fanin = st.fanin_range(v);
         debug_assert!(!fanin.is_empty(), "dirt only flows along fanin arcs");
+        // Lanes come off the mask in ascending order — exactly the slot
+        // order of the compact layout — so the local slot just increments.
+        let mut slot = ctx.slot_start[v] as usize - chunk_slot0;
         while mask != 0 {
             let lane = mask.trailing_zeros() as usize;
             mask &= mask - 1;
+            debug_assert_eq!(slot, ctx.lane_slot(v, lane) - chunk_slot0);
             // Reset this lane's queue slices to the serial kernel's
             // post-global-fill state, then re-apply the launch seed when
             // the node is a startpoint — the exact pre-state the serial
             // pass gives every node before its level is computed.
             for rf in 0..2 {
-                let off = li * lstride + (rf * lanes + lane) * k;
+                let off = (slot * 2 + rf) * k;
                 arr_cur[off..off + k].fill(f64::NEG_INFINITY);
                 sp_cur[off..off + k].fill(NO_SP);
             }
             if ctx.source_of[v] != u32::MAX {
                 let s = &st.sources[ctx.source_of[v] as usize];
                 for rf in 0..2 {
-                    let off = li * lstride + (rf * lanes + lane) * k;
+                    let off = (slot * 2 + rf) * k;
                     mean_cur[off] = s.mean[rf];
                     sigma_cur[off] = s.sigma[rf];
                     arr_cur[off] = s.mean[rf] + st.n_sigma * s.sigma[rf];
@@ -888,7 +969,7 @@ fn batch_level_chunk(
                 }
             }
             for rf in 0..2 {
-                let off = li * lstride + (rf * lanes + lane) * k;
+                let off = (slot * 2 + rf) * k;
                 let (qa, qm, qs, qsp) = (
                     &mut arr_cur[off..off + k],
                     &mut mean_cur[off..off + k],
@@ -897,7 +978,10 @@ fn batch_level_chunk(
                 );
                 let parent = |p: usize, prf: usize, j: usize| {
                     if ctx.dirty[p] >> lane & 1 == 1 {
-                        let idx = ((p * 2 + prf) * lanes + lane) * k + j;
+                        // Parents live in earlier levels, so their slots
+                        // precede the chunk's window: absolute indices
+                        // land inside the `done` prefix.
+                        let idx = (ctx.lane_slot(p, lane) * 2 + prf) * k + j;
                         (sp_done[idx], mean_done[idx], sigma_done[idx])
                     } else {
                         let idx = (p * 2 + prf) * k + j;
@@ -909,8 +993,21 @@ fn batch_level_chunk(
                     }
                 };
                 let arc = |ai: usize| ctx.arc_ann(ai, rf, lane);
-                merge_node_queue(st, fanin.clone(), rf, k, &parent, &arc, qa, qm, qs, qsp);
+                merge_node_queue::<false>(
+                    st,
+                    fanin.clone(),
+                    rf,
+                    k,
+                    &parent,
+                    &arc,
+                    arena,
+                    qa,
+                    qm,
+                    qs,
+                    qsp,
+                );
             }
+            slot += 1;
         }
     }
 }
@@ -928,13 +1025,15 @@ impl ScenarioBatch<'_> {
     }
 
     /// One lane's k-slices of a node's queue: (arrival, mean, sigma, sp).
+    /// Only valid for dirty `(node, lane)` pairs — clean pairs have no
+    /// storage in the compact layout.
     pub(crate) fn lane_queue(
         &self,
         v: usize,
         rf: usize,
         lane: usize,
     ) -> (&[f64], &[f64], &[f64], &[u32]) {
-        let off = ((v * 2 + rf) * self.lanes + lane) * self.k;
+        let off = (self.lane_slot(v, lane) * 2 + rf) * self.k;
         let k = self.k;
         (
             &self.sc_arrival[off..off + k],

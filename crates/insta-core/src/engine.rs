@@ -335,11 +335,37 @@ impl InstaEngine {
             ValidationMode::Repair => Some(validate::repair(&mut init)?),
         };
         let n = init.n_nodes;
-        // Renumbering: new id = position in level-major order.
+        // Renumbering: new id = position in level-major order, refined by
+        // a level-blocked reorder. Within each level, nodes are
+        // stable-sorted by the (already renumbered) id of their first
+        // fanin parent, so consecutive nodes of a level read neighboring
+        // rows of the done prefix — parent gathers walk the earlier
+        // levels near-sequentially instead of hopping in export order.
+        // Per-node results are pure functions of the parents' queues, and
+        // every downstream array (CSRs, sources, endpoints, `node_orig`)
+        // is built from the permuted order, so the refinement is
+        // invisible to callers: reports stay endpoint-indexed and
+        // `node_orig` still maps back to export ids. Levels are processed
+        // in order because a level's sort keys are its parents' final ids.
+        let mut order = std::mem::take(&mut init.order);
         let mut new_id = vec![0u32; n];
-        for (pos, &orig) in init.order.iter().enumerate() {
-            new_id[orig as usize] = pos as u32;
+        let num_levels = init.level_start.len().saturating_sub(1);
+        for l in 0..num_levels {
+            let r = init.level_start[l] as usize..init.level_start[l + 1] as usize;
+            if l > 0 {
+                order[r.clone()].sort_by_key(|&orig| {
+                    let fr = init.fanin_start[orig as usize] as usize
+                        ..init.fanin_start[orig as usize + 1] as usize;
+                    init.fanin[fr]
+                        .first()
+                        .map_or(u32::MAX, |e| new_id[e.parent as usize])
+                });
+            }
+            for pos in r {
+                new_id[order[pos] as usize] = pos as u32;
+            }
         }
+        init.order = order;
 
         // Rebuild the fanin CSR in renumbered node order.
         let mut fanin_start = Vec::with_capacity(n + 1);

@@ -15,8 +15,8 @@
 
 use crate::engine::{InstaEngine, State, Static};
 use crate::error::{InstaError, Kernel, RuntimeIncident};
-use crate::parallel::{chaos, resolve_threads, Interrupt, PanicCell, PAR_THRESHOLD};
-use crate::topk::{update_topk_slices, Candidate, NO_SP};
+use crate::parallel::{chaos, resolve_threads, Interrupt, MergeArena, PanicCell, PAR_THRESHOLD};
+use crate::topk::{restore_topk_desc, update_topk_slices, Candidate, NO_SP};
 use crate::trace::LevelProfile;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -79,11 +79,77 @@ impl InstaEngine {
         self.topk_synced = true;
         Ok(self.state.report.as_ref().expect("just set"))
     }
+
+    /// Runs the fused evaluation + differentiable forward sweep: one pass
+    /// over the levels computes both the Top-K queues and the smooth
+    /// (LSE) arrivals, leaving the engine in the same state as
+    /// [`propagate`](InstaEngine::propagate) followed by
+    /// [`forward_lse`](InstaEngine::forward_lse) — bit-identically —
+    /// while touching each level's working set once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panic could not be contained (see
+    /// [`try_propagate_fused`](InstaEngine::try_propagate_fused)).
+    pub fn propagate_fused(&mut self) -> &crate::metrics::InstaReport {
+        if let Err(e) = self.try_propagate_fused() {
+            panic!("propagate_fused failed: {e}");
+        }
+        self.state.report.as_ref().expect("just set")
+    }
+
+    /// Fallible [`propagate_fused`](InstaEngine::propagate_fused) with the
+    /// same worker-panic containment contract as
+    /// [`try_propagate`](InstaEngine::try_propagate). Per-level kernel
+    /// profiles keep attributing evaluation time to the forward profile
+    /// and LSE time to the LSE profile — fusion interleaves the two level
+    /// bodies, it does not blur them.
+    pub fn try_propagate_fused(&mut self) -> Result<&crate::metrics::InstaReport, InstaError> {
+        self.last_incident = None;
+        // Both output families are rewritten whether the pass succeeds or
+        // not; only a completed pass leaves them in sync.
+        self.topk_writes += 1;
+        self.topk_synced = false;
+        self.lse_writes += 1;
+        self.state.lse_tau_used = None;
+        self.trace.begin("forward_fused");
+        let (prof_fwd, prof_lse) = self.trace.profiles_fused();
+        let res = forward_fused(
+            &self.st,
+            &mut self.state,
+            self.cfg.lse_tau,
+            self.cfg.n_threads,
+            self.interrupt.as_ref(),
+            prof_fwd,
+            prof_lse,
+        );
+        self.trace
+            .end_with(&[("ok", if res.is_ok() { 1.0 } else { 0.0 })]);
+        match res {
+            Ok(incident) => {
+                if let Some(inc) = &incident {
+                    self.record_incident(inc);
+                }
+                self.last_incident = incident;
+            }
+            Err(e) => {
+                if let InstaError::Runtime(inc) = &e {
+                    self.record_incident(inc);
+                }
+                return Err(e);
+            }
+        }
+        self.state.lse_tau_used = Some(self.cfg.lse_tau);
+        let report = crate::metrics::evaluate(&self.st, &self.state, self.cfg.cppr);
+        self.state.report = Some(report);
+        self.topk_synced = true;
+        Ok(self.state.report.as_ref().expect("just set"))
+    }
 }
 
 /// Applies the startpoint launch arrivals (cloned from the reference tool)
 /// for sources whose node lies in `range`.
-fn seed_sources(st: &Static, state: &mut State, range: std::ops::Range<usize>) {
+pub(crate) fn seed_sources(st: &Static, state: &mut State, range: std::ops::Range<usize>) {
     let k = state.k;
     for s in &st.sources {
         let v = s.node as usize;
@@ -107,9 +173,6 @@ pub(crate) fn forward(
     interrupt: Option<&Interrupt>,
     mut prof: Option<&mut LevelProfile>,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
-    let k = state.k;
-    let stride = 2 * k;
-
     // Restart the interrupt's reporting clock at pass entry: a token or
     // deadline reused across passes must report elapsed-in-*this*-pass.
     let restarted = interrupt.map(Interrupt::restarted);
@@ -121,6 +184,8 @@ pub(crate) fn forward(
     seed_sources(st, state, 0..st.n);
 
     let nt = resolve_threads(n_threads);
+    // One merge arena per worker, reused across every level of the pass.
+    let mut arenas = MergeArena::bank(nt);
     let mut recovered: Option<RuntimeIncident> = None;
     if let Some(p) = prof.as_deref_mut() {
         p.passes += 1;
@@ -133,10 +198,35 @@ pub(crate) fn forward(
         if let Some(e) = interrupt.and_then(|i| i.check(Kernel::Forward, l)) {
             return Err(e);
         }
+        if let Some(inc) = forward_level(st, state, nt, &mut arenas, l, prof.as_deref_mut())? {
+            recovered.get_or_insert(inc);
+        }
+    }
+    Ok(recovered)
+}
+
+/// One level of the evaluation forward pass: the parallel launch, panic
+/// containment + serial retry, and per-level profiling for level `l`.
+/// Shared verbatim by [`forward`] and the fused sweep
+/// ([`forward_fused`]) — fusion interleaves *whole level bodies*, so the
+/// state either kernel reads is exactly what the unfused pass would have
+/// produced, and bit-identity of the fused sweep is by construction.
+pub(crate) fn forward_level(
+    st: &Static,
+    state: &mut State,
+    nt: usize,
+    arenas: &mut [MergeArena],
+    l: usize,
+    mut prof: Option<&mut LevelProfile>,
+) -> Result<Option<RuntimeIncident>, InstaError> {
+    let k = state.k;
+    let stride = 2 * k;
+    let mut recovered: Option<RuntimeIncident> = None;
+    {
         let r = st.level_range(l);
         let (base, len) = (r.start, r.len());
         if len == 0 {
-            continue;
+            return Ok(None);
         }
         // Two timestamp reads per level, only when a profile is attached.
         let t_level = prof.is_some().then(std::time::Instant::now);
@@ -153,9 +243,9 @@ pub(crate) fn forward(
 
             let _ = arr_done; // corner arrivals are recomputed from mean/sigma
             if nt <= 1 || len < PAR_THRESHOLD {
-                level_chunk(
+                level_chunk::<false>(
                     st, k, base, mean_done, sigma_done, sp_done, arr_cur, mean_cur, sigma_cur,
-                    sp_cur,
+                    sp_cur, &mut arenas[0],
                 );
                 None
             } else {
@@ -167,6 +257,7 @@ pub(crate) fn forward(
                 let cell = PanicCell::new();
                 std::thread::scope(|scope| {
                     let mut rest = (arr_cur, mean_cur, sigma_cur, sp_cur);
+                    let mut rest_arenas = &mut arenas[..];
                     let mut cbase = base;
                     loop {
                         let take = chunk_elems.min(rest.0.len());
@@ -178,12 +269,15 @@ pub(crate) fn forward(
                         let (sg, rs) = rest.2.split_at_mut(take);
                         let (sp, rsp) = rest.3.split_at_mut(take);
                         rest = (ra, rm, rs, rsp);
+                        let (ar, rar) = rest_arenas.split_at_mut(1);
+                        rest_arenas = rar;
+                        let arena = &mut ar[0];
                         let (md, sd, spd) = (&*mean_done, &*sigma_done, &*sp_done);
                         let cell = &cell;
                         scope.spawn(move || {
                             cell.run(cbase..cbase + take / stride, || {
                                 chaos::maybe_panic(Kernel::Forward, l);
-                                level_chunk(st, k, cbase, md, sd, spd, a, m, sg, sp);
+                                level_chunk::<false>(st, k, cbase, md, sd, spd, a, m, sg, sp, arena);
                             });
                         });
                         cbase += take / stride;
@@ -215,7 +309,7 @@ pub(crate) fn forward(
                 let (mean_done, mean_cur) = state.topk_mean.split_at_mut(split);
                 let (sigma_done, sigma_cur) = state.topk_sigma.split_at_mut(split);
                 let (sp_done, sp_cur) = state.topk_sp.split_at_mut(split);
-                level_chunk(
+                level_chunk::<false>(
                     st,
                     k,
                     base,
@@ -226,6 +320,7 @@ pub(crate) fn forward(
                     &mut mean_cur[..len * stride],
                     &mut sigma_cur[..len * stride],
                     &mut sp_cur[..len * stride],
+                    &mut arenas[0],
                 );
             }));
             match retry {
@@ -243,14 +338,100 @@ pub(crate) fn forward(
         if let (Some(p), Some(t0)) = (prof.as_deref_mut(), t_level) {
             p.record_level(l, t0.elapsed().as_nanos() as u64, len as u64);
         }
-        #[cfg(debug_assertions)]
-        crate::health::debug_assert_topk_level_clean(st, state, l);
+    }
+    #[cfg(debug_assertions)]
+    crate::health::debug_assert_topk_level_clean(st, state, l);
+    Ok(recovered)
+}
+
+/// The fused forward + LSE sweep: one loop over the timing levels runs
+/// the evaluation level body ([`forward_level`]) and the differentiable
+/// level body ([`crate::lse::lse_level`]) back to back for each level.
+///
+/// **Bit-identity.** Level `l` of the evaluation kernel reads only
+/// earlier levels' Top-K queues; level `l` of the LSE kernel reads only
+/// earlier levels' smooth arrivals. The two kernels share no output
+/// arrays, so interleaving whole level bodies leaves every read seeing
+/// exactly the state the unfused `forward` + `forward_lse_with`
+/// sequence would have produced. What fusion buys is locality: the
+/// level's fanin CSR rows, arc annotations, and parent indices are hot
+/// in cache for the LSE body instead of being re-fetched a full pass
+/// later.
+///
+/// Cancellation polls once per kernel per level, so incidents and
+/// cancels carry the same `Kernel` attribution as the unfused passes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn forward_fused(
+    st: &Static,
+    state: &mut State,
+    tau: f64,
+    n_threads: usize,
+    interrupt: Option<&Interrupt>,
+    mut prof_fwd: Option<&mut LevelProfile>,
+    mut prof_lse: Option<&mut LevelProfile>,
+) -> Result<Option<RuntimeIncident>, InstaError> {
+    let restarted = interrupt.map(Interrupt::restarted);
+    let interrupt = restarted.as_ref();
+
+    // Pre-sweep state of both kernels, exactly as the unfused passes.
+    state.topk_arrival.fill(f64::NEG_INFINITY);
+    state.topk_sp.fill(NO_SP);
+    seed_sources(st, state, 0..st.n);
+    crate::lse::lse_reset_seed(st, state);
+
+    let nt = resolve_threads(n_threads);
+    let mut arenas = MergeArena::bank(nt);
+    let mut recovered: Option<RuntimeIncident> = None;
+    if let Some(p) = prof_fwd.as_deref_mut() {
+        p.passes += 1;
+    }
+    if let Some(p) = prof_lse.as_deref_mut() {
+        p.passes += 1;
+    }
+    let ann = |ai: usize, rf: usize| (st.arc_mean[ai][rf], st.arc_sigma[ai][rf]);
+    for l in 1..st.num_levels() {
+        if let Some(e) = interrupt.and_then(|i| i.check(Kernel::Forward, l)) {
+            return Err(e);
+        }
+        if let Some(inc) = forward_level(st, state, nt, &mut arenas, l, prof_fwd.as_deref_mut())? {
+            recovered.get_or_insert(inc);
+        }
+        if let Some(e) = interrupt.and_then(|i| i.check(Kernel::ForwardLse, l)) {
+            return Err(e);
+        }
+        if let Some(inc) = crate::lse::lse_level(st, state, tau, nt, l, &ann, prof_lse.as_deref_mut())? {
+            recovered.get_or_insert(inc);
+        }
     }
     Ok(recovered)
 }
 
+/// The ordering corner of a candidate: the late corner for the setup
+/// kernel, the *negated early* corner in min (hold) mode — the ordering
+/// trick that lets the max-queue of Algorithm 2 keep the smallest early
+/// arrivals (see [`crate::hold`]).
+#[inline(always)]
+fn corner<const MIN: bool>(mean: f64, sigma: f64, n_sigma: f64) -> f64 {
+    if MIN {
+        -(mean - n_sigma * sigma)
+    } else {
+        mean + n_sigma * sigma
+    }
+}
+
 /// Computes one `(node, transition)` Top-K queue from its parents — the
-/// shared inner body of Algorithm 1.
+/// shared inner body of Algorithm 1, in a gather-then-merge shape:
+///
+/// 1. **Gather.** Every candidate — parent entry plus arc distribution
+///    (mean-additive, sigma in quadrature, Eqs. 1–3) — is computed into
+///    the arena's SoA buffers by straight-line loops over the parent
+///    queues' contiguous k-slices (the float-heavy part: one sqrt per
+///    candidate, vectorization-friendly, no queue branching).
+/// 2. **Merge.** Candidates are pushed through the unique-startpoint
+///    queue update (Algorithm 2) in exactly the old j-major order —
+///    slot-j candidates of every arc before slot j+1 — so the final
+///    queue is bit-identical to the interleaved original; most pushes on
+///    deep levels die in `update_topk_slices`' O(1) floor rejection.
 ///
 /// Parent-queue and arc-annotation reads go through closures so the
 /// batched scenario kernel ([`crate::batch`]) can overlay per-scenario
@@ -259,16 +440,19 @@ pub(crate) fn forward(
 /// guarantee of `evaluate_batch` holds *by construction*, not by parallel
 /// maintenance of two kernels. `parent(p, prf, j)` returns the parent's
 /// j-th `(sp, mean, sigma)` entry; `arc(ai)` returns the arc's
-/// `(mean, sigma)` for the destination transition being computed.
+/// `(mean, sigma)` for the destination transition being computed. `MIN`
+/// selects the hold kernel's negated-early-corner ordering
+/// ([`crate::hold`] shares this body instead of keeping its own merge).
 #[inline]
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn merge_node_queue(
+pub(crate) fn merge_node_queue<const MIN: bool>(
     st: &Static,
     fanin: std::ops::Range<usize>,
     rf: usize,
     k: usize,
     parent: &impl Fn(usize, usize, usize) -> (u32, f64, f64),
     arc: &impl Fn(usize) -> (f64, f64),
+    arena: &mut MergeArena,
     qa: &mut [f64],
     qm: &mut [f64],
     qs: &mut [f64],
@@ -276,14 +460,15 @@ pub(crate) fn merge_node_queue(
 ) {
     // Paper §III-D: input pins have a single parent in modern
     // designs, so no merge is needed — a vectorized transform of
-    // the parent queue suffices (here: copy, add the arc
-    // distribution, then restore corner order, which RSS sigma
-    // composition can perturb slightly).
+    // the parent queue suffices (copy, add the arc distribution,
+    // then restore corner order — which RSS sigma composition can
+    // perturb — with one stable sort over the live prefix).
     if fanin.len() == 1 {
         let ai = fanin.start;
         let p = st.arc_parent[ai] as usize;
         let prf = if st.arc_neg[ai] { 1 - rf } else { rf };
         let (a_mean, s_arc) = arc(ai);
+        let mut live = 0;
         for j in 0..k {
             let (sp, p_mean, s_par) = parent(p, prf, j);
             if sp == NO_SP {
@@ -293,60 +478,71 @@ pub(crate) fn merge_node_queue(
             let sigma = (s_par * s_par + s_arc * s_arc).sqrt();
             qm[j] = mean;
             qs[j] = sigma;
-            qa[j] = mean + st.n_sigma * sigma;
+            qa[j] = corner::<MIN>(mean, sigma, st.n_sigma);
             qsp[j] = sp;
-            // Insertion step of the nearly-sorted restore.
-            let mut i = j;
-            while i > 0 && qa[i - 1] < qa[i] {
-                qa.swap(i - 1, i);
-                qm.swap(i - 1, i);
-                qs.swap(i - 1, i);
-                qsp.swap(i - 1, i);
-                i -= 1;
-            }
+            live = j + 1;
         }
+        restore_topk_desc(qa, qm, qs, qsp, live);
         return;
     }
-    // Paper Algorithm 1: for each k, merge every parent's k-th
-    // unique-startpoint arrival. Queues are dense from the front,
-    // so once every parent is exhausted at slot j the remaining
-    // slots are empty too.
-    for j in 0..k {
-        let mut any_live = false;
-        for ai in fanin.clone() {
-            let p = st.arc_parent[ai] as usize;
-            let prf = if st.arc_neg[ai] { 1 - rf } else { rf };
+    // Gather: all candidates, arc-major, reading each parent's k-slice
+    // sequentially. Queues are dense from the front, so the per-arc live
+    // count is the parent's occupancy.
+    let n_arcs = fanin.len();
+    arena.reserve(n_arcs, k);
+    let mut max_live = 0usize;
+    for (a_idx, ai) in fanin.clone().enumerate() {
+        let p = st.arc_parent[ai] as usize;
+        let prf = if st.arc_neg[ai] { 1 - rf } else { rf };
+        let (a_mean, s_arc) = arc(ai);
+        let o = a_idx * k;
+        let mut live = 0usize;
+        for j in 0..k {
             let (sp, p_mean, s_par) = parent(p, prf, j);
             if sp == NO_SP {
-                continue;
+                break;
             }
-            any_live = true;
-            let (a_mean, s_arc) = arc(ai);
             let mean = p_mean + a_mean;
             let sigma = (s_par * s_par + s_arc * s_arc).sqrt();
-            update_topk_slices(
-                qa,
-                qm,
-                qs,
-                qsp,
-                Candidate {
-                    arrival: mean + st.n_sigma * sigma,
-                    mean,
-                    sigma,
-                    sp,
-                },
-            );
+            arena.mean[o + j] = mean;
+            arena.sigma[o + j] = sigma;
+            arena.arrival[o + j] = corner::<MIN>(mean, sigma, st.n_sigma);
+            arena.sp[o + j] = sp;
+            live = j + 1;
         }
-        if !any_live {
-            break;
+        arena.live[a_idx] = live as u32;
+        max_live = max_live.max(live);
+    }
+    // Merge: paper Algorithm 1 — for each k, push every parent's k-th
+    // unique-startpoint arrival, in the same j-major / arc-minor order
+    // (and with the same skip/stop conditions) as the interleaved
+    // original, so the queue evolution is bit-identical.
+    for j in 0..max_live {
+        for a_idx in 0..n_arcs {
+            if (j as u32) < arena.live[a_idx] {
+                let o = a_idx * k + j;
+                update_topk_slices(
+                    qa,
+                    qm,
+                    qs,
+                    qsp,
+                    Candidate {
+                        arrival: arena.arrival[o],
+                        mean: arena.mean[o],
+                        sigma: arena.sigma[o],
+                        sp: arena.sp[o],
+                    },
+                );
+            }
         }
     }
 }
 
 /// Processes a chunk of one level's nodes — the per-thread body of
-/// Algorithm 1.
+/// Algorithm 1. `MIN` selects hold's min-merge ordering; the hold pass
+/// ([`crate::hold`]) runs this exact body rather than its own copy.
 #[allow(clippy::too_many_arguments)]
-fn level_chunk(
+pub(crate) fn level_chunk<const MIN: bool>(
     st: &Static,
     k: usize,
     chunk_base: usize,
@@ -357,6 +553,7 @@ fn level_chunk(
     mean_cur: &mut [f64],
     sigma_cur: &mut [f64],
     sp_cur: &mut [u32],
+    arena: &mut MergeArena,
 ) {
     let stride = 2 * k;
     let n_local = arr_cur.len() / stride;
@@ -379,7 +576,19 @@ fn level_chunk(
                 (sp_done[pidx], mean_done[pidx], sigma_done[pidx])
             };
             let arc = |ai: usize| (st.arc_mean[ai][rf], st.arc_sigma[ai][rf]);
-            merge_node_queue(st, fanin.clone(), rf, k, &parent, &arc, qa, qm, qs, qsp);
+            merge_node_queue::<MIN>(
+                st,
+                fanin.clone(),
+                rf,
+                k,
+                &parent,
+                &arc,
+                arena,
+                qa,
+                qm,
+                qs,
+                qsp,
+            );
         }
     }
 }

@@ -10,8 +10,10 @@
 //! *reducing* the requirement.
 
 use crate::engine::{InstaEngine, State, Static};
+use crate::forward::level_chunk;
 use crate::metrics::InstaReport;
-use crate::topk::{update_topk_slices, Candidate, NO_SP};
+use crate::parallel::MergeArena;
+use crate::topk::NO_SP;
 use insta_refsta::export::NO_LEAF;
 use insta_refsta::{EpId, SpId};
 
@@ -117,8 +119,11 @@ impl InstaEngine {
     }
 }
 
-/// Min-mode forward pass: identical structure to the setup kernel, with
-/// candidates pushed as negated early corners.
+/// Min-mode forward pass: the *same* per-level kernel as setup
+/// ([`level_chunk`] with `MIN = true`), which computes candidates as
+/// negated early corners so Algorithm 2's max-queue keeps the smallest
+/// early arrivals. Hold no longer maintains its own copy of the merge —
+/// the kernel-equivalence suite covers both modes through one body.
 fn forward_min(st: &Static, state: &mut State, attrs: &HoldAttributes) {
     let k = state.k;
     state.topk_arrival.fill(f64::NEG_INFINITY);
@@ -135,6 +140,7 @@ fn forward_min(st: &Static, state: &mut State, attrs: &HoldAttributes) {
             state.topk_sp[idx] = s.sp;
         }
     }
+    let mut arena = MergeArena::default();
     for l in 1..st.num_levels() {
         let r = st.level_range(l);
         if r.is_empty() {
@@ -148,7 +154,7 @@ fn forward_min(st: &Static, state: &mut State, attrs: &HoldAttributes) {
         let (sp_done, sp_cur) = state.topk_sp.split_at_mut(split);
         let _ = arr_done;
         let len = r.len();
-        min_level_chunk(
+        level_chunk::<true>(
             st,
             k,
             r.start,
@@ -159,79 +165,13 @@ fn forward_min(st: &Static, state: &mut State, attrs: &HoldAttributes) {
             &mut mean_cur[..len * stride],
             &mut sigma_cur[..len * stride],
             &mut sp_cur[..len * stride],
+            &mut arena,
         );
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn min_level_chunk(
-    st: &Static,
-    k: usize,
-    chunk_base: usize,
-    mean_done: &[f64],
-    sigma_done: &[f64],
-    sp_done: &[u32],
-    arr_cur: &mut [f64],
-    mean_cur: &mut [f64],
-    sigma_cur: &mut [f64],
-    sp_cur: &mut [u32],
-) {
-    let stride = 2 * k;
-    let n_local = arr_cur.len() / stride;
-    for li in 0..n_local {
-        let v = chunk_base + li;
-        let fanin = st.fanin_range(v);
-        if fanin.is_empty() {
-            continue;
-        }
-        for rf in 0..2 {
-            let off = li * stride + rf * k;
-            let (qa, qm, qs, qsp) = (
-                &mut arr_cur[off..off + k],
-                &mut mean_cur[off..off + k],
-                &mut sigma_cur[off..off + k],
-                &mut sp_cur[off..off + k],
-            );
-            for j in 0..k {
-                let mut any_live = false;
-                for ai in fanin.clone() {
-                    let p = st.arc_parent[ai] as usize;
-                    let prf = if st.arc_neg[ai] { 1 - rf } else { rf };
-                    let pidx = (p * 2 + prf) * k + j;
-                    let sp = sp_done[pidx];
-                    if sp == NO_SP {
-                        continue;
-                    }
-                    any_live = true;
-                    let mean = mean_done[pidx] + st.arc_mean[ai][rf];
-                    let s_arc = st.arc_sigma[ai][rf];
-                    let s_par = sigma_done[pidx];
-                    let sigma = (s_par * s_par + s_arc * s_arc).sqrt();
-                    update_topk_slices(
-                        qa,
-                        qm,
-                        qs,
-                        qsp,
-                        Candidate {
-                            // Negated early corner: the max-queue keeps
-                            // the smallest early arrivals.
-                            arrival: -(mean - st.n_sigma * sigma),
-                            mean,
-                            sigma,
-                            sp,
-                        },
-                    );
-                }
-                if !any_live {
-                    break;
-                }
-            }
-        }
-    }
-}
-
 /// Hold checks from the min-mode state.
-fn evaluate_hold(
+pub(crate) fn evaluate_hold(
     st: &Static,
     state: &State,
     attrs: &HoldAttributes,

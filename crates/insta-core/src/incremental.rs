@@ -155,10 +155,11 @@ impl InstaEngine {
         if self.drift_exceeded() {
             // Degraded path: the incremental result is no longer trusted
             // blind — refresh the differentiable state and gate the pass
-            // on a full poison scan.
+            // on a full poison scan. The fused sweep computes both output
+            // families in one pass over the levels, bit-identical to
+            // `try_propagate` + `try_forward_lse` back to back.
             self.stats.degraded_passes += 1;
-            self.try_propagate()?;
-            self.try_forward_lse()?;
+            self.try_propagate_fused()?;
             self.health_check()?;
         } else {
             self.try_propagate()?;

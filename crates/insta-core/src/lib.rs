@@ -80,6 +80,8 @@ pub mod incremental;
 pub mod lse;
 pub mod metrics;
 pub mod parallel;
+#[cfg(any(test, feature = "scalar-reference"))]
+pub mod scalar_ref;
 pub mod session;
 pub mod topk;
 pub mod trace;

@@ -127,11 +127,7 @@ pub(crate) fn forward_lse_with(
     // `Interrupt::restarted`).
     let restarted = interrupt.map(Interrupt::restarted);
     let interrupt = restarted.as_ref();
-    state.lse_arrival.fill(f64::NEG_INFINITY);
-    for w in state.lse_weight.iter_mut() {
-        *w = [0.0; 2];
-    }
-    seed_lse_sources(st, state, 0..st.n);
+    lse_reset_seed(st, state);
 
     let nt = resolve_threads(n_threads);
     let mut recovered: Option<RuntimeIncident> = None;
@@ -143,10 +139,45 @@ pub(crate) fn forward_lse_with(
         if let Some(e) = interrupt.and_then(|i| i.check(Kernel::ForwardLse, l)) {
             return Err(e);
         }
+        if let Some(inc) = lse_level(st, state, tau, nt, l, ann, prof.as_deref_mut())? {
+            recovered.get_or_insert(inc);
+        }
+    }
+    Ok(recovered)
+}
+
+/// Resets the LSE arrival/weight buffers and applies the source seeds —
+/// the pre-sweep state both [`forward_lse_with`] and the fused sweep
+/// ([`crate::forward::forward_fused`]) start from.
+pub(crate) fn lse_reset_seed(st: &Static, state: &mut State) {
+    state.lse_arrival.fill(f64::NEG_INFINITY);
+    for w in state.lse_weight.iter_mut() {
+        *w = [0.0; 2];
+    }
+    seed_lse_sources(st, state, 0..st.n);
+}
+
+/// One level of the differentiable forward pass: parallel launch, panic
+/// containment + serial retry, and per-level profiling for level `l`.
+/// Shared verbatim by [`forward_lse_with`] and the fused sweep — level
+/// `l` reads only earlier levels' smooth arrivals, so interleaving whole
+/// level bodies with the evaluation kernel changes nothing it computes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lse_level(
+    st: &Static,
+    state: &mut State,
+    tau: f64,
+    nt: usize,
+    l: usize,
+    ann: &(impl Fn(usize, usize) -> (f64, f64) + Sync),
+    mut prof: Option<&mut LevelProfile>,
+) -> Result<Option<RuntimeIncident>, InstaError> {
+    let mut recovered: Option<RuntimeIncident> = None;
+    {
         let r = st.level_range(l);
         let (base, len) = (r.start, r.len());
         if len == 0 {
-            continue;
+            return Ok(None);
         }
         let t_level = prof.is_some().then(std::time::Instant::now);
         // The level's fanin arcs are contiguous because arcs are stored in
@@ -236,9 +267,9 @@ pub(crate) fn forward_lse_with(
         if let (Some(p), Some(t0)) = (prof.as_deref_mut(), t_level) {
             p.record_level(l, t0.elapsed().as_nanos() as u64, len as u64);
         }
-        #[cfg(debug_assertions)]
-        crate::health::debug_assert_lse_level_clean(st, state, l);
     }
+    #[cfg(debug_assertions)]
+    crate::health::debug_assert_lse_level_clean(st, state, l);
     Ok(recovered)
 }
 

@@ -151,6 +151,57 @@ where
     });
 }
 
+/// Reusable per-thread scratch for the forward merge kernels.
+///
+/// The multi-fanin merge gathers every candidate of a `(node, transition)`
+/// queue into SoA buffers (arc-major, `k` slots per arc) before running
+/// the sequential Top-K pushes, so the float pipeline — parent reads,
+/// mean add, RSS sigma, corner — runs as straight-line loops over
+/// contiguous slices. One arena per worker thread is allocated per kernel
+/// pass and reused across every node and level that thread processes; the
+/// merge loop itself never allocates. Contents are scratch: each use
+/// rewrites slots `0..live` per arc and gates reads by `live`, so no
+/// clearing between nodes is needed.
+#[derive(Debug, Default)]
+pub(crate) struct MergeArena {
+    /// Candidate corner arrivals, arc-major (`arc_index * k + j`).
+    pub arrival: Vec<f64>,
+    /// Candidate means.
+    pub mean: Vec<f64>,
+    /// Candidate sigmas.
+    pub sigma: Vec<f64>,
+    /// Candidate startpoints.
+    pub sp: Vec<u32>,
+    /// Live candidate count per arc (parent queues are dense, so this is
+    /// the parent's occupancy).
+    pub live: Vec<u32>,
+}
+
+impl MergeArena {
+    /// Ensures capacity for `n_arcs` arcs of `k` candidates each. Grows
+    /// geometrically and never shrinks, so across a pass this settles at
+    /// the widest fanin and stops touching the allocator.
+    #[inline]
+    pub(crate) fn reserve(&mut self, n_arcs: usize, k: usize) {
+        let need = n_arcs * k;
+        if self.arrival.len() < need {
+            let cap = need.next_power_of_two();
+            self.arrival.resize(cap, 0.0);
+            self.mean.resize(cap, 0.0);
+            self.sigma.resize(cap, 0.0);
+            self.sp.resize(cap, 0);
+        }
+        if self.live.len() < n_arcs {
+            self.live.resize(n_arcs.next_power_of_two(), 0);
+        }
+    }
+
+    /// A bank of `n` arenas, one per worker thread of a kernel pass.
+    pub(crate) fn bank(n: usize) -> Vec<MergeArena> {
+        (0..n.max(1)).map(|_| MergeArena::default()).collect()
+    }
+}
+
 /// Extracts a human-readable message from a panic payload.
 pub(crate) fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {

@@ -46,6 +46,18 @@ pub fn update_topk_slices(
     let k = arrivals.len();
     debug_assert!(k > 0 && means.len() == k && sigmas.len() == k && sps.len() == k);
 
+    // Floor rejection, hoisted above the uniqueness scan: when the queue
+    // is full and the candidate does not beat the floor, the push is a
+    // no-op regardless of startpoint uniqueness — if `cand.sp` is already
+    // present at slot j, descending order gives
+    // `arrivals[j] >= arrivals[k-1] >= cand.arrival`, so the
+    // replace-if-strictly-larger step cannot fire either. This turns the
+    // common case on deep levels (queue full, sub-floor candidate) into
+    // two compares instead of an O(K) scan.
+    if cand.arrival <= arrivals[k - 1] && sps[k - 1] != NO_SP {
+        return;
+    }
+
     // Step 1: startpoint uniqueness. Occupied slots are dense from the
     // front, so the scan stops at the first empty slot.
     for j in 0..k {
@@ -104,6 +116,89 @@ pub fn update_topk_slices(
     means[pos] = cand.mean;
     sigmas[pos] = cand.sigma;
     sps[pos] = cand.sp;
+}
+
+/// One adjacent compare-exchange of the sorting network: swaps slots
+/// `i`/`i+1` of all four lanes when the arrival order is strictly
+/// ascending there. The strict compare makes every pass stable (equal
+/// keys never swap), which is what keeps the network bit-identical to the
+/// insertion restore.
+#[inline(always)]
+fn cmp_exchange(
+    arrivals: &mut [f64],
+    means: &mut [f64],
+    sigmas: &mut [f64],
+    sps: &mut [u32],
+    i: usize,
+) {
+    if arrivals[i] < arrivals[i + 1] {
+        arrivals.swap(i, i + 1);
+        means.swap(i, i + 1);
+        sigmas.swap(i, i + 1);
+        sps.swap(i, i + 1);
+    }
+}
+
+/// Fixed-K odd-even transposition network: K rounds of alternating
+/// adjacent compare-exchanges, fully unrolled by the const parameter.
+/// Sorts all K slots into descending arrival order.
+///
+/// Stability (strict compares only) makes the output identical to a
+/// stable insertion sort; empty tail slots hold `arrival = -INF`, which a
+/// strict compare never moves past a live entry (nor past another `-INF`),
+/// so the tail — including its stale mean/sigma payloads — is never
+/// disturbed. Both properties together give bit-identity with
+/// [`restore_topk_desc`]'s scalar path.
+#[inline]
+pub(crate) fn sort_network_desc<const K: usize>(
+    arrivals: &mut [f64],
+    means: &mut [f64],
+    sigmas: &mut [f64],
+    sps: &mut [u32],
+) {
+    debug_assert!(arrivals.len() == K);
+    for round in 0..K {
+        let mut i = round & 1;
+        while i + 1 < K {
+            cmp_exchange(arrivals, means, sigmas, sps, i);
+            i += 2;
+        }
+    }
+}
+
+/// Restores descending arrival order over the first `live` slots of a
+/// queue whose entries were written by a bulk SoA transform (the
+/// single-fanin fast path): common K values dispatch to the unrolled
+/// compare-exchange network, everything else to a stable insertion
+/// restore. Both are stable descending sorts, so the result is
+/// bit-identical to the old interleaved per-entry insertion — and
+/// identical between the two paths.
+#[inline]
+pub(crate) fn restore_topk_desc(
+    arrivals: &mut [f64],
+    means: &mut [f64],
+    sigmas: &mut [f64],
+    sps: &mut [u32],
+    live: usize,
+) {
+    match arrivals.len() {
+        // The network sorts all K slots; tail slots (arrival = -INF from
+        // the level reset) provably stay put, so `live` is not needed.
+        2 => return sort_network_desc::<2>(arrivals, means, sigmas, sps),
+        4 => return sort_network_desc::<4>(arrivals, means, sigmas, sps),
+        8 => return sort_network_desc::<8>(arrivals, means, sigmas, sps),
+        _ => {}
+    }
+    for j in 1..live {
+        let mut i = j;
+        while i > 0 && arrivals[i - 1] < arrivals[i] {
+            arrivals.swap(i - 1, i);
+            means.swap(i - 1, i);
+            sigmas.swap(i - 1, i);
+            sps.swap(i - 1, i);
+            i -= 1;
+        }
+    }
 }
 
 /// Resets a queue slice group to the empty state.
@@ -313,6 +408,173 @@ mod tests {
                 let got: Vec<f64> = q.entries().map(|c| c.arrival).collect();
                 let want_arr: Vec<f64> = want.iter().map(|&(a, _)| a).collect();
                 prop_assert_eq!(got, want_arr);
+                Ok(())
+            },
+        );
+    }
+
+    /// The fixed-K odd-even transposition network is a *stable* descending
+    /// sort: against a library stable sort over `(arrival, payload)`
+    /// tuples — with quantized arrivals forcing plenty of equal keys — the
+    /// network must agree on every lane, bit for bit. Stability is what
+    /// makes the network interchangeable with the insertion restore (and
+    /// hence with the frozen pre-overhaul merge).
+    #[test]
+    fn network_matches_a_stable_descending_sort_with_ties() {
+        fn run<const K: usize>(entries: &[(f64, u32)]) -> Result<(), String> {
+            let mut qa: Vec<f64> = entries.iter().map(|e| e.0).collect();
+            // Payloads tag the original position so stability is visible
+            // through equal arrival keys.
+            let mut qm: Vec<f64> = (0..K).map(|i| i as f64).collect();
+            let mut qs: Vec<f64> = (0..K).map(|i| 100.0 + i as f64).collect();
+            let mut qsp: Vec<u32> = entries.iter().map(|e| e.1).collect();
+
+            let mut want: Vec<(f64, f64, f64, u32)> = (0..K)
+                .map(|i| (qa[i], qm[i], qs[i], qsp[i]))
+                .collect();
+            want.sort_by(|x, y| y.0.total_cmp(&x.0)); // stable, descending
+
+            sort_network_desc::<K>(&mut qa, &mut qm, &mut qs, &mut qsp);
+            for i in 0..K {
+                prop_assert_eq!(qa[i].to_bits(), want[i].0.to_bits());
+                prop_assert_eq!(qm[i].to_bits(), want[i].1.to_bits());
+                prop_assert_eq!(qs[i].to_bits(), want[i].2.to_bits());
+                prop_assert_eq!(qsp[i], want[i].3);
+            }
+            Ok(())
+        }
+        for_all(
+            Config::cases(128).seed(0x70_9C06),
+            |rng| {
+                (0..8)
+                    .map(|_| {
+                        // Quantized keys: equal arrivals are common, and a
+                        // sprinkle of -INF exercises the empty-tail slots.
+                        let a = if rng.bounded_u64(5) == 0 {
+                            f64::NEG_INFINITY
+                        } else {
+                            rng.bounded_u64(4) as f64
+                        };
+                        (a, rng.gen_range(0u32..100))
+                    })
+                    .collect::<Vec<(f64, u32)>>()
+            },
+            |entries| {
+                run::<2>(&entries[..2])?;
+                run::<4>(&entries[..4])?;
+                run::<8>(entries)
+            },
+        );
+    }
+
+    /// [`restore_topk_desc`] — network dispatch for K ∈ {2, 4, 8},
+    /// insertion restore otherwise — must equal a stable descending sort
+    /// of the live prefix for *every* K, and must never disturb the empty
+    /// tail (whose mean/sigma slots legitimately hold stale garbage from
+    /// earlier passes).
+    #[test]
+    fn restore_is_a_stable_sort_of_the_live_prefix_for_every_k() {
+        for_all(
+            Config::cases(96).seed(0x70_9C07),
+            |rng| {
+                let k = rng.gen_range(1usize..11);
+                let live = rng.gen_range(0usize..=k);
+                let arrivals: Vec<f64> =
+                    (0..live).map(|_| rng.bounded_u64(5) as f64).collect();
+                (k, arrivals)
+            },
+            |(k, live_arrivals)| {
+                let (k, live) = (*k, live_arrivals.len());
+                let mut qa = vec![f64::NEG_INFINITY; k];
+                let mut qm = vec![0.0f64; k];
+                let mut qs = vec![0.0f64; k];
+                let mut qsp = vec![NO_SP; k];
+                for (j, &a) in live_arrivals.iter().enumerate() {
+                    qa[j] = a;
+                    qm[j] = j as f64; // position tags, as above
+                    qs[j] = 100.0 + j as f64;
+                    qsp[j] = j as u32;
+                }
+                // Stale garbage in the dead tail: the restore must leave
+                // every one of these bits alone.
+                for j in live..k {
+                    qm[j] = -7.25;
+                    qs[j] = -3.5;
+                }
+                let mut want: Vec<(f64, f64, f64, u32)> =
+                    (0..live).map(|j| (qa[j], qm[j], qs[j], qsp[j])).collect();
+                want.sort_by(|x, y| y.0.total_cmp(&x.0));
+
+                restore_topk_desc(&mut qa, &mut qm, &mut qs, &mut qsp, live);
+                for j in 0..live {
+                    prop_assert_eq!(qa[j].to_bits(), want[j].0.to_bits());
+                    prop_assert_eq!(qm[j].to_bits(), want[j].1.to_bits());
+                    prop_assert_eq!(qs[j].to_bits(), want[j].2.to_bits());
+                    prop_assert_eq!(qsp[j], want[j].3);
+                }
+                for j in live..k {
+                    prop_assert_eq!(qa[j], f64::NEG_INFINITY);
+                    prop_assert_eq!(qm[j].to_bits(), (-7.25f64).to_bits());
+                    prop_assert_eq!(qs[j].to_bits(), (-3.5f64).to_bits());
+                    prop_assert_eq!(qsp[j], NO_SP);
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// The floor-fast-path queue update must be indistinguishable from the
+    /// frozen pre-overhaul Algorithm 2 (`scalar_ref::ref_update_topk`)
+    /// after every single push — duplicate startpoints, equal keys
+    /// (tie-break order included), floor rejections, and empty-tail
+    /// inserts all exercised by quantized random streams.
+    #[test]
+    fn update_matches_frozen_reference_push_for_push() {
+        for_all(
+            Config::cases(192).seed(0x70_9C08),
+            |rng| {
+                let k = rng.gen_range(1usize..7);
+                let n = rng.gen_range(1usize..50);
+                let pushes: Vec<(u32, f64)> = (0..n)
+                    .map(|_| {
+                        // Small domains on purpose: collisions in both sp
+                        // and arrival are the interesting cases.
+                        (rng.gen_range(0u32..6), rng.bounded_u64(6) as f64)
+                    })
+                    .collect();
+                (k, pushes)
+            },
+            |(k, pushes)| {
+                let k = *k;
+                let mut fast = (
+                    vec![f64::NEG_INFINITY; k],
+                    vec![0.0f64; k],
+                    vec![0.0f64; k],
+                    vec![NO_SP; k],
+                );
+                let mut reference = fast.clone();
+                for (i, &(sp, a)) in pushes.iter().enumerate() {
+                    let c = Candidate {
+                        arrival: a,
+                        mean: a - 0.5,
+                        sigma: i as f64, // distinguishes equal-key entries
+                        sp,
+                    };
+                    update_topk_slices(&mut fast.0, &mut fast.1, &mut fast.2, &mut fast.3, c);
+                    crate::scalar_ref::ref_update_topk(
+                        &mut reference.0,
+                        &mut reference.1,
+                        &mut reference.2,
+                        &mut reference.3,
+                        c,
+                    );
+                    for j in 0..k {
+                        prop_assert_eq!(fast.0[j].to_bits(), reference.0[j].to_bits());
+                        prop_assert_eq!(fast.1[j].to_bits(), reference.1[j].to_bits());
+                        prop_assert_eq!(fast.2[j].to_bits(), reference.2[j].to_bits());
+                        prop_assert_eq!(fast.3[j], reference.3[j]);
+                    }
+                }
                 Ok(())
             },
         );

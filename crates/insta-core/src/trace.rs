@@ -139,6 +139,20 @@ impl TraceSink {
         })
     }
 
+    /// Both forward-family profiles at once, for the fused sweep (which
+    /// accumulates evaluation time into the forward profile and LSE time
+    /// into the LSE profile — the per-kernel attribution of
+    /// [`InstaEngine::perf_report`] is independent of fusion).
+    #[inline]
+    pub(crate) fn profiles_fused(
+        &mut self,
+    ) -> (Option<&mut LevelProfile>, Option<&mut LevelProfile>) {
+        match self.inner.as_deref_mut() {
+            Some(t) => (Some(&mut t.forward), Some(&mut t.lse)),
+            None => (None, None),
+        }
+    }
+
     /// The journal, when enabled.
     pub(crate) fn recorder(&self) -> Option<&Recorder> {
         self.inner.as_deref().map(|t| &t.recorder)
