@@ -1,0 +1,201 @@
+//! Service-layer throughput bench: per-request `report_slack` latency
+//! through the full protocol stack (framing, dispatch, snapshot clone),
+//! measured idle and then with a hot writer committing epochs as fast as
+//! it can.
+//!
+//! The MVCC acceptance gate: an active writer may not block readers —
+//! p99 read latency with the writer hot must stay within 2× of idle p99
+//! (or a small absolute floor on noisy boxes, whichever is larger). A
+//! read path that takes the writer's lock fails this by an order of
+//! magnitude. Emits one machine-readable JSON line after the human
+//! summary and exits non-zero when the gate fails across all attempts.
+
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_netlist::generator::{generate_design, GeneratorConfig};
+use insta_refsta::{RefSta, StaConfig};
+use insta_serve::{Client, Op, ServeConfig, Server};
+use insta_support::json::{obj, Json, ToJson};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-attempt gate: p99 under write pressure vs idle.
+const GATE_RATIO: f64 = 2.0;
+/// Absolute floor (µs): below this, scheduler noise dominates and the
+/// ratio is meaningless.
+const GATE_FLOOR_US: f64 = 5_000.0;
+/// Noise retries, same policy as the fig9 gate.
+const ATTEMPTS: usize = 3;
+
+fn build_server() -> Server {
+    let design = generate_design(&GeneratorConfig::small("serve-bench", 77));
+    let mut sta = RefSta::new(&design, StaConfig::default()).expect("reference STA");
+    sta.full_update(&design);
+    let mut engine = InstaEngine::new(
+        sta.export_insta_init(),
+        InstaConfig {
+            top_k: 8,
+            ..InstaConfig::default()
+        },
+    )
+    .expect("engine init");
+    engine.propagate();
+    Server::new(engine, ServeConfig::default())
+}
+
+fn connect(server: &Server) -> (Client<UnixStream, UnixStream>, std::thread::JoinHandle<()>) {
+    let (ours, theirs) = UnixStream::pair().expect("socketpair");
+    let srv = server.clone();
+    let h = std::thread::spawn(move || {
+        let r = theirs.try_clone().expect("clone");
+        srv.handle_connection(r, theirs);
+    });
+    (Client::new(ours.try_clone().expect("clone"), ours), h)
+}
+
+/// Runs `reads` protocol round-trips, returning sorted latencies in µs.
+fn read_phase(server: &Server, reads: usize) -> Vec<f64> {
+    let (mut cl, h) = connect(server);
+    let mut lat = Vec::with_capacity(reads);
+    for _ in 0..reads {
+        let t = Instant::now();
+        let r = cl
+            .call(Op::ReportSlack, None, Json::Null)
+            .expect("read round-trip");
+        assert!(r.ok, "{:?}", r.error);
+        lat.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    drop(cl);
+    h.join().expect("connection thread");
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lat
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct Attempt {
+    p50_idle: f64,
+    p99_idle: f64,
+    qps_idle: f64,
+    p50_active: f64,
+    p99_active: f64,
+    qps_active: f64,
+    commits: u64,
+    pass: bool,
+}
+
+fn run_attempt(reads: usize) -> Attempt {
+    let server = build_server();
+
+    let idle = read_phase(&server, reads);
+    let qps_idle = reads as f64 / (idle.iter().sum::<f64>() / 1e6).max(1e-9);
+
+    // Hot writer: commit epochs flat-out on its own connection while the
+    // read phase repeats.
+    let stop = Arc::new(AtomicBool::new(false));
+    let (mut wcl, wh) = connect(&server);
+    let wstop = Arc::clone(&stop);
+    let writer = std::thread::spawn(move || {
+        let mut commits = 0u64;
+        let mut flip = false;
+        while !wstop.load(Ordering::Relaxed) {
+            flip = !flip;
+            let mean = if flip { 30.0 } else { 10.0 };
+            let params = obj([(
+                "deltas",
+                Json::Arr(vec![obj([
+                    ("arc", 0_u64.to_json()),
+                    ("mean", Json::Arr(vec![mean.to_json(), mean.to_json()])),
+                    ("sigma", Json::Arr(vec![2.0.to_json(), 2.0.to_json()])),
+                ])]),
+            )]);
+            let r = wcl.call(Op::Update, None, params).expect("writer");
+            assert!(r.ok, "{:?}", r.error);
+            commits += 1;
+        }
+        (wcl, commits)
+    });
+
+    let active = read_phase(&server, reads);
+    let qps_active = reads as f64 / (active.iter().sum::<f64>() / 1e6).max(1e-9);
+    stop.store(true, Ordering::Relaxed);
+    let (wcl, commits) = writer.join().expect("writer thread");
+    drop(wcl);
+    wh.join().expect("writer connection");
+
+    let p99_idle = percentile(&idle, 0.99);
+    let p99_active = percentile(&active, 0.99);
+    let pass = p99_active <= (GATE_RATIO * p99_idle).max(GATE_FLOOR_US);
+    Attempt {
+        p50_idle: percentile(&idle, 0.50),
+        p99_idle,
+        qps_idle,
+        p50_active: percentile(&active, 0.50),
+        p99_active,
+        qps_active,
+        commits,
+        pass,
+    }
+}
+
+fn main() {
+    let fast = std::env::var_os("INSTA_BENCH_FAST").is_some();
+    let reads = if fast { 400 } else { 4000 };
+
+    let mut last = None;
+    let mut passed = false;
+    for attempt in 1..=ATTEMPTS {
+        let a = run_attempt(reads);
+        eprintln!(
+            "serve_throughput attempt {attempt}: idle p50 {:.0}us p99 {:.0}us ({:.0} q/s) | \
+             writer-active p50 {:.0}us p99 {:.0}us ({:.0} q/s), {} commits | {}",
+            a.p50_idle,
+            a.p99_idle,
+            a.qps_idle,
+            a.p50_active,
+            a.p99_active,
+            a.qps_active,
+            a.commits,
+            if a.pass { "PASS" } else { "RETRY" },
+        );
+        let ok = a.pass;
+        last = Some(a);
+        if ok {
+            passed = true;
+            break;
+        }
+    }
+    let a = last.expect("at least one attempt");
+    println!(
+        "{}",
+        obj([
+            ("suite", Json::Str("serve_throughput".into())),
+            ("reads", Json::Num(reads as f64)),
+            ("p50_idle_us", Json::Num(a.p50_idle)),
+            ("p99_idle_us", Json::Num(a.p99_idle)),
+            ("qps_idle", Json::Num(a.qps_idle)),
+            ("p50_active_us", Json::Num(a.p50_active)),
+            ("p99_active_us", Json::Num(a.p99_active)),
+            ("qps_active", Json::Num(a.qps_active)),
+            ("writer_commits", Json::Num(a.commits as f64)),
+            ("gate_ratio", Json::Num(GATE_RATIO)),
+            ("gate_floor_us", Json::Num(GATE_FLOOR_US)),
+            ("pass", Json::Bool(passed)),
+        ])
+    );
+    if !passed {
+        eprintln!(
+            "serve_throughput: writer-active p99 {:.0}us exceeds max({GATE_RATIO} x idle p99 \
+             {:.0}us, {GATE_FLOOR_US:.0}us) after {ATTEMPTS} attempts",
+            a.p99_active, a.p99_idle
+        );
+        std::process::exit(1);
+    }
+}

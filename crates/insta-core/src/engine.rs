@@ -112,6 +112,11 @@ pub struct InstaConfig {
     /// When repeated incremental updates stop being trusted (see
     /// [`DriftPolicy`]).
     pub drift_policy: DriftPolicy,
+    /// Retention bound of the engine's [`IncidentLog`] ring. The default
+    /// ([`IncidentLog::CAPACITY`] = 32) suits a single optimization loop;
+    /// a long-lived daemon recording service rejections should raise it
+    /// (values are clamped to ≥ 1).
+    pub incident_log_cap: usize,
 }
 
 impl Default for InstaConfig {
@@ -123,6 +128,7 @@ impl Default for InstaConfig {
             cppr: true,
             validation: ValidationMode::Strict,
             drift_policy: DriftPolicy::default(),
+            incident_log_cap: IncidentLog::CAPACITY,
         }
     }
 }
@@ -445,6 +451,7 @@ impl InstaEngine {
             n_graph_arcs,
         };
         let k = cfg.top_k;
+        let incident_cap = cfg.incident_log_cap;
         let state = State {
             k,
             topk_arrival: vec![f64::NEG_INFINITY; n * 2 * k],
@@ -465,7 +472,7 @@ impl InstaEngine {
             cfg,
             validation,
             last_incident: None,
-            incidents: IncidentLog::default(),
+            incidents: IncidentLog::with_capacity(incident_cap),
             interrupt: None,
             epoch: 0,
             drift: DriftState::default(),
@@ -483,7 +490,7 @@ impl InstaEngine {
     /// point reports worker-panic incidents through, so the incident ring
     /// and the trace journal can never disagree on totals.
     pub(crate) fn record_incident(&mut self, inc: &RuntimeIncident) {
-        self.incidents.record(inc.clone());
+        self.incidents.record_worker(inc.clone());
         self.trace.event(
             "incident",
             &[
@@ -566,7 +573,8 @@ impl InstaEngine {
 
     /// The bounded history of worker-panic incidents — both recovered and
     /// fatal — across the engine's whole lifetime (capacity
-    /// [`IncidentLog::CAPACITY`]; evictions are counted, not lost).
+    /// [`InstaConfig::incident_log_cap`]; evictions are counted, not
+    /// lost).
     pub fn incident_log(&self) -> &IncidentLog {
         &self.incidents
     }

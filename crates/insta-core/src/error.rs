@@ -232,35 +232,151 @@ impl std::fmt::Display for InstaError {
     }
 }
 
-/// A bounded ring of [`RuntimeIncident`]s with monotonic counters.
+/// A request-level failure recorded by the service layer: an admission
+/// rejection, a deadline cancellation/overshoot, a malformed protocol
+/// frame, or an isolated handler panic. Unlike [`RuntimeIncident`]s these
+/// never originate inside a kernel — they carry the request id the daemon
+/// assigned to the failure instead of a kernel/level coordinate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceIncident {
+    /// Client-assigned request id (`0` when the request never decoded far
+    /// enough to have one).
+    pub request_id: u64,
+    /// Short machine-readable rejection class (e.g. `"overloaded"`,
+    /// `"deadline"`, `"protocol"`, `"panic"`).
+    pub category: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServiceIncident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "service incident ({}) on request {}: {}",
+            self.category, self.request_id, self.message
+        )
+    }
+}
+
+/// One entry of the [`IncidentLog`]: either a kernel worker panic or a
+/// service-layer request failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incident {
+    /// A data-parallel worker panicked (recovered or fatal).
+    Worker(RuntimeIncident),
+    /// The service layer rejected or failed a request.
+    Service(ServiceIncident),
+}
+
+impl Incident {
+    /// The worker incident, if this is one.
+    pub fn as_worker(&self) -> Option<&RuntimeIncident> {
+        match self {
+            Incident::Worker(w) => Some(w),
+            Incident::Service(_) => None,
+        }
+    }
+
+    /// The service incident, if this is one.
+    pub fn as_service(&self) -> Option<&ServiceIncident> {
+        match self {
+            Incident::Service(s) => Some(s),
+            Incident::Worker(_) => None,
+        }
+    }
+
+    /// Short machine-readable class name.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Incident::Worker(_) => "worker",
+            Incident::Service(s) => s.category,
+        }
+    }
+}
+
+impl std::fmt::Display for Incident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Incident::Worker(w) => w.fmt(f),
+            Incident::Service(s) => s.fmt(f),
+        }
+    }
+}
+
+/// A bounded ring of [`Incident`]s with monotonic counters.
 ///
-/// A long optimization session can trip many recovered worker panics;
-/// keeping only the most recent one (the pre-session `last_incident()`
-/// contract) silently overwrites history. The log keeps the newest
-/// [`IncidentLog::CAPACITY`] incidents and counts everything ever
-/// recorded, so `total() - len()` is the number dropped.
-#[derive(Debug, Clone, Default)]
+/// A long optimization session can trip many recovered worker panics, and
+/// a long-lived daemon rejects many requests under overload; keeping only
+/// the most recent one silently overwrites history. The log keeps the
+/// newest `capacity` incidents (default [`IncidentLog::CAPACITY`],
+/// configurable via
+/// [`InstaConfig::incident_log_cap`](crate::engine::InstaConfig) or
+/// [`IncidentLog::with_capacity`]) and counts everything ever recorded,
+/// so `total() - len()` is the number dropped.
+#[derive(Debug, Clone)]
 pub struct IncidentLog {
-    ring: VecDeque<RuntimeIncident>,
+    ring: VecDeque<Incident>,
+    capacity: usize,
     total: u64,
 }
 
+impl Default for IncidentLog {
+    fn default() -> Self {
+        Self::with_capacity(Self::CAPACITY)
+    }
+}
+
 impl IncidentLog {
-    /// Maximum retained incidents; older ones are dropped (but counted).
+    /// Default retention bound; older incidents are dropped (but counted).
     pub const CAPACITY: usize = 32;
 
+    /// A log retaining at most `capacity` incidents (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ring: VecDeque::new(),
+            capacity: capacity.max(1),
+            total: 0,
+        }
+    }
+
+    /// The retention bound this log was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Appends an incident, evicting the oldest past capacity.
-    pub(crate) fn record(&mut self, incident: RuntimeIncident) {
-        if self.ring.len() == Self::CAPACITY {
+    pub fn record(&mut self, incident: Incident) {
+        if self.ring.len() == self.capacity {
             self.ring.pop_front();
         }
         self.ring.push_back(incident);
         self.total += 1;
     }
 
+    /// Appends a worker-panic incident (the kernel funnel).
+    pub(crate) fn record_worker(&mut self, incident: RuntimeIncident) {
+        self.record(Incident::Worker(incident));
+    }
+
+    /// Appends a service-layer incident (the daemon funnel).
+    pub fn record_service(&mut self, incident: ServiceIncident) {
+        self.record(Incident::Service(incident));
+    }
+
     /// Retained incidents, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &RuntimeIncident> {
+    pub fn iter(&self) -> impl Iterator<Item = &Incident> {
         self.ring.iter()
+    }
+
+    /// Retained worker-panic incidents, oldest first.
+    pub fn workers(&self) -> impl Iterator<Item = &RuntimeIncident> {
+        self.ring.iter().filter_map(Incident::as_worker)
+    }
+
+    /// Retained service incidents, oldest first.
+    pub fn services(&self) -> impl Iterator<Item = &ServiceIncident> {
+        self.ring.iter().filter_map(Incident::as_service)
     }
 
     /// Number of retained incidents.
@@ -284,8 +400,13 @@ impl IncidentLog {
     }
 
     /// The newest retained incident.
-    pub fn last(&self) -> Option<&RuntimeIncident> {
+    pub fn last(&self) -> Option<&Incident> {
         self.ring.back()
+    }
+
+    /// The newest retained worker-panic incident.
+    pub fn last_worker(&self) -> Option<&RuntimeIncident> {
+        self.ring.iter().rev().find_map(Incident::as_worker)
     }
 }
 
@@ -360,19 +481,74 @@ mod tests {
             serial_retry_failed: false,
         };
         let mut log = IncidentLog::default();
+        assert_eq!(log.capacity(), IncidentLog::CAPACITY);
         assert!(log.is_empty());
         for i in 0..IncidentLog::CAPACITY + 10 {
-            log.record(mk(i));
+            log.record(Incident::Worker(mk(i)));
         }
         assert_eq!(log.len(), IncidentLog::CAPACITY);
         assert_eq!(log.total(), (IncidentLog::CAPACITY + 10) as u64);
         assert_eq!(log.dropped(), 10);
         // Oldest retained is the 11th recorded; newest is the last.
-        assert_eq!(log.iter().next().expect("front").level, 10);
         assert_eq!(
-            log.last().expect("back").level,
+            log.workers().next().expect("front").level,
+            10
+        );
+        assert_eq!(
+            log.last_worker().expect("back").level,
             IncidentLog::CAPACITY + 9
         );
+    }
+
+    #[test]
+    fn incident_log_capacity_is_configurable_and_mixes_kinds() {
+        let mut log = IncidentLog::with_capacity(3);
+        assert_eq!(log.capacity(), 3);
+        log.record_service(ServiceIncident {
+            request_id: 7,
+            category: "overloaded",
+            message: "queue full".into(),
+        });
+        log.record(Incident::Worker(RuntimeIncident {
+            kernel: Kernel::Forward,
+            level: 1,
+            chunk: 0..1,
+            message: "boom".into(),
+            serial_retry_failed: false,
+        }));
+        log.record_service(ServiceIncident {
+            request_id: 9,
+            category: "deadline",
+            message: "overshoot".into(),
+        });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.services().count(), 2);
+        assert_eq!(log.workers().count(), 1);
+        assert_eq!(log.last().expect("kept").category(), "deadline");
+        assert_eq!(
+            log.last().unwrap().as_service().expect("service").request_id,
+            9
+        );
+        let text = log.services().next().expect("front").to_string();
+        assert!(text.contains("request 7"), "{text}");
+        // A fourth record evicts the oldest; the worker incident survives.
+        log.record_service(ServiceIncident {
+            request_id: 11,
+            category: "protocol",
+            message: "bad frame".into(),
+        });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.last_worker().expect("kept").level, 1);
+        // Capacity 0 clamps to 1 instead of panicking on record.
+        let mut tiny = IncidentLog::with_capacity(0);
+        assert_eq!(tiny.capacity(), 1);
+        tiny.record_service(ServiceIncident {
+            request_id: 1,
+            category: "overloaded",
+            message: String::new(),
+        });
+        assert_eq!(tiny.len(), 1);
     }
 
     #[test]

@@ -42,6 +42,11 @@
 //!   propagates S delta-sets at once in SoA scenario lanes, bit-identical
 //!   per scenario to S serial sessions, with per-scenario quarantine (see
 //!   DESIGN.md "Batched scenario evaluation").
+//! * [`snapshot`] — the immutable committed-epoch view
+//!   ([`TimingSnapshot`](snapshot::TimingSnapshot)): slacks, arrivals,
+//!   WNS/TNS, and epoch captured at commit time so the serve layer can
+//!   publish MVCC reads by pointer swap while a writer mutates the next
+//!   epoch (see DESIGN.md "Service architecture").
 //! * [`trace`] — the observability layer: a [`TraceSink`](trace::TraceSink)
 //!   threaded through every kernel pass recording spans, per-level
 //!   duration/touched-node profiles (the paper's Fig. 9 breakdown via
@@ -83,6 +88,7 @@ pub mod parallel;
 #[cfg(any(test, feature = "scalar-reference"))]
 pub mod scalar_ref;
 pub mod session;
+pub mod snapshot;
 pub mod topk;
 pub mod trace;
 pub mod validate;
@@ -90,10 +96,13 @@ pub mod validate;
 pub use batch::{BatchOptions, DeltaSet, ScenarioReport};
 pub use correlate::{pearson, MismatchStats};
 pub use engine::{DriftPolicy, InstaConfig, InstaEngine};
-pub use error::{IncidentLog, InstaError, Kernel, PoisonedArray, RuntimeIncident};
+pub use error::{
+    Incident, IncidentLog, InstaError, Kernel, PoisonedArray, RuntimeIncident, ServiceIncident,
+};
 pub use hold::{hold_attributes, HoldAttributes};
 pub use metrics::{EngineCounters, InstaReport};
 pub use session::{SessionStatus, TimingSession};
+pub use snapshot::TimingSnapshot;
 pub use topk::TopKQueue;
 pub use trace::{LevelProfile, PerfReport, PerfRow};
 pub use validate::{ValidationMode, ValidationReport};

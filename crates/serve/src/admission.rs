@@ -1,0 +1,364 @@
+//! Admission control and graceful overload degradation.
+//!
+//! The daemon bounds concurrent *work*, not connections: every read or
+//! heavy request must win one of [`ServeConfig::max_inflight`] slots
+//! before it runs, and a full house is a typed [`overloaded`]
+//! (`retry_after_ms` included) rather than a growing queue — the client
+//! learns the truth in microseconds instead of timing out.
+//!
+//! Rejections feed a pressure score that decays as work completes; the
+//! score selects the degradation [`Tier`]:
+//!
+//! | tier           | policy                                              |
+//! |----------------|-----------------------------------------------------|
+//! | `Normal`       | everything admitted while slots last                |
+//! | `ShedHeavy`    | batch / gradient rejected with [`shed`]             |
+//! | `SnapshotOnly` | additionally, `min_epoch` waits are not honored —   |
+//! |                | reads are served from the last committed snapshot   |
+//! |                | immediately, flagged `degraded: true`               |
+//!
+//! Two classes never degrade: control ops (`ping`/`stats`/`shutdown`
+//! must work *especially* when the daemon is drowning) and writer ops —
+//! the service sheds analysis load first, degrades read freshness
+//! second, and never drops the writer.
+//!
+//! [`overloaded`]: crate::protocol::code::OVERLOADED
+//! [`shed`]: crate::protocol::code::SHED
+
+use crate::protocol::OpKind;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Tuning knobs of the service layer.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrent read/heavy requests allowed to run (writers are exempt).
+    pub max_inflight: usize,
+    /// Base back-off hint carried by `overloaded` rejections, scaled by
+    /// the current pressure.
+    pub retry_after_ms: u64,
+    /// Pressure at which heavy work (batch/gradient) is shed.
+    pub shed_pressure: u32,
+    /// Pressure at which reads stop honoring `min_epoch` waits and serve
+    /// the last committed snapshot flagged `degraded`.
+    pub snapshot_only_pressure: u32,
+    /// Largest accepted frame body (allocation-bomb guard).
+    pub max_frame_bytes: usize,
+    /// Default per-request wall-clock budget in ms (0 = none).
+    pub default_deadline_ms: u64,
+    /// Longest a `min_epoch` read will wait for a commit before failing
+    /// with `deadline` (bounds the wait even without a client deadline).
+    pub max_epoch_wait_ms: u64,
+    /// Capacity of the service-side incident ring.
+    pub incident_log_cap: usize,
+    /// Capacity of the request journal (spans/events ring).
+    pub journal_capacity: usize,
+    /// Scenario cap per `batch` request.
+    pub max_batch_scenarios: usize,
+    /// Admit the `debug_stall` / `debug_panic` test hooks.
+    pub enable_debug_ops: bool,
+    /// Test hook: sleep this long inside writer dispatch *after*
+    /// propagation but *before* the commit deadline check — models a
+    /// stall in the window the per-level cancellation polls can't see.
+    #[doc(hidden)]
+    pub stall_writer_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_inflight: 8,
+            retry_after_ms: 2,
+            shed_pressure: 6,
+            snapshot_only_pressure: 18,
+            max_frame_bytes: 16 << 20,
+            default_deadline_ms: 0,
+            max_epoch_wait_ms: 250,
+            incident_log_cap: 128,
+            journal_capacity: 4096,
+            max_batch_scenarios: 64,
+            enable_debug_ops: false,
+            stall_writer_ms: 0,
+        }
+    }
+}
+
+/// The current degradation tier, from least to most degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Full service.
+    Normal,
+    /// Heavy analysis (batch/gradient) is shed.
+    ShedHeavy,
+    /// Reads are served from the last committed snapshot only.
+    SnapshotOnly,
+}
+
+impl Tier {
+    /// The wire / stats name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Normal => "normal",
+            Tier::ShedHeavy => "shed_heavy",
+            Tier::SnapshotOnly => "snapshot_only",
+        }
+    }
+}
+
+/// Why admission refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// No in-flight slot free; hint the client to back off.
+    Overloaded {
+        /// Suggested client back-off.
+        retry_after_ms: u64,
+    },
+    /// Heavy work refused by the degradation tier.
+    Shed,
+}
+
+/// The admission gate: a bounded in-flight counter plus the pressure
+/// score driving the degradation tier. All atomics — readers never take
+/// a lock to get admitted.
+#[derive(Debug)]
+pub struct Admission {
+    max_inflight: usize,
+    retry_after_ms: u64,
+    shed_pressure: u32,
+    snapshot_only_pressure: u32,
+    inflight: AtomicUsize,
+    pressure: AtomicU32,
+}
+
+/// An admission slot held while a request runs; releasing it (Drop)
+/// decays the pressure score — completed work is the evidence the
+/// overload is passing.
+#[derive(Debug)]
+pub struct Ticket<'a> {
+    gate: &'a Admission,
+    counted: bool,
+}
+
+impl Admission {
+    /// Builds the gate from the config knobs.
+    pub fn new(cfg: &ServeConfig) -> Self {
+        Admission {
+            max_inflight: cfg.max_inflight.max(1),
+            retry_after_ms: cfg.retry_after_ms.max(1),
+            shed_pressure: cfg.shed_pressure.max(1),
+            snapshot_only_pressure: cfg.snapshot_only_pressure.max(2),
+            inflight: AtomicUsize::new(0),
+            pressure: AtomicU32::new(0),
+        }
+    }
+
+    /// The current degradation tier.
+    pub fn tier(&self) -> Tier {
+        let p = self.pressure.load(Ordering::Relaxed);
+        if p >= self.snapshot_only_pressure {
+            Tier::SnapshotOnly
+        } else if p >= self.shed_pressure {
+            Tier::ShedHeavy
+        } else {
+            Tier::Normal
+        }
+    }
+
+    /// Current pressure score (stats surface).
+    pub fn pressure(&self) -> u32 {
+        self.pressure.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently holding a counted slot.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Admits or rejects one request. Control ops get an uncounted
+    /// ticket; writers get a counted ticket unconditionally (they may
+    /// exceed the cap — the writer is never dropped); reads and heavies
+    /// compete for the bounded slots, and heavies are shed outright at
+    /// [`Tier::ShedHeavy`] and above.
+    pub fn try_admit(&self, kind: OpKind) -> Result<Ticket<'_>, Rejection> {
+        match kind {
+            OpKind::Control => Ok(Ticket {
+                gate: self,
+                counted: false,
+            }),
+            OpKind::Writer => {
+                self.inflight.fetch_add(1, Ordering::AcqRel);
+                Ok(Ticket {
+                    gate: self,
+                    counted: true,
+                })
+            }
+            OpKind::Heavy if self.tier() >= Tier::ShedHeavy => {
+                self.note_rejection();
+                Err(Rejection::Shed)
+            }
+            OpKind::Read | OpKind::Heavy => {
+                // Optimistic claim, undone on overflow: cheaper than CAS
+                // loops and exact enough for an admission gate.
+                let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+                if prev >= self.max_inflight {
+                    self.inflight.fetch_sub(1, Ordering::AcqRel);
+                    let p = self.note_rejection();
+                    return Err(Rejection::Overloaded {
+                        retry_after_ms: self.retry_after_ms * u64::from(p.max(1)),
+                    });
+                }
+                Ok(Ticket {
+                    gate: self,
+                    counted: true,
+                })
+            }
+        }
+    }
+
+    /// Bumps pressure on a rejection; returns the new score.
+    fn note_rejection(&self) -> u32 {
+        self.pressure
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| {
+                Some(p.saturating_add(3))
+            })
+            .map(|p| p.saturating_add(3))
+            .unwrap_or(u32::MAX)
+    }
+}
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        if self.counted {
+            self.gate.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+        // Completion decays pressure regardless of class — progress is
+        // progress.
+        let _ = self
+            .gate
+            .pressure
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| {
+                Some(p.saturating_sub(1))
+            });
+    }
+}
+
+/// Monotonic service-layer counters, exported by the `stats` op and the
+/// throughput bench. All relaxed atomics — these are observability, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Requests admitted and dispatched.
+    pub accepted: AtomicU64,
+    /// Requests refused with `overloaded`.
+    pub rejected_overload: AtomicU64,
+    /// Heavy requests refused by the degradation tier.
+    pub shed: AtomicU64,
+    /// Frames/bodies that failed to decode (`protocol` / `bad_request`).
+    pub rejected_protocol: AtomicU64,
+    /// Requests whose deadline fired mid-work (engine rolled back).
+    pub deadline_cancelled: AtomicU64,
+    /// Requests that finished past their wall-clock budget
+    /// (`deadline_overshoot`).
+    pub deadline_overshoot: AtomicU64,
+    /// Reads served from a stale snapshot with `degraded: true`.
+    pub degraded_reports: AtomicU64,
+    /// Panics isolated by the connection supervisor.
+    pub panics_isolated: AtomicU64,
+    /// Snapshot publications (successful writer commits).
+    pub snapshot_swaps: AtomicU64,
+    /// Connections accepted.
+    pub connections_opened: AtomicU64,
+    /// Connections torn down.
+    pub connections_closed: AtomicU64,
+}
+
+impl ServeCounters {
+    /// The counters as `(name, value)` rows — the JSON/stats surface.
+    pub fn rows(&self) -> [(&'static str, u64); 11] {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        [
+            ("accepted", g(&self.accepted)),
+            ("rejected_overload", g(&self.rejected_overload)),
+            ("shed", g(&self.shed)),
+            ("rejected_protocol", g(&self.rejected_protocol)),
+            ("deadline_cancelled", g(&self.deadline_cancelled)),
+            ("deadline_overshoot", g(&self.deadline_overshoot)),
+            ("degraded_reports", g(&self.degraded_reports)),
+            ("panics_isolated", g(&self.panics_isolated)),
+            ("snapshot_swaps", g(&self.snapshot_swaps)),
+            ("connections_opened", g(&self.connections_opened)),
+            ("connections_closed", g(&self.connections_closed)),
+        ]
+    }
+
+    /// Bump one counter by name-less reference (ergonomic shorthand).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_bounded_and_tickets_release() {
+        let cfg = ServeConfig {
+            max_inflight: 2,
+            ..ServeConfig::default()
+        };
+        let gate = Admission::new(&cfg);
+        let a = gate.try_admit(OpKind::Read).unwrap();
+        let _b = gate.try_admit(OpKind::Read).unwrap();
+        let rej = gate.try_admit(OpKind::Read).unwrap_err();
+        assert!(matches!(rej, Rejection::Overloaded { retry_after_ms } if retry_after_ms > 0));
+        drop(a);
+        assert!(gate.try_admit(OpKind::Read).is_ok(), "slot came back");
+    }
+
+    #[test]
+    fn writer_and_control_bypass_the_cap() {
+        let cfg = ServeConfig {
+            max_inflight: 1,
+            ..ServeConfig::default()
+        };
+        let gate = Admission::new(&cfg);
+        let _r = gate.try_admit(OpKind::Read).unwrap();
+        assert!(gate.try_admit(OpKind::Read).is_err(), "cap is real");
+        let _w = gate.try_admit(OpKind::Writer).unwrap();
+        let _c = gate.try_admit(OpKind::Control).unwrap();
+        assert_eq!(gate.inflight(), 2, "writer counted, control not");
+    }
+
+    #[test]
+    fn pressure_walks_the_tiers_and_decays() {
+        let cfg = ServeConfig {
+            max_inflight: 1,
+            shed_pressure: 6,
+            snapshot_only_pressure: 12,
+            ..ServeConfig::default()
+        };
+        let gate = Admission::new(&cfg);
+        assert_eq!(gate.tier(), Tier::Normal);
+        let hold = gate.try_admit(OpKind::Read).unwrap();
+        for _ in 0..2 {
+            let _ = gate.try_admit(OpKind::Read);
+        }
+        assert_eq!(gate.tier(), Tier::ShedHeavy, "p=6 sheds heavies");
+        assert!(matches!(
+            gate.try_admit(OpKind::Heavy),
+            Err(Rejection::Shed)
+        ));
+        // That shed itself raised pressure further (9), two more → 15.
+        let _ = gate.try_admit(OpKind::Read);
+        let _ = gate.try_admit(OpKind::Read);
+        assert_eq!(gate.tier(), Tier::SnapshotOnly);
+        // Writers are still admitted at the worst tier.
+        assert!(gate.try_admit(OpKind::Writer).is_ok());
+        // Completions decay the score back to normal.
+        drop(hold);
+        for _ in 0..20 {
+            drop(gate.try_admit(OpKind::Read).unwrap());
+        }
+        assert_eq!(gate.tier(), Tier::Normal, "pressure decayed");
+    }
+}

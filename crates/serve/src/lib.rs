@@ -1,0 +1,33 @@
+//! Timing-as-a-service: a fault-tolerant daemon over the INSTA engine.
+//!
+//! The engine itself is a single-writer data structure: sessions mutate
+//! Top-K state in place and commit or roll back transactionally. This
+//! crate puts a *service* in front of it so one timing engine can back
+//! many concurrent consumers — the paper's "timing feedback inside the
+//! optimization loop" deployed as shared infrastructure:
+//!
+//! * [`server`] — MVCC snapshot publication (readers are lock-free with
+//!   respect to the writer; an epoch is observed whole or not at all),
+//!   the panic-isolating connection supervisor, and request dispatch.
+//! * [`admission`] — bounded in-flight admission with typed `overloaded`
+//!   rejections and graceful degradation tiers: shed heavy analysis
+//!   first, degrade read freshness second, never drop the writer.
+//! * [`protocol`] — length-prefixed JSON frames (scriptable from a
+//!   shell) and the request/response schema; f64 slacks survive the wire
+//!   bit-exactly via shortest round-trip formatting.
+//! * [`client`] — the blocking client used by tests, benches, and
+//!   scripted sessions.
+//!
+//! The `insta-serve` binary serves stdin/stdout by default or TCP with
+//! `--tcp ADDR`. See DESIGN.md "Service architecture" for the failure
+//! matrix and README "Timing as a service" for a scripted quickstart.
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, Rejection, ServeConfig, ServeCounters, Tier};
+pub use client::{Client, ClientError, Response};
+pub use protocol::{Op, OpKind, Request};
+pub use server::{Server, SnapshotCell};

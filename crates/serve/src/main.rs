@@ -1,0 +1,105 @@
+//! `insta-serve` — the timing daemon.
+//!
+//! ```text
+//! insta-serve [--snapshot FILE | --gen NAME:SEED] [--k K] [--tcp ADDR]
+//!             [--max-inflight N] [--default-deadline-ms MS] [--debug-ops]
+//! ```
+//!
+//! The engine is initialized from an exported `InstaInit` JSON snapshot
+//! (`--snapshot`) or a generated design (`--gen`, default
+//! `small:42`), propagated once, and served over stdin/stdout — or TCP
+//! with `--tcp 127.0.0.1:7117`.
+
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_refsta::export::load_init;
+use insta_serve::{ServeConfig, Server};
+
+fn usage(err: &str) -> ! {
+    eprintln!("insta-serve: {err}");
+    eprintln!(
+        "usage: insta-serve [--snapshot FILE | --gen NAME:SEED] [--k K] [--tcp ADDR]\n\
+         \x20                  [--max-inflight N] [--default-deadline-ms MS] [--debug-ops]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut snapshot: Option<String> = None;
+    let mut gen_spec = String::from("small:42");
+    let mut k: usize = 8;
+    let mut tcp: Option<String> = None;
+    let mut cfg = ServeConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        match a.as_str() {
+            "--snapshot" => snapshot = Some(val("--snapshot")),
+            "--gen" => gen_spec = val("--gen"),
+            "--k" => k = val("--k").parse().unwrap_or_else(|_| usage("--k wants an integer")),
+            "--tcp" => tcp = Some(val("--tcp")),
+            "--max-inflight" => {
+                cfg.max_inflight = val("--max-inflight")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-inflight wants an integer"))
+            }
+            "--default-deadline-ms" => {
+                cfg.default_deadline_ms = val("--default-deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--default-deadline-ms wants an integer"))
+            }
+            "--debug-ops" => cfg.enable_debug_ops = true,
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let init = match &snapshot {
+        Some(path) => load_init(path).unwrap_or_else(|e| usage(&format!("loading {path}: {e}"))),
+        None => {
+            let (name, seed) = gen_spec
+                .split_once(':')
+                .unwrap_or_else(|| usage("--gen wants NAME:SEED"));
+            let seed: u64 = seed.parse().unwrap_or_else(|_| usage("--gen seed wants an integer"));
+            let gen = match name {
+                "small" => insta_netlist::generator::GeneratorConfig::small(name, seed),
+                "medium" => insta_netlist::generator::GeneratorConfig::medium(name, seed),
+                other => usage(&format!("unknown generator {other:?} (small|medium)")),
+            };
+            let design = insta_netlist::generator::generate_design(&gen);
+            let mut sta = insta_refsta::RefSta::new(&design, insta_refsta::StaConfig::default())
+                .unwrap_or_else(|e| usage(&format!("reference STA: {e}")));
+            sta.full_update(&design);
+            sta.export_insta_init()
+        }
+    };
+    let mut engine = InstaEngine::new(
+        init,
+        InstaConfig {
+            top_k: k,
+            ..InstaConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| usage(&format!("engine init: {e}")));
+    engine.propagate();
+    eprintln!(
+        "insta-serve: engine ready — {} nodes, {} endpoints, epoch {}",
+        engine.num_nodes(),
+        engine.num_endpoints(),
+        engine.epoch()
+    );
+
+    let server = Server::new(engine, cfg);
+    match tcp {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .unwrap_or_else(|e| usage(&format!("binding {addr}: {e}")));
+            eprintln!("insta-serve: listening on {addr}");
+            if let Err(e) = server.serve_tcp(listener) {
+                eprintln!("insta-serve: accept loop failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => server.serve_stdio(),
+    }
+}

@@ -1,0 +1,449 @@
+//! The wire protocol: length-prefixed JSON frames and the request /
+//! response schema.
+//!
+//! A frame is an ASCII decimal byte count, a single `\n`, then exactly
+//! that many bytes of JSON — trivially scriptable from a shell
+//! (`printf '%d\n%s'`). The length line is the *frame-sync contract*:
+//!
+//! * a body that fails to parse as JSON (or as a request) is a
+//!   *recoverable* protocol error — the frame boundary is still known, so
+//!   the daemon replies with a typed error and keeps the connection;
+//! * a length line that is not a sane number (or exceeds
+//!   [`ServeConfig::max_frame_bytes`](crate::admission::ServeConfig)) loses
+//!   sync — the daemon replies once and closes the connection;
+//! * EOF mid-body is a truncated frame — the connection is dead.
+//!
+//! Requests are `{"id":N,"op":"...","deadline_ms":M?,"params":{...}?}`.
+//! Responses are `{"id":N,"epoch":E,"ok":true,"result":{...}}` or
+//! `{"id":N,"epoch":E,"ok":false,"error":{"code":"...","message":"...",
+//! "retry_after_ms":K?}}`. The in-tree JSON writer prints `f64`s with
+//! Rust's shortest round-trip formatting, so slack *bits* survive the
+//! protocol — the MVCC tests compare raw `to_bits` over the wire.
+
+use insta_support::json::{obj, parse, Json, ToJson};
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted length line (decimal digits), a cheap guard against
+/// a peer streaming an endless header.
+const MAX_HEADER_DIGITS: usize = 20;
+
+/// How reading the next frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean EOF at a frame boundary — the peer hung up politely.
+    Eof,
+    /// The length line was not a sane decimal count, or exceeded the
+    /// configured frame cap. Frame sync is lost; close the connection.
+    BadHeader(String),
+    /// EOF or I/O failure mid-body: `got` of `expected` bytes arrived.
+    Truncated { expected: usize, got: usize },
+    /// Transport-level failure outside the framing logic.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "end of stream"),
+            FrameError::BadHeader(h) => write!(f, "unparseable frame header {h:?}"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: {got} of {expected} body bytes")
+            }
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+        }
+    }
+}
+
+/// Writes one `len\n body` frame and flushes.
+pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
+    w.write_all(format!("{}\n", body.len()).as_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame body, enforcing `max_bytes` on the declared length.
+pub fn read_frame(r: &mut impl BufRead, max_bytes: usize) -> Result<Vec<u8>, FrameError> {
+    // Read the header byte-by-byte so a lost-sync close never swallows
+    // buffered bytes belonging to a later diagnosis.
+    let mut header = Vec::with_capacity(8);
+    loop {
+        let mut b = [0u8; 1];
+        match r.read(&mut b) {
+            Ok(0) if header.is_empty() => return Err(FrameError::Eof),
+            Ok(0) => {
+                return Err(FrameError::BadHeader(
+                    String::from_utf8_lossy(&header).into_owned(),
+                ))
+            }
+            Ok(_) if b[0] == b'\n' => break,
+            Ok(_) => {
+                header.push(b[0]);
+                if header.len() > MAX_HEADER_DIGITS {
+                    return Err(FrameError::BadHeader(
+                        String::from_utf8_lossy(&header).into_owned(),
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let text = String::from_utf8_lossy(&header).into_owned();
+    let len: usize = match text.trim().parse() {
+        Ok(n) => n,
+        Err(_) => return Err(FrameError::BadHeader(text)),
+    };
+    if len > max_bytes {
+        return Err(FrameError::BadHeader(format!("{len} > cap {max_bytes}")));
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut body[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    expected: len,
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(body)
+}
+
+/// Every operation the daemon understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Liveness probe.
+    Ping,
+    /// Engine + service counters and the current degradation tier.
+    Stats,
+    /// Endpoint slacks / WNS / TNS from the committed snapshot.
+    ReportSlack,
+    /// Worst arrival at one original node id.
+    ReportAt,
+    /// The committed levelized kernel breakdown.
+    PerfReport,
+    /// The service-side incident ring.
+    Incidents,
+    /// The request journal as JSONL.
+    Journal,
+    /// Writer: apply arc deltas, re-propagate, commit, publish.
+    Update,
+    /// Writer: full re-propagation, commit, publish.
+    Propagate,
+    /// Heavy: batched what-if scenarios (engine state untouched).
+    Batch,
+    /// Heavy: differentiable pass, returns ∂TNS/∂arc gradients.
+    Gradient,
+    /// Stop accepting work and wind the daemon down.
+    Shutdown,
+    /// Test hook: hold an admission slot for `params.ms` milliseconds.
+    DebugStall,
+    /// Test hook: panic inside dispatch (exercises the supervisor).
+    DebugPanic,
+}
+
+/// Admission class of an [`Op`] — what the overload policy keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Always admitted, never counted: ping/stats/shutdown must work
+    /// *especially* when the daemon is drowning.
+    Control,
+    /// Snapshot readers: admitted while in-flight slots remain.
+    Read,
+    /// Mutators: exempt from the cap and from shedding — the service
+    /// degrades reads before it ever drops the writer.
+    Writer,
+    /// Batch / gradient: first to be shed under pressure.
+    Heavy,
+}
+
+impl Op {
+    /// Parses the wire name.
+    pub fn from_name(name: &str) -> Option<Op> {
+        Some(match name {
+            "ping" => Op::Ping,
+            "stats" => Op::Stats,
+            "report_slack" => Op::ReportSlack,
+            "report_at" => Op::ReportAt,
+            "perf_report" => Op::PerfReport,
+            "incidents" => Op::Incidents,
+            "journal" => Op::Journal,
+            "update" => Op::Update,
+            "propagate" => Op::Propagate,
+            "batch" => Op::Batch,
+            "gradient" => Op::Gradient,
+            "shutdown" => Op::Shutdown,
+            "debug_stall" => Op::DebugStall,
+            "debug_panic" => Op::DebugPanic,
+        _ => return None,
+        })
+    }
+
+    /// The wire name (also the journal event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::Stats => "stats",
+            Op::ReportSlack => "report_slack",
+            Op::ReportAt => "report_at",
+            Op::PerfReport => "perf_report",
+            Op::Incidents => "incidents",
+            Op::Journal => "journal",
+            Op::Update => "update",
+            Op::Propagate => "propagate",
+            Op::Batch => "batch",
+            Op::Gradient => "gradient",
+            Op::Shutdown => "shutdown",
+            Op::DebugStall => "debug_stall",
+            Op::DebugPanic => "debug_panic",
+        }
+    }
+
+    /// The admission class.
+    pub fn kind(self) -> OpKind {
+        match self {
+            Op::Ping | Op::Stats | Op::Shutdown | Op::Incidents | Op::Journal => OpKind::Control,
+            Op::ReportSlack | Op::ReportAt | Op::PerfReport | Op::DebugStall | Op::DebugPanic => {
+                OpKind::Read
+            }
+            Op::Update | Op::Propagate => OpKind::Writer,
+            Op::Batch | Op::Gradient => OpKind::Heavy,
+        }
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+    /// Per-request wall-clock budget in milliseconds (`None` = the
+    /// server default).
+    pub deadline_ms: Option<u64>,
+    /// Operation parameters (`Null` when absent).
+    pub params: Json,
+}
+
+/// Why a request could not be decoded. The id is whatever could be
+/// salvaged from the body (0 if none) so the error response and incident
+/// still correlate.
+#[derive(Debug)]
+pub struct DecodeError {
+    /// Salvaged request id, 0 when unknown.
+    pub id: u64,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl Request {
+    /// Decodes a frame body.
+    pub fn decode(body: &[u8]) -> Result<Request, DecodeError> {
+        let text = std::str::from_utf8(body).map_err(|e| DecodeError {
+            id: 0,
+            message: format!("frame body is not UTF-8: {e}"),
+        })?;
+        let doc = parse(text).map_err(|e| DecodeError {
+            id: 0,
+            message: format!("malformed JSON: {e}"),
+        })?;
+        let id = doc.get::<u64>("id").unwrap_or(0);
+        let fail = |message: String| DecodeError { id, message };
+        if id == 0 {
+            return Err(fail("missing or zero \"id\"".to_owned()));
+        }
+        let name: String = doc
+            .get("op")
+            .map_err(|e| fail(format!("missing \"op\": {e}")))?;
+        let op = Op::from_name(&name).ok_or_else(|| fail(format!("unknown op {name:?}")))?;
+        let deadline_ms = match doc.field("deadline_ms") {
+            Ok(j) => Some(j.as_u64().map_err(|e| fail(format!("bad deadline_ms: {e}")))?),
+            Err(_) => None,
+        };
+        let params = doc.field("params").cloned().unwrap_or(Json::Null);
+        Ok(Request {
+            id,
+            op,
+            deadline_ms,
+            params,
+        })
+    }
+
+    /// Encodes a request for the wire (the client side of
+    /// [`decode`](Self::decode)).
+    pub fn encode(&self) -> String {
+        let mut pairs = vec![
+            ("id", self.id.to_json()),
+            ("op", Json::Str(self.op.name().to_owned())),
+        ];
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms", ms.to_json()));
+        }
+        if self.params != Json::Null {
+            pairs.push(("params", self.params.clone()));
+        }
+        obj(pairs).to_string()
+    }
+}
+
+/// Machine-readable failure codes carried in error responses.
+pub mod code {
+    /// Frame decoded but the body is not a valid request.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The body is not valid JSON / UTF-8 (frame sync kept).
+    pub const PROTOCOL: &str = "protocol";
+    /// In-flight cap reached; retry after `retry_after_ms`.
+    pub const OVERLOADED: &str = "overloaded";
+    /// Heavy work rejected by the degradation tier.
+    pub const SHED: &str = "shed";
+    /// The deadline fired *during* the work (engine cancelled + rolled
+    /// back — nothing was half-committed).
+    pub const DEADLINE: &str = "deadline";
+    /// The work finished but blew through its wall-clock budget before
+    /// the result could be committed / sent (satellite: coarse
+    /// wall-clock backstop over the per-level cancellation polls).
+    pub const DEADLINE_OVERSHOOT: &str = "deadline_overshoot";
+    /// A typed engine error ([`InstaError`](insta_engine::InstaError));
+    /// the message carries the category.
+    pub const ENGINE: &str = "engine";
+    /// A panic was isolated by the connection supervisor.
+    pub const INTERNAL: &str = "internal";
+    /// The daemon is winding down.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+/// Builds a success response body.
+pub fn ok_response(id: u64, epoch: u64, result: Json) -> String {
+    obj([
+        ("id", id.to_json()),
+        ("epoch", epoch.to_json()),
+        ("ok", Json::Bool(true)),
+        ("result", result),
+    ])
+    .to_string()
+}
+
+/// Builds an error response body.
+pub fn err_response(
+    id: u64,
+    epoch: u64,
+    code: &'static str,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let mut err = vec![
+        ("code", Json::Str(code.to_owned())),
+        ("message", Json::Str(message.to_owned())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        err.push(("retry_after_ms", ms.to_json()));
+    }
+    obj([
+        ("id", id.to_json()),
+        ("epoch", epoch.to_json()),
+        ("ok", Json::Bool(false)),
+        ("error", obj(err)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"id\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r, 1 << 20).unwrap(), b"{\"id\":1}");
+        assert_eq!(read_frame(&mut r, 1 << 20).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r, 1 << 20), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn bad_headers_and_truncation_are_typed() {
+        let mut r = BufReader::new(&b"nonsense\n{}"[..]);
+        assert!(matches!(
+            read_frame(&mut r, 1 << 20),
+            Err(FrameError::BadHeader(_))
+        ));
+        let mut r = BufReader::new(&b"5\nab"[..]);
+        assert!(matches!(
+            read_frame(&mut r, 1 << 20),
+            Err(FrameError::Truncated {
+                expected: 5,
+                got: 2
+            })
+        ));
+        // Over-cap lengths are refused before any allocation.
+        let mut r = BufReader::new(&b"99999999\nx"[..]);
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::BadHeader(_))
+        ));
+        // A header longer than any sane length line is cut off.
+        let long = vec![b'9'; 64];
+        let mut r = BufReader::new(&long[..]);
+        assert!(matches!(
+            read_frame(&mut r, 1 << 20),
+            Err(FrameError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn requests_round_trip_and_reject_garbage() {
+        let req = Request {
+            id: 42,
+            op: Op::ReportSlack,
+            deadline_ms: Some(250),
+            params: obj([("min_epoch", 3.0_f64.to_json())]),
+        };
+        let back = Request::decode(req.encode().as_bytes()).unwrap();
+        assert_eq!(back.id, 42);
+        assert_eq!(back.op, Op::ReportSlack);
+        assert_eq!(back.deadline_ms, Some(250));
+        assert_eq!(back.params.get::<u64>("min_epoch").unwrap(), 3);
+
+        // Salvages the id even when the op is unknown.
+        let err = Request::decode(br#"{"id":7,"op":"nope"}"#).unwrap_err();
+        assert_eq!(err.id, 7);
+        let err = Request::decode(b"{not json").unwrap_err();
+        assert_eq!(err.id, 0);
+        assert!(Request::decode(br#"{"op":"ping"}"#).is_err(), "id required");
+    }
+
+    #[test]
+    fn every_op_name_round_trips_and_has_a_kind() {
+        for op in [
+            Op::Ping,
+            Op::Stats,
+            Op::ReportSlack,
+            Op::ReportAt,
+            Op::PerfReport,
+            Op::Incidents,
+            Op::Journal,
+            Op::Update,
+            Op::Propagate,
+            Op::Batch,
+            Op::Gradient,
+            Op::Shutdown,
+            Op::DebugStall,
+            Op::DebugPanic,
+        ] {
+            assert_eq!(Op::from_name(op.name()), Some(op));
+            let _ = op.kind();
+        }
+        assert_eq!(Op::Update.kind(), OpKind::Writer);
+        assert_eq!(Op::Batch.kind(), OpKind::Heavy);
+        assert_eq!(Op::Stats.kind(), OpKind::Control);
+    }
+}

@@ -1,0 +1,744 @@
+//! The daemon: MVCC snapshot publication, the connection supervisor, and
+//! request dispatch.
+//!
+//! # MVCC read path
+//!
+//! The committed epoch lives in a [`SnapshotCell`]: an
+//! `RwLock<Arc<TimingSnapshot>>` where the read lock is held only long
+//! enough to clone the `Arc` (nanoseconds) — never across a propagation.
+//! Readers therefore observe a wholly-consistent epoch, old or new and
+//! never a blend, while the single writer mutates the *next* epoch inside
+//! `Mutex<InstaEngine>` and publishes with one pointer swap after a
+//! successful commit. A failed or deadline-cancelled write rolls back via
+//! the session layer and publishes nothing: readers cannot observe a
+//! half-committed epoch by construction.
+//!
+//! # Failure containment
+//!
+//! Each connection runs in its own thread; dispatch is wrapped in
+//! `catch_unwind`, so a panic poisons at most that request — the session
+//! guard rolls the engine back during unwind, mutex poisoning is
+//! tolerated everywhere (`into_inner`), and the client gets a typed
+//! `internal` error instead of a dead socket. See DESIGN.md "Service
+//! architecture" for the full failure matrix.
+
+use crate::admission::{Admission, Rejection, ServeConfig, ServeCounters, Tier};
+use crate::protocol::{
+    code, err_response, ok_response, read_frame, write_frame, FrameError, Op, OpKind, Request,
+};
+use insta_engine::{
+    CancelToken, Deadline, DeltaSet, IncidentLog, InstaEngine, InstaError, ServiceIncident,
+    TimingSnapshot,
+};
+use insta_refsta::eco::ArcDelta;
+use insta_support::json::{obj, Json, ToJson};
+use insta_support::obs::Recorder;
+use std::io::{BufReader, Read, Write};
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, tolerating poisoning: a panic in another connection
+/// must not cascade — the session layer already rolled the engine back
+/// during that thread's unwind, so the data behind the lock is sound.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The published committed epoch. `load` is the entire read path.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    inner: RwLock<Arc<TimingSnapshot>>,
+}
+
+impl SnapshotCell {
+    fn new(snap: TimingSnapshot) -> Self {
+        SnapshotCell {
+            inner: RwLock::new(Arc::new(snap)),
+        }
+    }
+
+    /// Clones the current epoch's `Arc` — the only thing the read lock
+    /// ever covers.
+    pub fn load(&self) -> Arc<TimingSnapshot> {
+        Arc::clone(&self.inner.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Atomically replaces the published epoch.
+    fn publish(&self, snap: TimingSnapshot) {
+        *self.inner.write().unwrap_or_else(|p| p.into_inner()) = Arc::new(snap);
+    }
+}
+
+/// A typed dispatch failure, rendered as an error response.
+struct ErrReply {
+    code: &'static str,
+    message: String,
+    retry_after_ms: Option<u64>,
+}
+
+impl ErrReply {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        ErrReply {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    cell: SnapshotCell,
+    writer: Mutex<InstaEngine>,
+    admission: Admission,
+    counters: ServeCounters,
+    incidents: Mutex<IncidentLog>,
+    journal: Mutex<Recorder>,
+    shutdown: CancelToken,
+}
+
+/// The timing service. Cheap to clone (an `Arc` handle) — hand clones to
+/// connection threads.
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Wraps an engine. The engine's current state (typically just after
+    /// an initial `propagate`) becomes the first published epoch.
+    pub fn new(engine: InstaEngine, cfg: ServeConfig) -> Self {
+        let cell = SnapshotCell::new(engine.snapshot());
+        let admission = Admission::new(&cfg);
+        let incidents = Mutex::new(IncidentLog::with_capacity(cfg.incident_log_cap));
+        let journal = Mutex::new(Recorder::with_capacity(cfg.journal_capacity));
+        Server {
+            shared: Arc::new(Shared {
+                cfg,
+                cell,
+                writer: Mutex::new(engine),
+                admission,
+                counters: ServeCounters::default(),
+                incidents,
+                journal,
+                shutdown: CancelToken::new(),
+            }),
+        }
+    }
+
+    /// The shutdown token: cancel it (or send a `shutdown` request) to
+    /// wind the daemon down.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shared.shutdown.clone()
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<TimingSnapshot> {
+        self.shared.cell.load()
+    }
+
+    /// The service counters.
+    pub fn counters(&self) -> &ServeCounters {
+        &self.shared.counters
+    }
+
+    /// Current degradation tier.
+    pub fn tier(&self) -> Tier {
+        self.shared.admission.tier()
+    }
+
+    /// Serves one connection until EOF, lost frame sync, write failure,
+    /// or shutdown. Never panics out: dispatch runs under `catch_unwind`.
+    pub fn handle_connection<R: Read, W: Write>(&self, reader: R, mut writer: W) {
+        let sh = &self.shared;
+        sh.counters.connections_opened.fetch_add(1, Ordering::Relaxed);
+        let mut reader = BufReader::new(reader);
+        loop {
+            if sh.shutdown.is_cancelled() {
+                break;
+            }
+            let body = match read_frame(&mut reader, sh.cfg.max_frame_bytes) {
+                Ok(b) => b,
+                Err(FrameError::Eof) => break,
+                Err(e @ FrameError::BadHeader(_)) => {
+                    // Frame sync is lost: reply once (best effort), close.
+                    sh.counters.rejected_protocol.fetch_add(1, Ordering::Relaxed);
+                    self.record_incident(0, code::PROTOCOL, &e.to_string());
+                    let epoch = sh.cell.load().epoch();
+                    let _ = write_frame(
+                        &mut writer,
+                        &err_response(0, epoch, code::PROTOCOL, &e.to_string(), None),
+                    );
+                    break;
+                }
+                Err(e @ FrameError::Truncated { .. }) => {
+                    // The stream died mid-frame; nobody is listening for
+                    // a reply, but the incident is recorded.
+                    sh.counters.rejected_protocol.fetch_add(1, Ordering::Relaxed);
+                    self.record_incident(0, code::PROTOCOL, &e.to_string());
+                    break;
+                }
+                Err(e @ FrameError::Io(_)) => {
+                    self.record_incident(0, code::PROTOCOL, &e.to_string());
+                    break;
+                }
+            };
+            let (response, close) = self.handle_request(&body);
+            if write_frame(&mut writer, &response).is_err() {
+                break;
+            }
+            if close {
+                break;
+            }
+        }
+        sh.counters.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Serves stdin/stdout — the `insta-serve` default transport.
+    pub fn serve_stdio(&self) {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        self.handle_connection(stdin.lock(), stdout.lock());
+    }
+
+    /// Accept loop: one thread per connection, until the shutdown token
+    /// fires (checked between accepts).
+    pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
+        for conn in listener.incoming() {
+            if self.shared.shutdown.is_cancelled() {
+                break;
+            }
+            let stream = conn?;
+            let peer = stream.try_clone()?;
+            let server = self.clone();
+            std::thread::spawn(move || server.handle_connection(peer, stream));
+        }
+        Ok(())
+    }
+
+    fn record_incident(&self, request_id: u64, category: &'static str, message: &str) {
+        lock(&self.shared.incidents).record_service(ServiceIncident {
+            request_id,
+            category,
+            message: message.to_owned(),
+        });
+    }
+
+    /// Decodes, admits, dispatches (panic-isolated), and renders one
+    /// request. Returns `(response body, close connection)`.
+    fn handle_request(&self, body: &[u8]) -> (String, bool) {
+        let sh = &self.shared;
+        let started = Instant::now();
+        let req = match Request::decode(body) {
+            Ok(r) => r,
+            Err(e) => {
+                // id 0 means the body never yielded a request object —
+                // that's a protocol error; a decoded-but-invalid request
+                // is the client's bug.
+                let code = if e.id == 0 { code::PROTOCOL } else { code::BAD_REQUEST };
+                sh.counters.rejected_protocol.fetch_add(1, Ordering::Relaxed);
+                self.record_incident(e.id, code, &e.message);
+                let epoch = sh.cell.load().epoch();
+                return (err_response(e.id, epoch, code, &e.message, None), false);
+            }
+        };
+        let outcome = self.admit_and_execute(&req);
+        let epoch = sh.cell.load().epoch();
+        let ok = outcome.is_ok();
+        lock(&sh.journal).event(
+            req.op.name(),
+            &[
+                ("id", req.id as f64),
+                ("ok", if ok { 1.0 } else { 0.0 }),
+                ("us", started.elapsed().as_secs_f64() * 1e6),
+                ("epoch", epoch as f64),
+            ],
+        );
+        match outcome {
+            Ok(result) => (ok_response(req.id, epoch, result), req.op == Op::Shutdown),
+            Err(e) => {
+                self.note_failure(&req, &e);
+                (
+                    err_response(req.id, epoch, e.code, &e.message, e.retry_after_ms),
+                    false,
+                )
+            }
+        }
+    }
+
+    /// Counts and records a typed failure (satellite: every server-side
+    /// rejection lands in the incident ring with its request id).
+    fn note_failure(&self, req: &Request, e: &ErrReply) {
+        let c = &self.shared.counters;
+        match e.code {
+            code::OVERLOADED => ServeCounters::bump(&c.rejected_overload),
+            code::SHED => ServeCounters::bump(&c.shed),
+            code::DEADLINE => ServeCounters::bump(&c.deadline_cancelled),
+            code::DEADLINE_OVERSHOOT => ServeCounters::bump(&c.deadline_overshoot),
+            code::INTERNAL => ServeCounters::bump(&c.panics_isolated),
+            code::BAD_REQUEST | code::PROTOCOL => ServeCounters::bump(&c.rejected_protocol),
+            _ => {}
+        }
+        self.record_incident(req.id, e.code, &e.message);
+    }
+
+    fn admit_and_execute(&self, req: &Request) -> Result<Json, ErrReply> {
+        let sh = &self.shared;
+        let kind = req.op.kind();
+        if sh.shutdown.is_cancelled() && req.op != Op::Shutdown {
+            return Err(ErrReply::new(code::SHUTTING_DOWN, "daemon is winding down"));
+        }
+        if matches!(req.op, Op::DebugStall | Op::DebugPanic) && !sh.cfg.enable_debug_ops {
+            return Err(ErrReply::new(
+                code::BAD_REQUEST,
+                "debug ops are disabled (ServeConfig::enable_debug_ops)",
+            ));
+        }
+        let _ticket = sh.admission.try_admit(kind).map_err(|r| match r {
+            Rejection::Overloaded { retry_after_ms } => ErrReply {
+                code: code::OVERLOADED,
+                message: format!(
+                    "in-flight cap {} reached; back off {retry_after_ms}ms",
+                    sh.cfg.max_inflight
+                ),
+                retry_after_ms: Some(retry_after_ms),
+            },
+            Rejection::Shed => ErrReply {
+                code: code::SHED,
+                message: format!(
+                    "heavy work shed at tier {}; retry when pressure drops",
+                    sh.admission.tier().name()
+                ),
+                retry_after_ms: Some(sh.cfg.retry_after_ms * 4),
+            },
+        })?;
+        ServeCounters::bump(&sh.counters.accepted);
+        let deadline_ms = req.deadline_ms.unwrap_or(sh.cfg.default_deadline_ms);
+        let deadline =
+            (deadline_ms > 0).then(|| Deadline::after(Duration::from_millis(deadline_ms)));
+
+        // The supervisor: a panicking op poisons only this request.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.execute(req, deadline.as_ref())
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_owned());
+            Err(ErrReply::new(
+                code::INTERNAL,
+                format!("panic isolated by connection supervisor: {msg}"),
+            ))
+        });
+
+        // Coarse wall-clock backstop (satellite): the per-level polls can
+        // only cancel *between* levels; a read that finished late still
+        // violated its budget and must say so. Writers are exempt here —
+        // they check *before* commit (and a committed result is a
+        // success, however late).
+        if kind != OpKind::Writer {
+            if let (Ok(_), Some(d)) = (&result, &deadline) {
+                if d.expired() {
+                    return Err(ErrReply::new(
+                        code::DEADLINE_OVERSHOOT,
+                        format!("completed past the {deadline_ms}ms budget"),
+                    ));
+                }
+            }
+        }
+        result
+    }
+
+    fn execute(&self, req: &Request, deadline: Option<&Deadline>) -> Result<Json, ErrReply> {
+        match req.op {
+            Op::Ping => Ok(obj([("pong", Json::Bool(true))])),
+            Op::Stats => Ok(self.stats()),
+            Op::ReportSlack => self.report_slack(req, deadline),
+            Op::ReportAt => self.report_at(req),
+            Op::PerfReport => Ok(self.shared.cell.load().perf_report().to_json()),
+            Op::Incidents => Ok(self.incidents()),
+            Op::Journal => Ok(Json::Str(lock(&self.shared.journal).export_jsonl())),
+            Op::Update | Op::Propagate => self.write_epoch(req, deadline),
+            Op::Batch => self.batch(req, deadline),
+            Op::Gradient => self.gradient(req, deadline),
+            Op::Shutdown => {
+                self.shared.shutdown.cancel();
+                Ok(obj([("stopping", Json::Bool(true))]))
+            }
+            Op::DebugStall => {
+                let ms = req.params.get::<u64>("ms").unwrap_or(10).min(10_000);
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(obj([("stalled_ms", ms.to_json())]))
+            }
+            Op::DebugPanic => panic!("debug_panic requested by request {}", req.id),
+        }
+    }
+
+    /// Engine + service counters, tier, and ring occupancy (satellite:
+    /// the `stats` surface).
+    fn stats(&self) -> Json {
+        let sh = &self.shared;
+        let snap = sh.cell.load();
+        let ec = snap.counters();
+        let engine = obj([
+            ("epoch", ec.epoch.to_json()),
+            ("sessions_begun", ec.sessions_begun.to_json()),
+            ("sessions_committed", ec.sessions_committed.to_json()),
+            ("sessions_rolled_back", ec.sessions_rolled_back.to_json()),
+            ("sessions_cancelled", ec.sessions_cancelled.to_json()),
+            ("degraded_passes", ec.degraded_passes.to_json()),
+            ("incremental_updates", ec.incremental_updates.to_json()),
+            ("drift_updates", ec.drift_updates.to_json()),
+            ("drift_mass", ec.drift_mass.to_json()),
+            ("incidents_total", ec.incidents_total.to_json()),
+            ("incidents_dropped", ec.incidents_dropped.to_json()),
+            ("batches", ec.batches.to_json()),
+            ("batch_scenarios", ec.batch_scenarios.to_json()),
+            ("batch_quarantined", ec.batch_quarantined.to_json()),
+        ]);
+        let service = Json::Obj(
+            sh.counters
+                .rows()
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.to_json()))
+                .collect(),
+        );
+        let log = lock(&sh.incidents);
+        obj([
+            ("epoch", snap.epoch().to_json()),
+            ("tier", Json::Str(sh.admission.tier().name().to_owned())),
+            ("pressure", sh.admission.pressure().to_json()),
+            ("inflight", (sh.admission.inflight() as u64).to_json()),
+            ("engine", engine),
+            ("service", service),
+            ("service_incidents", (log.total()).to_json()),
+        ])
+    }
+
+    fn incidents(&self) -> Json {
+        let log = lock(&self.shared.incidents);
+        let rows: Vec<Json> = log
+            .services()
+            .map(|s| {
+                obj([
+                    ("request_id", s.request_id.to_json()),
+                    ("category", Json::Str(s.category.to_owned())),
+                    ("message", Json::Str(s.message.clone())),
+                ])
+            })
+            .collect();
+        obj([
+            ("total", log.total().to_json()),
+            ("dropped", log.dropped().to_json()),
+            ("incidents", Json::Arr(rows)),
+        ])
+    }
+
+    /// Resolves the snapshot a read should see: the current epoch, or —
+    /// when `min_epoch` asks for a commit that hasn't landed — a bounded
+    /// wait, degraded at [`Tier::SnapshotOnly`] to an immediate stale
+    /// answer flagged `degraded: true`.
+    fn resolve_snapshot(
+        &self,
+        min_epoch: u64,
+        deadline: Option<&Deadline>,
+    ) -> Result<(Arc<TimingSnapshot>, bool), ErrReply> {
+        let sh = &self.shared;
+        let snap = sh.cell.load();
+        if snap.epoch() >= min_epoch {
+            return Ok((snap, false));
+        }
+        if sh.admission.tier() >= Tier::SnapshotOnly {
+            ServeCounters::bump(&sh.counters.degraded_reports);
+            return Ok((snap, true));
+        }
+        let cap = Deadline::after(Duration::from_millis(sh.cfg.max_epoch_wait_ms.max(1)));
+        loop {
+            std::thread::sleep(Duration::from_millis(1));
+            let snap = sh.cell.load();
+            if snap.epoch() >= min_epoch {
+                return Ok((snap, false));
+            }
+            if sh.shutdown.is_cancelled() {
+                return Err(ErrReply::new(code::SHUTTING_DOWN, "daemon is winding down"));
+            }
+            if deadline.is_some_and(|d| d.expired()) || cap.expired() {
+                return Err(ErrReply::new(
+                    code::DEADLINE,
+                    format!(
+                        "epoch {min_epoch} not committed within the wait budget \
+                         (published epoch {})",
+                        snap.epoch()
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn report_slack(&self, req: &Request, deadline: Option<&Deadline>) -> Result<Json, ErrReply> {
+        let min_epoch = req.params.get::<u64>("min_epoch").unwrap_or(0);
+        let (snap, degraded) = self.resolve_snapshot(min_epoch, deadline)?;
+        let report = snap.report().ok_or_else(|| {
+            ErrReply::new(
+                code::BAD_REQUEST,
+                "no committed report yet; send a propagate request first",
+            )
+        })?;
+        let slacks: Vec<Json> = match req.params.field("endpoints") {
+            Ok(eps) => {
+                let idx = eps
+                    .as_arr()
+                    .map_err(|e| ErrReply::new(code::BAD_REQUEST, format!("endpoints: {e}")))?;
+                let mut out = Vec::with_capacity(idx.len());
+                for j in idx {
+                    let i = j
+                        .as_u64()
+                        .map_err(|e| ErrReply::new(code::BAD_REQUEST, format!("endpoints: {e}")))?
+                        as usize;
+                    let s = report.slacks.get(i).ok_or_else(|| {
+                        ErrReply::new(
+                            code::BAD_REQUEST,
+                            format!("endpoint {i} out of range ({} endpoints)", report.slacks.len()),
+                        )
+                    })?;
+                    out.push(s.to_json());
+                }
+                out
+            }
+            Err(_) => report.slacks.iter().map(|s| s.to_json()).collect(),
+        };
+        Ok(obj([
+            ("epoch", snap.epoch().to_json()),
+            ("degraded", Json::Bool(degraded)),
+            ("wns_ps", report.wns_ps.to_json()),
+            ("tns_ps", report.tns_ps.to_json()),
+            ("n_violations", (report.n_violations as u64).to_json()),
+            ("slacks", Json::Arr(slacks)),
+        ]))
+    }
+
+    fn report_at(&self, req: &Request) -> Result<Json, ErrReply> {
+        let node = req
+            .params
+            .get::<u64>("node")
+            .map_err(|e| ErrReply::new(code::BAD_REQUEST, format!("node: {e}")))?;
+        let rf = req.params.get::<u64>("rf").unwrap_or(0) as usize;
+        let snap = self.shared.cell.load();
+        let arrival = snap.arrival_at(node as u32, rf);
+        Ok(obj([
+            ("epoch", snap.epoch().to_json()),
+            ("reached", Json::Bool(arrival.is_some())),
+            ("arrival", arrival.map_or(Json::Null, |a| a.to_json())),
+        ]))
+    }
+
+    /// The writer path: `update` (apply deltas) or `propagate` (full
+    /// refresh), committed transactionally and published atomically.
+    fn write_epoch(&self, req: &Request, deadline: Option<&Deadline>) -> Result<Json, ErrReply> {
+        let sh = &self.shared;
+        let deltas = if req.op == Op::Update {
+            parse_deltas(req.params.field("deltas").unwrap_or(&Json::Null))?
+        } else {
+            Vec::new()
+        };
+        let mut eng = lock(&sh.writer);
+        let mut session = eng.begin_session().with_cancel(sh.shutdown.clone());
+        if let Some(d) = deadline {
+            session = session.with_deadline(d.remaining());
+        }
+        let outcome = if req.op == Op::Update {
+            session.update_timing(&deltas)
+        } else {
+            session.propagate()
+        };
+        let report = outcome.map_err(map_engine_err)?;
+        let (wns, tns, viol) = (report.wns_ps, report.tns_ps, report.n_violations);
+        if sh.cfg.stall_writer_ms > 0 {
+            // Test hook: a stall in the blind spot between the last
+            // per-level poll and the commit decision.
+            std::thread::sleep(Duration::from_millis(sh.cfg.stall_writer_ms));
+        }
+        if deadline.is_some_and(|d| d.expired()) {
+            // The work finished but the budget is blown: commit would
+            // publish a result the client already gave up on. Roll back —
+            // never half-commit — and say exactly what happened.
+            session.rollback();
+            return Err(ErrReply::new(
+                code::DEADLINE_OVERSHOOT,
+                "propagation finished past the deadline; rolled back uncommitted",
+            ));
+        }
+        let epoch = session.commit().map_err(map_engine_err)?;
+        let snap = eng.snapshot();
+        drop(eng);
+        sh.cell.publish(snap);
+        ServeCounters::bump(&sh.counters.snapshot_swaps);
+        Ok(obj([
+            ("epoch", epoch.to_json()),
+            ("wns_ps", wns.to_json()),
+            ("tns_ps", tns.to_json()),
+            ("n_violations", (viol as u64).to_json()),
+        ]))
+    }
+
+    fn batch(&self, req: &Request, deadline: Option<&Deadline>) -> Result<Json, ErrReply> {
+        let sh = &self.shared;
+        let scenarios_json = req
+            .params
+            .field("scenarios")
+            .map_err(|e| ErrReply::new(code::BAD_REQUEST, format!("scenarios: {e}")))?
+            .as_arr()
+            .map_err(|e| ErrReply::new(code::BAD_REQUEST, format!("scenarios: {e}")))?;
+        if scenarios_json.len() > sh.cfg.max_batch_scenarios {
+            return Err(ErrReply::new(
+                code::BAD_REQUEST,
+                format!(
+                    "{} scenarios exceeds the cap of {}",
+                    scenarios_json.len(),
+                    sh.cfg.max_batch_scenarios
+                ),
+            ));
+        }
+        let mut sets = Vec::with_capacity(scenarios_json.len());
+        for s in scenarios_json {
+            sets.push(DeltaSet::from(parse_deltas(s)?));
+        }
+        let opts = insta_engine::BatchOptions {
+            gradients: false,
+            cancel: Some(sh.shutdown.clone()),
+            deadline: deadline.map(|d| d.remaining()),
+        };
+        let mut eng = lock(&sh.writer);
+        let results = eng.evaluate_batch_with(&sets, &opts);
+        drop(eng);
+        let rows: Vec<Json> = results
+            .iter()
+            .map(|r| match &r.outcome {
+                Ok(rep) => obj([
+                    ("scenario", (r.scenario as u64).to_json()),
+                    ("ok", Json::Bool(true)),
+                    ("wns_ps", rep.wns_ps.to_json()),
+                    ("tns_ps", rep.tns_ps.to_json()),
+                    ("n_violations", (rep.n_violations as u64).to_json()),
+                ]),
+                Err(e) => obj([
+                    ("scenario", (r.scenario as u64).to_json()),
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str(e.category().to_owned())),
+                ]),
+            })
+            .collect();
+        Ok(obj([("scenarios", Json::Arr(rows))]))
+    }
+
+    /// The differentiable pass: LSE forward + TNS backward inside a
+    /// rolled-back session — the committed epoch is never perturbed.
+    fn gradient(&self, req: &Request, deadline: Option<&Deadline>) -> Result<Json, ErrReply> {
+        let sh = &self.shared;
+        let mut eng = lock(&sh.writer);
+        let mut session = eng.begin_session().with_cancel(sh.shutdown.clone());
+        if let Some(d) = deadline {
+            session = session.with_deadline(d.remaining());
+        }
+        let run = session
+            .forward_lse()
+            .and_then(|()| session.backward_tns());
+        let grads = match run {
+            Ok(()) => session.engine().arc_gradients(),
+            Err(e) => {
+                session.rollback();
+                return Err(map_engine_err(e));
+            }
+        };
+        session.rollback();
+        drop(eng);
+        let result = match req.params.field("arcs") {
+            Ok(list) => {
+                let idx = list
+                    .as_arr()
+                    .map_err(|e| ErrReply::new(code::BAD_REQUEST, format!("arcs: {e}")))?;
+                let mut vals = Vec::with_capacity(idx.len());
+                for j in idx {
+                    let a = j
+                        .as_u64()
+                        .map_err(|e| ErrReply::new(code::BAD_REQUEST, format!("arcs: {e}")))?
+                        as usize;
+                    let g = grads.get(a).ok_or_else(|| {
+                        ErrReply::new(
+                            code::BAD_REQUEST,
+                            format!("arc {a} out of range ({} arcs)", grads.len()),
+                        )
+                    })?;
+                    vals.push(g.to_json());
+                }
+                obj([
+                    ("n_arcs", (grads.len() as u64).to_json()),
+                    ("gradients", Json::Arr(vals)),
+                ])
+            }
+            Err(_) => {
+                let l1: f64 = grads.iter().map(|g| g.abs()).sum();
+                let max_abs = grads.iter().fold(0.0_f64, |m, g| m.max(g.abs()));
+                obj([
+                    ("n_arcs", (grads.len() as u64).to_json()),
+                    ("l1", l1.to_json()),
+                    ("max_abs", max_abs.to_json()),
+                ])
+            }
+        };
+        Ok(result)
+    }
+}
+
+/// Maps a typed engine error onto the wire: a cooperative cancellation is
+/// the deadline doing its job (the session already rolled back); anything
+/// else is surfaced with its category.
+fn map_engine_err(e: InstaError) -> ErrReply {
+    match &e {
+        InstaError::Cancelled { kernel, level, .. } => ErrReply::new(
+            code::DEADLINE,
+            format!("cancelled in {kernel} kernel at level {level}; rolled back"),
+        ),
+        other => ErrReply::new(
+            code::ENGINE,
+            format!("{} error: {other}", other.category()),
+        ),
+    }
+}
+
+/// Decodes `[{"arc":N,"mean":[r,f],"sigma":[r,f]}, ...]`.
+fn parse_deltas(j: &Json) -> Result<Vec<ArcDelta>, ErrReply> {
+    let bad = |m: String| ErrReply::new(code::BAD_REQUEST, m);
+    let arr = j
+        .as_arr()
+        .map_err(|e| bad(format!("deltas: {e}")))?;
+    let pair = |d: &Json, key: &str| -> Result<[f64; 2], ErrReply> {
+        let v = d
+            .field(key)
+            .and_then(|f| f.as_arr())
+            .map_err(|e| bad(format!("delta {key}: {e}")))?;
+        if v.len() != 2 {
+            return Err(bad(format!("delta {key}: want [rise, fall]")));
+        }
+        Ok([
+            v[0].as_f64().map_err(|e| bad(format!("delta {key}: {e}")))?,
+            v[1].as_f64().map_err(|e| bad(format!("delta {key}: {e}")))?,
+        ])
+    };
+    let mut out = Vec::with_capacity(arr.len());
+    for d in arr {
+        out.push(ArcDelta {
+            arc: d
+                .get::<u64>("arc")
+                .map_err(|e| bad(format!("delta arc: {e}")))? as u32,
+            mean: pair(d, "mean")?,
+            sigma: pair(d, "sigma")?,
+        });
+    }
+    Ok(out)
+}

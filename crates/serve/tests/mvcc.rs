@@ -1,0 +1,129 @@
+//! The MVCC guarantee, observed over the wire: N concurrent protocol
+//! readers racing one writer across an epoch swap each see a *wholly*
+//! consistent snapshot — bit-identical to the serial ground truth of its
+//! epoch, old or new, never a blend.
+
+mod common;
+
+use common::{build_engine, connect, slack_bits};
+use insta_refsta::eco::ArcDelta;
+use insta_serve::{Op, ServeConfig, Server};
+use insta_support::json::{obj, Json, ToJson};
+
+const SEED: u64 = 31;
+const K: usize = 8;
+const READERS: usize = 4;
+const READS_PER_READER: usize = 120;
+
+fn delta() -> ArcDelta {
+    ArcDelta {
+        arc: 0,
+        mean: [60.0; 2],
+        sigma: [6.0; 2],
+    }
+}
+
+#[test]
+fn concurrent_readers_see_whole_epochs_never_blends() {
+    // Serial ground truth from a twin engine: epoch 0 bits (initial
+    // propagation) and epoch 1 bits (after the delta).
+    let mut twin = build_engine(SEED, K);
+    let truth0: Vec<u64> = twin.report().slacks.iter().map(|s| s.to_bits()).collect();
+    let truth1: Vec<u64> = twin
+        .update_timing(&[delta()])
+        .expect("twin update")
+        .slacks
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+    assert_ne!(truth0, truth1, "the delta must move some slack");
+
+    let server = Server::new(build_engine(SEED, K), ServeConfig::default());
+    let mut handles = Vec::new();
+    let mut reader_threads = Vec::new();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(READERS + 1));
+
+    for r in 0..READERS {
+        let (mut cl, h) = connect(&server);
+        handles.push(h);
+        let barrier = std::sync::Arc::clone(&barrier);
+        let (truth0, truth1) = (truth0.clone(), truth1.clone());
+        reader_threads.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut seen = [0usize; 2];
+            for i in 0..READS_PER_READER {
+                let resp = cl
+                    .call(Op::ReportSlack, None, Json::Null)
+                    .unwrap_or_else(|e| panic!("reader {r} read {i}: {e}"));
+                assert!(resp.ok, "reader {r}: {:?}", resp.error);
+                let epoch = resp.result.get::<u64>("epoch").unwrap();
+                let bits = slack_bits(&resp.result);
+                // The whole-epoch check: every slack bit must match the
+                // serial truth of the epoch the response claims. A torn
+                // snapshot (old report under a new epoch, or a mid-update
+                // mixture) fails on raw bits.
+                let truth: &[u64] = match epoch {
+                    0 => &truth0,
+                    1 => &truth1,
+                    other => panic!("reader {r} saw impossible epoch {other}"),
+                };
+                assert_eq!(
+                    bits, *truth,
+                    "reader {r} read {i}: epoch {epoch} served blended bits"
+                );
+                seen[epoch as usize] += 1;
+            }
+            seen
+        }));
+    }
+
+    // The writer commits mid-storm on its own connection.
+    let (mut writer, wh) = connect(&server);
+    handles.push(wh);
+    barrier.wait();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let up = writer
+        .call(
+            Op::Update,
+            None,
+            obj([(
+                "deltas",
+                Json::Arr(vec![obj([
+                    ("arc", 0_u64.to_json()),
+                    ("mean", Json::Arr(vec![60.0.to_json(), 60.0.to_json()])),
+                    ("sigma", Json::Arr(vec![6.0.to_json(), 6.0.to_json()])),
+                ])]),
+            )]),
+        )
+        .expect("writer update");
+    assert!(up.ok, "{:?}", up.error);
+    assert_eq!(up.result.get::<u64>("epoch").unwrap(), 1);
+
+    let mut seen = [0usize; 2];
+    for t in reader_threads {
+        let s = t.join().expect("reader thread");
+        seen[0] += s[0];
+        seen[1] += s[1];
+    }
+    assert_eq!(seen[0] + seen[1], READERS * READS_PER_READER);
+    assert!(
+        seen[1] > 0,
+        "at least some reads must land after the swap (writer committed mid-storm)"
+    );
+
+    // Post-storm: a min_epoch=1 read observes the new epoch exactly.
+    let fresh = writer
+        .call(
+            Op::ReportSlack,
+            None,
+            obj([("min_epoch", 1_u64.to_json())]),
+        )
+        .expect("post-storm read");
+    assert!(fresh.ok);
+    assert_eq!(slack_bits(&fresh.result), truth1);
+
+    drop(writer);
+    for h in handles {
+        h.join().expect("connection thread");
+    }
+}

@@ -1,0 +1,366 @@
+//! End-to-end service behavior over the real protocol: reads, writes,
+//! admission control, degradation tiers, deadlines (including the
+//! wall-clock overshoot backstop), incidents, stats, and shutdown.
+
+mod common;
+
+use common::{build_engine, connect, slack_bits};
+use insta_serve::{Op, ServeConfig, Server};
+use insta_support::json::{obj, Json, ToJson};
+use std::sync::atomic::Ordering;
+
+fn delta_params(arc: u32, mean: f64, sigma: f64) -> Json {
+    obj([(
+        "deltas",
+        Json::Arr(vec![obj([
+            ("arc", u64::from(arc).to_json()),
+            ("mean", Json::Arr(vec![mean.to_json(), mean.to_json()])),
+            ("sigma", Json::Arr(vec![sigma.to_json(), sigma.to_json()])),
+        ])]),
+    )])
+}
+
+#[test]
+fn reads_and_writes_round_trip_bit_exactly() {
+    let server = Server::new(build_engine(21, 8), ServeConfig::default());
+    let (mut cl, h) = connect(&server);
+
+    let pong = cl.call(Op::Ping, None, Json::Null).unwrap();
+    assert!(pong.ok);
+    assert_eq!(pong.result.get::<bool>("pong").unwrap(), true);
+
+    // The served slacks are bit-identical to a twin engine's: f64s
+    // survive the JSON wire via shortest round-trip formatting.
+    let twin = build_engine(21, 8);
+    let golden: Vec<u64> = twin.report().slacks.iter().map(|s| s.to_bits()).collect();
+    let rep = cl.call(Op::ReportSlack, None, Json::Null).unwrap();
+    assert!(rep.ok);
+    assert_eq!(rep.epoch, 0);
+    assert_eq!(slack_bits(&rep.result), golden);
+    assert_eq!(rep.result.get::<bool>("degraded").unwrap(), false);
+
+    // A committed write bumps the epoch and swaps the snapshot.
+    let up = cl
+        .call(Op::Update, None, delta_params(0, 40.0, 4.0))
+        .unwrap();
+    assert!(up.ok, "update failed: {:?}", up.error);
+    assert_eq!(up.result.get::<u64>("epoch").unwrap(), 1);
+    let mut twin2 = build_engine(21, 8);
+    let golden2: Vec<u64> = twin2
+        .update_timing(&[insta_refsta::eco::ArcDelta {
+            arc: 0,
+            mean: [40.0; 2],
+            sigma: [4.0; 2],
+        }])
+        .unwrap()
+        .slacks
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+    let rep2 = cl.call(Op::ReportSlack, None, Json::Null).unwrap();
+    assert_eq!(rep2.epoch, 1);
+    assert_eq!(slack_bits(&rep2.result), golden2);
+    assert_ne!(golden, golden2, "the delta must have moved some slack");
+    assert_eq!(server.counters().snapshot_swaps.load(Ordering::Relaxed), 1);
+
+    // Endpoint selection and range checking.
+    let sel = cl
+        .call(
+            Op::ReportSlack,
+            None,
+            obj([("endpoints", Json::Arr(vec![0_u64.to_json()]))]),
+        )
+        .unwrap();
+    assert_eq!(slack_bits(&sel.result), vec![golden2[0]]);
+    let oob = cl
+        .call(
+            Op::ReportSlack,
+            None,
+            obj([("endpoints", Json::Arr(vec![999_999_u64.to_json()]))]),
+        )
+        .unwrap();
+    assert_eq!(oob.code(), Some("bad_request"));
+
+    drop(cl);
+    h.join().unwrap();
+}
+
+#[test]
+fn admission_cap_rejects_with_retry_hint_and_records_incidents() {
+    let cfg = ServeConfig {
+        max_inflight: 1,
+        enable_debug_ops: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(build_engine(22, 4), cfg);
+
+    // Occupy the single slot with a stalled read on its own connection.
+    let (mut staller, sh) = connect(&server);
+    let srv = server.clone();
+    let stall = std::thread::spawn(move || {
+        let r = staller
+            .call(Op::DebugStall, None, obj([("ms", 300_u64.to_json())]))
+            .unwrap();
+        assert!(r.ok);
+        staller
+    });
+    // Wait until the slot is actually held.
+    while srv.counters().accepted.load(Ordering::Relaxed) == 0 {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(20));
+
+    let (mut cl, h) = connect(&server);
+    let rej = cl.call(Op::ReportSlack, None, Json::Null).unwrap();
+    assert_eq!(rej.code(), Some("overloaded"), "{:?}", rej.error);
+    let (_, _, retry) = rej.error.clone().unwrap();
+    assert!(retry.unwrap() > 0, "overload must carry retry_after_ms");
+
+    // Control ops still work at full house, and the rejection landed in
+    // the incident ring with the request id.
+    let inc = cl.call(Op::Incidents, None, Json::Null).unwrap();
+    assert!(inc.ok);
+    let rows = inc.result.field("incidents").unwrap().as_arr().unwrap();
+    assert!(
+        rows.iter().any(|r| {
+            r.get::<String>("category").unwrap() == "overloaded"
+                && r.get::<u64>("request_id").unwrap() == rej.id
+        }),
+        "overload rejection missing from incidents: {rows:?}"
+    );
+    assert!(server.counters().rejected_overload.load(Ordering::Relaxed) >= 1);
+
+    let mut staller = stall.join().unwrap();
+    let bye = staller.call(Op::Ping, None, Json::Null).unwrap();
+    assert!(bye.ok);
+    drop(staller);
+    drop(cl);
+    sh.join().unwrap();
+    h.join().unwrap();
+}
+
+#[test]
+fn degradation_sheds_heavies_then_serves_stale_reads_but_never_the_writer() {
+    let cfg = ServeConfig {
+        max_inflight: 1,
+        shed_pressure: 3,
+        snapshot_only_pressure: 9,
+        enable_debug_ops: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(build_engine(23, 4), cfg);
+
+    // Hold the slot so every read rejection pumps pressure.
+    let (mut staller, sh) = connect(&server);
+    let srv = server.clone();
+    let stall = std::thread::spawn(move || {
+        let r = staller
+            .call(Op::DebugStall, None, obj([("ms", 150_u64.to_json())]))
+            .unwrap();
+        assert!(r.ok);
+        staller
+    });
+    while srv.counters().accepted.load(Ordering::Relaxed) == 0 {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(20));
+
+    let (mut cl, h) = connect(&server);
+    // One rejection → pressure 3 → ShedHeavy: batch work is refused.
+    let rej = cl.call(Op::ReportSlack, None, Json::Null).unwrap();
+    assert_eq!(rej.code(), Some("overloaded"));
+    let shed = cl
+        .call(Op::Batch, None, obj([("scenarios", Json::Arr(vec![]))]))
+        .unwrap();
+    assert_eq!(shed.code(), Some("shed"), "{:?}", shed.error);
+
+    // Keep pumping until SnapshotOnly, then let the staller drain so the
+    // next read can actually win a slot — pressure persists past the
+    // overload itself (it decays one step per completion, not on a timer).
+    for _ in 0..3 {
+        let r = cl.call(Op::ReportSlack, None, Json::Null).unwrap();
+        assert_eq!(r.code(), Some("overloaded"));
+    }
+    let mut staller = stall.join().unwrap();
+    let stats = cl.call(Op::Stats, None, Json::Null).unwrap();
+    assert_eq!(
+        stats.result.get::<String>("tier").unwrap(),
+        "snapshot_only",
+        "pressure: {:?}",
+        stats.result.get::<u64>("pressure")
+    );
+    let stale = cl
+        .call(
+            Op::ReportSlack,
+            None,
+            obj([("min_epoch", 999_u64.to_json())]),
+        )
+        .unwrap();
+    assert!(stale.ok, "{:?}", stale.error);
+    assert_eq!(stale.result.get::<bool>("degraded").unwrap(), true);
+    assert_eq!(stale.result.get::<u64>("epoch").unwrap(), 0);
+    assert!(server.counters().degraded_reports.load(Ordering::Relaxed) >= 1);
+
+    // The writer is exempt from the cap and every tier: it commits even
+    // at snapshot_only.
+    let up = cl.call(Op::Update, None, delta_params(1, 25.0, 2.0)).unwrap();
+    assert!(up.ok, "writer must never be dropped: {:?}", up.error);
+    assert_eq!(up.result.get::<u64>("epoch").unwrap(), 1);
+
+    let _ = staller.call(Op::Ping, None, Json::Null);
+    drop(staller);
+    drop(cl);
+    sh.join().unwrap();
+    h.join().unwrap();
+}
+
+#[test]
+fn epoch_wait_times_out_typed_and_deadline_overshoot_is_distinct() {
+    let cfg = ServeConfig {
+        max_epoch_wait_ms: 20,
+        enable_debug_ops: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(build_engine(24, 4), cfg);
+    let (mut cl, h) = connect(&server);
+
+    // A min_epoch wait that can't be satisfied fails with `deadline`
+    // (the engine was never touched — nothing to roll back).
+    let wait = cl
+        .call(
+            Op::ReportSlack,
+            Some(30),
+            obj([("min_epoch", 7_u64.to_json())]),
+        )
+        .unwrap();
+    assert_eq!(wait.code(), Some("deadline"), "{:?}", wait.error);
+
+    // A read that *finishes* but blows its budget is a distinct error:
+    // the kernels' per-level polls can't see a stall inside one op.
+    let late = cl
+        .call(Op::DebugStall, Some(10), obj([("ms", 60_u64.to_json())]))
+        .unwrap();
+    assert_eq!(late.code(), Some("deadline_overshoot"), "{:?}", late.error);
+    assert!(server.counters().deadline_overshoot.load(Ordering::Relaxed) >= 1);
+    assert!(server.counters().deadline_cancelled.load(Ordering::Relaxed) >= 1);
+
+    drop(cl);
+    h.join().unwrap();
+}
+
+/// Satellite regression: a writer stalled *between* the last per-level
+/// cancellation poll and the commit decision must roll back and report
+/// `deadline_overshoot` — never publish, never half-commit.
+#[test]
+fn overshot_writer_rolls_back_instead_of_committing_late() {
+    let cfg = ServeConfig {
+        stall_writer_ms: 60,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(build_engine(25, 8), cfg);
+    let before: Vec<u64> = server
+        .snapshot()
+        .report()
+        .unwrap()
+        .slacks
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+    let (mut cl, h) = connect(&server);
+
+    let up = cl
+        .call(Op::Update, Some(20), delta_params(0, 80.0, 8.0))
+        .unwrap();
+    assert_eq!(up.code(), Some("deadline_overshoot"), "{:?}", up.error);
+    assert_eq!(up.epoch, 0, "nothing may have been published");
+    assert_eq!(server.counters().snapshot_swaps.load(Ordering::Relaxed), 0);
+
+    // The rollback is bit-perfect: the same update without a deadline
+    // starts from pristine state and commits cleanly.
+    let rep = cl.call(Op::ReportSlack, None, Json::Null).unwrap();
+    assert_eq!(slack_bits(&rep.result), before, "state must be untouched");
+    let retry = cl.call(Op::Update, None, delta_params(0, 80.0, 8.0)).unwrap();
+    assert!(retry.ok, "{:?}", retry.error);
+    assert_eq!(retry.result.get::<u64>("epoch").unwrap(), 1);
+
+    drop(cl);
+    h.join().unwrap();
+}
+
+#[test]
+fn stats_journal_and_perf_surfaces_are_live() {
+    let server = Server::new(build_engine(26, 4), ServeConfig::default());
+    let (mut cl, h) = connect(&server);
+
+    let _ = cl.call(Op::ReportSlack, None, Json::Null).unwrap();
+    let _ = cl.call(Op::Update, None, delta_params(2, 15.0, 1.5)).unwrap();
+    let at = cl
+        .call(Op::ReportAt, None, obj([("node", 0_u64.to_json())]))
+        .unwrap();
+    assert!(at.ok);
+    let perf = cl.call(Op::PerfReport, None, Json::Null).unwrap();
+    assert!(perf.ok, "perf_report must serve (empty when not tracing)");
+
+    let stats = cl.call(Op::Stats, None, Json::Null).unwrap();
+    assert!(stats.ok);
+    let engine = stats.result.field("engine").unwrap();
+    assert_eq!(engine.get::<u64>("epoch").unwrap(), 1);
+    assert_eq!(engine.get::<u64>("sessions_committed").unwrap(), 1);
+    let service = stats.result.field("service").unwrap();
+    assert!(service.get::<u64>("accepted").unwrap() >= 4);
+    assert_eq!(service.get::<u64>("snapshot_swaps").unwrap(), 1);
+
+    // The journal is JSONL with one event per request, carrying ids.
+    let journal = cl.call(Op::Journal, None, Json::Null).unwrap();
+    let jsonl = journal.result.as_str().unwrap();
+    assert!(jsonl.lines().count() >= 5, "journal too short:\n{jsonl}");
+    assert!(jsonl.contains("report_slack") && jsonl.contains("update"));
+    for line in jsonl.lines() {
+        insta_support::json::parse(line).expect("journal lines parse");
+    }
+
+    // Gradients run in a rolled-back session: committed state unmoved.
+    let g = cl.call(Op::Gradient, None, Json::Null).unwrap();
+    assert!(g.ok, "{:?}", g.error);
+    assert!(g.result.get::<u64>("n_arcs").unwrap() > 0);
+    assert!(g.result.get::<f64>("l1").unwrap().is_finite());
+    let stats2 = cl.call(Op::Stats, None, Json::Null).unwrap();
+    assert_eq!(
+        stats2.result.field("engine").unwrap().get::<u64>("epoch").unwrap(),
+        1,
+        "gradient must not commit an epoch"
+    );
+
+    drop(cl);
+    h.join().unwrap();
+}
+
+#[test]
+fn shutdown_is_acknowledged_then_connections_wind_down() {
+    let server = Server::new(build_engine(27, 4), ServeConfig::default());
+    let (mut cl, h) = connect(&server);
+    let bye = cl.call(Op::Shutdown, None, Json::Null).unwrap();
+    assert!(bye.ok);
+    assert!(server.shutdown_token().is_cancelled());
+    // The acknowledging connection closes right after the reply.
+    assert!(cl.call(Op::Ping, None, Json::Null).is_err());
+    h.join().unwrap();
+    // New connections are refused with a typed error or wound down.
+    let (mut late, h2) = connect(&server);
+    match late.call(Op::Ping, None, Json::Null) {
+        Ok(resp) => assert_eq!(resp.code(), Some("shutting_down")),
+        Err(_) => {} // loop observed the token before reading
+    }
+    drop(late);
+    h2.join().unwrap();
+}
+
+#[test]
+fn debug_ops_are_refused_unless_enabled() {
+    let server = Server::new(build_engine(28, 4), ServeConfig::default());
+    let (mut cl, h) = connect(&server);
+    let r = cl.call(Op::DebugPanic, None, Json::Null).unwrap();
+    assert_eq!(r.code(), Some("bad_request"));
+    drop(cl);
+    h.join().unwrap();
+}

@@ -157,6 +157,81 @@ impl BatchFault {
     }
 }
 
+/// A corruption class for the *service protocol* surface: damage applied
+/// to an encoded length-prefixed request frame (or to the connection
+/// driving it) before the daemon reads it, modelling hostile or broken
+/// network clients. Byte-level classes are applied by
+/// [`FaultPlan::corrupt_frame`]; the connection-level classes
+/// ([`MidRequestDisconnect`](ProtocolFault::MidRequestDisconnect),
+/// [`SlowLoris`](ProtocolFault::SlowLoris),
+/// [`DeadlineStorm`](ProtocolFault::DeadlineStorm)) describe *how* the
+/// test harness drives the socket — `corrupt_frame` then only decides how
+/// much of the frame is sent before the behavior kicks in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolFault {
+    /// Cut the frame off mid-body (torn write: the header promises more
+    /// bytes than ever arrive).
+    TruncatedFrame,
+    /// Keep the framing valid but bit-flip the JSON body (garbage
+    /// payload the daemon must reject without losing frame sync).
+    GarbageJson,
+    /// Replace the length header with a huge claim (allocation-bomb
+    /// probe; the daemon must reject it without allocating).
+    OversizedLength,
+    /// Replace the length header with non-numeric garbage.
+    BadLengthHeader,
+    /// Send a truncated frame, then disconnect (driven by the harness).
+    MidRequestDisconnect,
+    /// Drip-feed the frame a byte at a time (driven by the harness; the
+    /// daemon must keep serving other clients meanwhile).
+    SlowLoris,
+    /// A burst of well-formed requests whose deadlines are already (or
+    /// almost) expired (driven by the harness; every one must come back
+    /// as a typed deadline error, never a hang).
+    DeadlineStorm,
+}
+
+impl ProtocolFault {
+    /// Every protocol corruption class, for exhaustive sweeps.
+    pub const ALL: [ProtocolFault; 7] = [
+        ProtocolFault::TruncatedFrame,
+        ProtocolFault::GarbageJson,
+        ProtocolFault::OversizedLength,
+        ProtocolFault::BadLengthHeader,
+        ProtocolFault::MidRequestDisconnect,
+        ProtocolFault::SlowLoris,
+        ProtocolFault::DeadlineStorm,
+    ];
+
+    /// Whether [`FaultPlan::corrupt_frame`] changes the bytes for this
+    /// class (the connection-behavior classes leave the frame intact for
+    /// the harness to drive).
+    pub fn is_byte_level(self) -> bool {
+        matches!(
+            self,
+            ProtocolFault::TruncatedFrame
+                | ProtocolFault::GarbageJson
+                | ProtocolFault::OversizedLength
+                | ProtocolFault::BadLengthHeader
+                | ProtocolFault::MidRequestDisconnect
+        )
+    }
+
+    /// Whether the daemon can keep the connection alive after this fault
+    /// (frame sync survives only when the declared length still matches
+    /// the bytes actually sent).
+    pub fn keeps_connection(self) -> bool {
+        matches!(
+            self,
+            ProtocolFault::GarbageJson | ProtocolFault::DeadlineStorm | ProtocolFault::SlowLoris
+        )
+    }
+
+    fn discriminant(self) -> u64 {
+        Self::ALL.iter().position(|&f| f == self).expect("listed") as u64
+    }
+}
+
 /// A seeded corruption generator.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultPlan {
@@ -335,6 +410,67 @@ impl FaultPlan {
             }
         }
         true
+    }
+
+    /// Applies a byte-level protocol corruption to an encoded
+    /// length-prefixed frame (`<decimal len>\n<body>`), returning the
+    /// damaged byte stream to put on the wire.
+    ///
+    /// Connection-behavior classes ([`ProtocolFault::is_byte_level`] is
+    /// `false`), and frames without a header newline, are returned
+    /// unchanged except [`ProtocolFault::MidRequestDisconnect`], which
+    /// truncates so the harness can disconnect mid-frame.
+    pub fn corrupt_frame(&self, case: u64, fault: ProtocolFault, frame: &[u8]) -> Vec<u8> {
+        // Same (seed, case, class) stream derivation as the other
+        // corruption families; the high-byte tag keeps protocol streams
+        // disjoint from snapshot/session/batch streams.
+        let mut rng = Rng::seed_from_u64(
+            self.seed
+                ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (fault.discriminant() << 56)
+                ^ (0xC9 << 48),
+        );
+        let mut bytes = frame.to_vec();
+        let Some(header_end) = bytes.iter().position(|&b| b == b'\n') else {
+            return bytes;
+        };
+        let body_len = bytes.len() - header_end - 1;
+        match fault {
+            ProtocolFault::TruncatedFrame | ProtocolFault::MidRequestDisconnect => {
+                // Keep the header (the length claim) but drop a nonzero
+                // tail of the body, so the daemon blocks on missing bytes
+                // or observes EOF mid-frame.
+                if body_len > 0 {
+                    let cut = 1 + rng.bounded_u64(body_len as u64) as usize;
+                    bytes.truncate(bytes.len() - cut);
+                }
+            }
+            ProtocolFault::GarbageJson => {
+                // Flip bits inside the body only: the declared length
+                // still matches, so frame sync must survive.
+                if body_len > 0 {
+                    for _ in 0..1 + rng.bounded_u64(4) {
+                        let i = header_end + 1 + rng.bounded_u64(body_len as u64) as usize;
+                        bytes[i] ^= 1 << rng.bounded_u64(8);
+                    }
+                }
+            }
+            ProtocolFault::OversizedLength => {
+                let huge = 1_u64 << (33 + rng.bounded_u64(20));
+                let mut new = format!("{huge}\n").into_bytes();
+                new.extend_from_slice(&bytes[header_end + 1..]);
+                bytes = new;
+            }
+            ProtocolFault::BadLengthHeader => {
+                let junk: &[&[u8]] = &[b"-12\n", b"0x1f\n", b"len?\n", b"\n", b"999999999999999999999999\n"];
+                let pick = junk[rng.bounded_u64(junk.len() as u64) as usize];
+                let mut new = pick.to_vec();
+                new.extend_from_slice(&bytes[header_end + 1..]);
+                bytes = new;
+            }
+            ProtocolFault::SlowLoris | ProtocolFault::DeadlineStorm => {}
+        }
+        bytes
     }
 
     /// Corrupts exactly one scenario of a flattened multi-scenario batch.
@@ -684,5 +820,56 @@ mod tests {
         assert!(plan
             .corrupt_one_scenario(0, BatchFault::NanValue, &mut ids, &mut short, 2, 5)
             .is_none());
+    }
+
+    #[test]
+    fn frame_corruption_is_deterministic_and_class_faithful() {
+        let plan = FaultPlan::new(9);
+        let frame = {
+            let body = br#"{"id":7,"op":"report_slack"}"#;
+            let mut f = format!("{}\n", body.len()).into_bytes();
+            f.extend_from_slice(body);
+            f
+        };
+        let header_end = frame.iter().position(|&b| b == b'\n').unwrap();
+        for fault in ProtocolFault::ALL {
+            let a = plan.corrupt_frame(5, fault, &frame);
+            let b = plan.corrupt_frame(5, fault, &frame);
+            assert_eq!(a, b, "{fault:?} must be reproducible");
+            match fault {
+                ProtocolFault::TruncatedFrame | ProtocolFault::MidRequestDisconnect => {
+                    assert!(a.len() < frame.len(), "{fault:?} must drop bytes");
+                    assert_eq!(&a[..=header_end], &frame[..=header_end], "header intact");
+                }
+                ProtocolFault::GarbageJson => {
+                    assert_eq!(a.len(), frame.len(), "length claim must stay true");
+                    assert_eq!(&a[..=header_end], &frame[..=header_end], "header intact");
+                    assert_ne!(a, frame, "body must be damaged");
+                    assert!(fault.keeps_connection());
+                }
+                ProtocolFault::OversizedLength => {
+                    let line = a.split(|&b| b == b'\n').next().unwrap();
+                    let n: u64 = std::str::from_utf8(line).unwrap().parse().unwrap();
+                    assert!(n > u64::from(u32::MAX), "length must be absurd: {n}");
+                }
+                ProtocolFault::BadLengthHeader => {
+                    let line = a.split(|&b| b == b'\n').next().unwrap();
+                    assert!(
+                        std::str::from_utf8(line)
+                            .ok()
+                            .and_then(|s| s.parse::<u32>().ok())
+                            .is_none(),
+                        "header must not parse as a sane length: {line:?}"
+                    );
+                }
+                ProtocolFault::SlowLoris | ProtocolFault::DeadlineStorm => {
+                    assert_eq!(a, frame, "{fault:?} is connection-behavioral, not byte-level");
+                    assert!(!fault.is_byte_level());
+                }
+            }
+        }
+        // A headerless blob is passed through rather than panicking.
+        let raw = plan.corrupt_frame(0, ProtocolFault::GarbageJson, b"no-newline");
+        assert_eq!(raw, b"no-newline");
     }
 }

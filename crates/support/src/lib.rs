@@ -28,7 +28,7 @@ pub mod prop;
 pub mod rng;
 pub mod timer;
 
-pub use fault::{BatchFault, Fault, FaultPlan, SessionFault};
+pub use fault::{BatchFault, Fault, FaultPlan, ProtocolFault, SessionFault};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use obs::{Recorder, SpanEvent};
 pub use prop::{for_all, Config as PropConfig, Shrink};

@@ -22,6 +22,9 @@ cargo test -q --offline --test sessions
 echo "==> batch-equivalence gate (batched scenarios bit-identical to serial sessions)"
 cargo test -q --offline --test batch_equivalence
 
+echo "==> server-chaos gate (protocol-fault storm: no hangs, no panics, typed errors, bit-identical post-storm commit)"
+cargo test -q --offline -p insta-serve
+
 echo "==> cancellation-latency smoke (fired token/deadline stops at the next level poll)"
 cargo test -q --offline --test sessions -- cancel deadline
 
@@ -33,6 +36,9 @@ INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench session_overhead
 
 echo "==> batch-throughput smoke (fast budget; records the JSON gate line)"
 INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench batch_throughput | tail -1 | tee BENCH_batch.json
+
+echo "==> serve-throughput smoke (reader p99 with a hot writer <= 2x idle p99; bench exits non-zero on breach)"
+INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench serve_throughput | tail -1 | tee BENCH_serve.json
 
 echo "==> trace-overhead gate (traced update_timing <= 3% over untraced; bench exits non-zero on breach)"
 INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench obs_overhead | tail -1 | tee BENCH_obs.json

@@ -12,6 +12,7 @@
 //! | [`netlist`] | Design data model, timing graph, clock trees, design generators |
 //! | [`refsta`] | Reference "signoff" STA engine (the PrimeTime stand-in) |
 //! | [`engine`] | The INSTA engine: Top-K CPPR propagation, LSE forward, gradient backward |
+//! | [`serve`] | Timing-as-a-service daemon: MVCC snapshot reads, admission control, deadlines |
 //! | [`autograd`] | Reverse-mode tape (the PyTorch stand-in) |
 //! | [`placer`] | Analytic global placement, net-weighting and INSTA-Place |
 //! | [`sizer`] | Evaluator flow, greedy reference sizer, INSTA-Size |
@@ -61,6 +62,9 @@ pub use insta_netlist as netlist;
 pub use insta_placer as placer;
 /// Reference signoff engine (re-export of `insta-refsta`).
 pub use insta_refsta as refsta;
+/// Timing-as-a-service daemon: MVCC snapshot reads, admission control,
+/// deadlines, graceful degradation (re-export of `insta-serve`).
+pub use insta_serve as serve;
 /// Hermetic std-only support kit: PRNG, JSON, property tests, bench timer
 /// (re-export of `insta-support`).
 pub use insta_support as support;
