@@ -21,6 +21,7 @@ use crate::engine::InstaEngine;
 use crate::metrics::{EngineCounters, InstaReport};
 use crate::topk::NO_SP;
 use crate::trace::PerfReport;
+use std::collections::HashMap;
 
 /// An immutable capture of one committed epoch's observable timing state.
 ///
@@ -37,6 +38,11 @@ pub struct TimingSnapshot {
     sp0: Vec<u32>,
     /// Renumbered → original node id.
     node_orig: Vec<u32>,
+    /// Original node id → renumbered index, built once at capture so
+    /// [`arrival_at`](Self::arrival_at) is O(1) — the `report_at` read
+    /// path serves one request per lookup on designs with millions of
+    /// nodes.
+    orig_index: HashMap<u32, u32>,
     perf: PerfReport,
 }
 
@@ -67,7 +73,7 @@ impl TimingSnapshot {
     /// transition, if any path reaches it (the snapshot form of
     /// [`InstaEngine::arrival_at`]).
     pub fn arrival_at(&self, orig_node: u32, rf: usize) -> Option<f64> {
-        let v = self.node_orig.iter().position(|&o| o == orig_node)?;
+        let v = *self.orig_index.get(&orig_node)? as usize;
         let idx = v * 2 + rf.min(1);
         if self.sp0[idx] == NO_SP {
             None
@@ -92,7 +98,11 @@ impl TimingSnapshot {
         let report = self.report.as_ref().map_or(0, |r| {
             r.slacks.len() * 8 * 3 + r.worst_sp.len() * 4 + r.worst_rf.len()
         });
-        report + self.arrival0.len() * 8 + self.sp0.len() * 4 + self.node_orig.len() * 4
+        report
+            + self.arrival0.len() * 8
+            + self.sp0.len() * 4
+            + self.node_orig.len() * 4
+            + self.orig_index.len() * 8
     }
 }
 
@@ -114,6 +124,13 @@ impl InstaEngine {
             arrival0.push(self.state.topk_arrival[idx]);
             sp0.push(self.state.topk_sp[idx]);
         }
+        let orig_index = self
+            .st
+            .node_orig
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (o, i as u32))
+            .collect();
         TimingSnapshot {
             epoch: self.epoch(),
             report: self.try_report().cloned(),
@@ -121,6 +138,7 @@ impl InstaEngine {
             arrival0,
             sp0,
             node_orig: self.st.node_orig.clone(),
+            orig_index,
             perf: self.perf_report(),
         }
     }

@@ -1,7 +1,7 @@
 //! A minimal blocking client — what the tests, the bench, and scripted
 //! sessions use to talk to the daemon.
 
-use crate::protocol::{read_frame, write_frame, FrameError, Op, Request};
+use crate::protocol::{read_frame, write_frame, write_frame_bytes, FrameError, Op, Request};
 use insta_support::json::{parse, Json};
 use std::io::{BufReader, Read, Write};
 
@@ -86,13 +86,10 @@ impl<R: Read, W: Write> Client<R, W> {
         self.read_response()
     }
 
-    /// Sends raw bytes as a frame body (the chaos tests' entry point).
+    /// Sends raw bytes as a frame body, verbatim — invalid UTF-8
+    /// included (the chaos tests' entry point).
     pub fn send_raw(&mut self, body: &[u8]) -> Result<(), ClientError> {
-        write_frame(
-            &mut self.writer,
-            std::str::from_utf8(body).unwrap_or_default(),
-        )
-        .map_err(ClientError::Io)
+        write_frame_bytes(&mut self.writer, body).map_err(ClientError::Io)
     }
 
     /// Writes pre-framed bytes verbatim — corrupted frames included.

@@ -56,8 +56,15 @@ impl std::fmt::Display for FrameError {
 
 /// Writes one `len\n body` frame and flushes.
 pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
+    write_frame_bytes(w, body.as_bytes())
+}
+
+/// Writes one `len\n body` frame from raw bytes and flushes. The body is
+/// sent verbatim — it need not be UTF-8, so fault injectors can put
+/// invalid encodings on the wire exactly as authored.
+pub fn write_frame_bytes(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
     w.write_all(format!("{}\n", body.len()).as_bytes())?;
-    w.write_all(body.as_bytes())?;
+    w.write_all(body)?;
     w.flush()
 }
 

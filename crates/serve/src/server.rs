@@ -66,9 +66,15 @@ impl SnapshotCell {
         Arc::clone(&self.inner.read().unwrap_or_else(|p| p.into_inner()))
     }
 
-    /// Atomically replaces the published epoch.
+    /// Atomically replaces the published epoch. Monotonic: a snapshot
+    /// that is not strictly newer than the published one is dropped, so
+    /// the published epoch can never regress — even if two publishes
+    /// ever race, the older writer loses.
     fn publish(&self, snap: TimingSnapshot) {
-        *self.inner.write().unwrap_or_else(|p| p.into_inner()) = Arc::new(snap);
+        let mut cur = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        if snap.epoch() > cur.epoch() {
+            *cur = Arc::new(snap);
+        }
     }
 }
 
@@ -205,16 +211,31 @@ impl Server {
     }
 
     /// Accept loop: one thread per connection, until the shutdown token
-    /// fires (checked between accepts).
+    /// fires. The listener runs nonblocking with a short poll so a
+    /// `shutdown` request winds the loop down promptly — a blocking
+    /// accept would otherwise pin the daemon until one more connection
+    /// happened to arrive.
     pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
-        for conn in listener.incoming() {
+        listener.set_nonblocking(true)?;
+        loop {
             if self.shared.shutdown.is_cancelled() {
                 break;
             }
-            let stream = conn?;
-            let peer = stream.try_clone()?;
-            let server = self.clone();
-            std::thread::spawn(move || server.handle_connection(peer, stream));
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Connection threads want blocking reads — only the
+                    // accept itself polls.
+                    stream.set_nonblocking(false)?;
+                    let peer = stream.try_clone()?;
+                    let server = self.clone();
+                    std::thread::spawn(move || server.handle_connection(peer, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }
@@ -340,8 +361,11 @@ impl Server {
         // only cancel *between* levels; a read that finished late still
         // violated its budget and must say so. Writers are exempt here —
         // they check *before* commit (and a committed result is a
-        // success, however late).
-        if kind != OpKind::Writer {
+        // success, however late). Control ops (ping/stats/incidents/
+        // journal/shutdown) are exempt too: an observability scrape or a
+        // shutdown ack that computed a result must deliver it, not
+        // discard it for arriving late.
+        if matches!(kind, OpKind::Read | OpKind::Heavy) {
             if let (Ok(_), Some(d)) = (&result, &deadline) {
                 if d.expired() {
                     return Err(ErrReply::new(
@@ -575,8 +599,11 @@ impl Server {
         }
         let epoch = session.commit().map_err(map_engine_err)?;
         let snap = eng.snapshot();
-        drop(eng);
+        // Publish before releasing the writer lock: commit order and
+        // publication order must agree, or a preempted writer could
+        // publish its older epoch over a successor's newer one.
         sh.cell.publish(snap);
+        drop(eng);
         ServeCounters::bump(&sh.counters.snapshot_swaps);
         Ok(obj([
             ("epoch", epoch.to_json()),

@@ -127,3 +127,70 @@ fn concurrent_readers_see_whole_epochs_never_blends() {
         h.join().expect("connection thread");
     }
 }
+
+/// Regression: commit order and publication order must agree. With the
+/// snapshot published *after* the writer lock was released, a preempted
+/// writer could publish its older epoch over a successor's newer one —
+/// a sampler hammering the published cell would observe the epoch go
+/// backwards.
+#[test]
+fn racing_writers_never_regress_the_published_epoch() {
+    const WRITERS: usize = 4;
+    const COMMITS_PER_WRITER: usize = 6;
+    let server = Server::new(build_engine(SEED, K), ServeConfig::default());
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let server = server.clone();
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let e = server.snapshot().epoch();
+                assert!(e >= last, "published epoch regressed: {last} -> {e}");
+                last = e;
+            }
+            last
+        })
+    };
+
+    let mut writers = Vec::new();
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let (mut cl, h) = connect(&server);
+        handles.push(h);
+        writers.push(std::thread::spawn(move || {
+            for i in 0..COMMITS_PER_WRITER {
+                let mean = 30.0 + (w * COMMITS_PER_WRITER + i) as f64;
+                let up = cl
+                    .call(
+                        Op::Update,
+                        None,
+                        obj([(
+                            "deltas",
+                            Json::Arr(vec![obj([
+                                ("arc", ((w % 3) as u64).to_json()),
+                                ("mean", Json::Arr(vec![mean.to_json(), mean.to_json()])),
+                                ("sigma", Json::Arr(vec![3.0.to_json(), 3.0.to_json()])),
+                            ])]),
+                        )]),
+                    )
+                    .unwrap_or_else(|e| panic!("writer {w} commit {i}: {e}"));
+                assert!(up.ok, "writer {w} commit {i}: {:?}", up.error);
+            }
+            drop(cl);
+        }));
+    }
+    for t in writers {
+        t.join().expect("writer thread");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let last_seen = sampler.join().expect("sampler thread");
+
+    let total = (WRITERS * COMMITS_PER_WRITER) as u64;
+    assert_eq!(server.snapshot().epoch(), total, "every commit published");
+    assert!(last_seen <= total);
+    for h in handles {
+        h.join().expect("connection thread");
+    }
+}

@@ -355,6 +355,57 @@ fn shutdown_is_acknowledged_then_connections_wind_down() {
     h2.join().unwrap();
 }
 
+/// Regression: a `shutdown` request must wind down the TCP accept loop
+/// on its own — with a blocking `incoming()` the daemon stayed pinned
+/// until one more connection happened to arrive.
+#[test]
+fn tcp_accept_loop_unblocks_on_shutdown() {
+    let server = Server::new(build_engine(29, 4), ServeConfig::default());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let srv = server.clone();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let r = srv.serve_tcp(listener);
+        let _ = tx.send(r);
+    });
+
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut cl = insta_serve::Client::new(stream.try_clone().unwrap(), stream);
+    let pong = cl.call(Op::Ping, None, Json::Null).unwrap();
+    assert!(pong.ok);
+    let bye = cl.call(Op::Shutdown, None, Json::Null).unwrap();
+    assert!(bye.ok);
+
+    // No further connection arrives: the accept loop must notice the
+    // cancelled token by itself.
+    rx.recv_timeout(std::time::Duration::from_secs(5))
+        .expect("accept loop must exit after shutdown without another connection")
+        .expect("accept loop exits cleanly");
+}
+
+/// Regression: `Client::send_raw` must put invalid UTF-8 on the wire
+/// verbatim (it used to silently send an empty frame), and the daemon
+/// must answer it with a typed `protocol` error while keeping frame sync.
+#[test]
+fn invalid_utf8_frame_body_is_rejected_typed_and_connection_survives() {
+    let server = Server::new(build_engine(30, 4), ServeConfig::default());
+    let (mut cl, h) = connect(&server);
+
+    cl.send_raw(&[0xFF, 0xFE, b'{', 0x80, b'}']).unwrap();
+    let resp = cl.read_response().unwrap();
+    assert!(!resp.ok);
+    assert_eq!(resp.code(), Some("protocol"), "{:?}", resp.error);
+
+    // The length claim was true, so frame sync survived: the same
+    // connection keeps working.
+    let pong = cl.call(Op::Ping, None, Json::Null).unwrap();
+    assert!(pong.ok);
+
+    drop(cl);
+    h.join().unwrap();
+}
+
 #[test]
 fn debug_ops_are_refused_unless_enabled() {
     let server = Server::new(build_engine(28, 4), ServeConfig::default());
