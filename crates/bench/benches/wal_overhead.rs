@@ -1,0 +1,230 @@
+//! Durability-cost bench: per-commit writer latency through the full
+//! protocol stack with the write-ahead log on (fsync per append, the
+//! production default) versus durability off.
+//!
+//! The acceptance gate: making every commit durable must cost ≤ 10% of
+//! commit latency on a realistic design — the WAL append is one
+//! sequential write plus one `fdatasync`, amortized against a
+//! propagation that dominates it. Measured on a block-scale generated
+//! design (commit p50 ~10 ms on the CI box) so the gate compares
+//! against real incremental-propagation work: a spaced-out `fdatasync`
+//! (cold journal, ~300 µs p50 on ext4 here) is an irreducible
+//! per-commit cost, and on a toy-sized commit it alone would breach
+//! any honest ratio. A small absolute floor additionally absorbs
+//! scheduler noise on boxes where the base commit is fast enough that
+//! 10% sits below timer jitter. Emits one machine-readable JSON line
+//! after the human summary and exits non-zero when the gate fails
+//! across all attempts.
+
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_netlist::generator::{generate_design, GeneratorConfig};
+use insta_refsta::{RefSta, StaConfig};
+use insta_serve::{Client, DurabilityConfig, Op, ServeConfig, Server};
+use insta_support::json::{obj, Json, ToJson};
+use std::os::unix::net::UnixStream;
+use std::time::Instant;
+
+/// Durable median commit latency may exceed ephemeral by this factor.
+const GATE_RATIO: f64 = 1.10;
+/// Absolute overhead floor (µs): a delta below this is scheduler/fsync
+/// jitter, not a regression, regardless of the ratio.
+const GATE_FLOOR_US: f64 = 250.0;
+/// Noise retries, same policy as the other gates.
+const ATTEMPTS: usize = 3;
+
+fn build_engine() -> InstaEngine {
+    let design = generate_design(&GeneratorConfig::block("wal-bench", 91, 0.25));
+    let mut sta = RefSta::new(&design, StaConfig::default()).expect("reference STA");
+    sta.full_update(&design);
+    let mut engine = InstaEngine::new(
+        sta.export_insta_init(),
+        InstaConfig {
+            top_k: 16,
+            ..InstaConfig::default()
+        },
+    )
+    .expect("engine init");
+    engine.propagate();
+    engine
+}
+
+fn connect(server: &Server) -> (Client<UnixStream, UnixStream>, std::thread::JoinHandle<()>) {
+    let (ours, theirs) = UnixStream::pair().expect("socketpair");
+    let srv = server.clone();
+    let h = std::thread::spawn(move || {
+        let r = theirs.try_clone().expect("clone");
+        srv.handle_connection(r, theirs);
+    });
+    (Client::new(ours.try_clone().expect("clone"), ours), h)
+}
+
+/// One update commit round-trip, returning its latency in µs. Each
+/// commit is a realistic multi-arc ECO batch, so the measured latency
+/// is dominated by incremental propagation — the workload the 10%
+/// overhead gate is supposed to be amortized against.
+fn one_commit(cl: &mut Client<UnixStream, UnixStream>, i: usize) -> f64 {
+    let mean = if i % 2 == 0 { 30.0 } else { 10.0 };
+    let deltas: Vec<Json> = (0..8_u64)
+        .map(|arc| {
+            obj([
+                ("arc", arc.to_json()),
+                (
+                    "mean",
+                    Json::Arr(vec![
+                        (mean + arc as f64).to_json(),
+                        (mean + arc as f64).to_json(),
+                    ]),
+                ),
+                ("sigma", Json::Arr(vec![2.0.to_json(), 2.0.to_json()])),
+            ])
+        })
+        .collect();
+    let params = obj([("deltas", Json::Arr(deltas))]);
+    let t = Instant::now();
+    let r = cl.call(Op::Update, None, params).expect("commit round-trip");
+    assert!(r.ok, "{:?}", r.error);
+    t.elapsed().as_secs_f64() * 1e6
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct Attempt {
+    p50_off: f64,
+    p99_off: f64,
+    p50_on: f64,
+    p99_on: f64,
+    fsyncs: u64,
+    wal_bytes: u64,
+    overhead_pct: f64,
+    pass: bool,
+}
+
+fn run_attempt(commits: usize) -> Attempt {
+    // Two daemons over twin engines: durability off (the ephemeral
+    // PR 7 daemon) and durability on with fsync per append (the
+    // production default); checkpoints off so the measurement isolates
+    // the per-commit WAL cost rather than the periodic snapshot write.
+    let off_server = Server::new(build_engine(), ServeConfig::default());
+    let dir = std::env::temp_dir().join(format!("insta-wal-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut dcfg = DurabilityConfig::new(&dir);
+    dcfg.checkpoint_every = 0;
+    let (on_server, _report) =
+        Server::with_durability(build_engine(), ServeConfig::default(), dcfg).expect("durability");
+
+    let (mut off_cl, off_h) = connect(&off_server);
+    let (mut on_cl, on_h) = connect(&on_server);
+    // Warm caches, the allocator, and the page cache on both daemons.
+    for i in 0..8 {
+        one_commit(&mut off_cl, i);
+        one_commit(&mut on_cl, i);
+    }
+    // Interleave the two measurements in small chunks so slow drift
+    // (CPU frequency, page-cache writeback, a noisy neighbor) hits both
+    // sides equally instead of biasing whichever phase ran second.
+    const CHUNK: usize = 10;
+    let mut off = Vec::with_capacity(commits);
+    let mut on = Vec::with_capacity(commits);
+    let mut i = 0;
+    while off.len() < commits {
+        let n = CHUNK.min(commits - off.len());
+        for _ in 0..n {
+            off.push(one_commit(&mut off_cl, i));
+            i += 1;
+        }
+        for _ in 0..n {
+            on.push(one_commit(&mut on_cl, i));
+            i += 1;
+        }
+    }
+    drop(off_cl);
+    drop(on_cl);
+    off_h.join().expect("off connection");
+    on_h.join().expect("on connection");
+    off.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    on.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let stats = &on_server.durability().expect("layer").stats;
+    let fsyncs = stats.fsyncs.load(std::sync::atomic::Ordering::Relaxed);
+    let wal_bytes = stats.wal_bytes.load(std::sync::atomic::Ordering::Relaxed);
+    drop(on_server);
+    drop(off_server);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let p50_off = percentile(&off, 0.50);
+    let p50_on = percentile(&on, 0.50);
+    let overhead_pct = (p50_on / p50_off.max(1e-9) - 1.0) * 100.0;
+    let pass = p50_on <= p50_off * GATE_RATIO || (p50_on - p50_off) <= GATE_FLOOR_US;
+    Attempt {
+        p50_off,
+        p99_off: percentile(&off, 0.99),
+        p50_on,
+        p99_on: percentile(&on, 0.99),
+        fsyncs,
+        wal_bytes,
+        overhead_pct,
+        pass,
+    }
+}
+
+fn main() {
+    let fast = std::env::var_os("INSTA_BENCH_FAST").is_some();
+    let commits = if fast { 60 } else { 400 };
+
+    let mut last = None;
+    let mut passed = false;
+    for attempt in 1..=ATTEMPTS {
+        let a = run_attempt(commits);
+        eprintln!(
+            "wal_overhead attempt {attempt}: durability-off p50 {:.0}us p99 {:.0}us | \
+             durability-on p50 {:.0}us p99 {:.0}us ({} fsyncs, {} WAL bytes) | \
+             overhead {:+.1}% | {}",
+            a.p50_off,
+            a.p99_off,
+            a.p50_on,
+            a.p99_on,
+            a.fsyncs,
+            a.wal_bytes,
+            a.overhead_pct,
+            if a.pass { "PASS" } else { "RETRY" },
+        );
+        let ok = a.pass;
+        last = Some(a);
+        if ok {
+            passed = true;
+            break;
+        }
+    }
+    let a = last.expect("at least one attempt");
+    println!(
+        "{}",
+        obj([
+            ("suite", Json::Str("wal_overhead".into())),
+            ("commits", Json::Num(commits as f64)),
+            ("p50_off_us", Json::Num(a.p50_off)),
+            ("p99_off_us", Json::Num(a.p99_off)),
+            ("p50_on_us", Json::Num(a.p50_on)),
+            ("p99_on_us", Json::Num(a.p99_on)),
+            ("fsyncs", Json::Num(a.fsyncs as f64)),
+            ("wal_bytes", Json::Num(a.wal_bytes as f64)),
+            ("overhead_pct", Json::Num(a.overhead_pct)),
+            ("gate_ratio", Json::Num(GATE_RATIO)),
+            ("gate_floor_us", Json::Num(GATE_FLOOR_US)),
+            ("pass", Json::Bool(passed)),
+        ])
+    );
+    if !passed {
+        eprintln!(
+            "wal_overhead: durable p50 {:.0}us exceeds {GATE_RATIO}x ephemeral p50 {:.0}us \
+             (+{GATE_FLOOR_US:.0}us floor) after {ATTEMPTS} attempts",
+            a.p50_on, a.p50_off
+        );
+        std::process::exit(1);
+    }
+}

@@ -47,6 +47,10 @@
 //!   WNS/TNS, and epoch captured at commit time so the serve layer can
 //!   publish MVCC reads by pointer swap while a writer mutates the next
 //!   epoch (see DESIGN.md "Service architecture").
+//! * [`persist`] — the canonical binary codec for durable state: writer
+//!   ops, the engine's re-annotatable delay state, and snapshot images,
+//!   all bit-exact (`to_bits` floats) under the serve layer's write-ahead
+//!   log and checkpoints (see DESIGN.md "Durability and recovery").
 //! * [`trace`] — the observability layer: a [`TraceSink`](trace::TraceSink)
 //!   threaded through every kernel pass recording spans, per-level
 //!   duration/touched-node profiles (the paper's Fig. 9 breakdown via
@@ -85,6 +89,7 @@ pub mod incremental;
 pub mod lse;
 pub mod metrics;
 pub mod parallel;
+pub mod persist;
 #[cfg(any(test, feature = "scalar-reference"))]
 pub mod scalar_ref;
 pub mod session;
@@ -101,6 +106,9 @@ pub use error::{
 };
 pub use hold::{hold_attributes, HoldAttributes};
 pub use metrics::{EngineCounters, InstaReport};
+pub use persist::{
+    decode_snapshot, encode_snapshot, Dec, Enc, EngineDurableState, PersistError, WriterOp,
+};
 pub use session::{SessionStatus, TimingSession};
 pub use snapshot::TimingSnapshot;
 pub use topk::TopKQueue;

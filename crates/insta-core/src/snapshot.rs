@@ -29,21 +29,23 @@ use std::collections::HashMap;
 /// owned data — share it across threads behind an `Arc`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimingSnapshot {
-    epoch: u64,
-    report: Option<InstaReport>,
-    counters: EngineCounters,
+    // Fields are `pub(crate)` so the `persist` module's binary codec can
+    // encode/rebuild a snapshot without widening the public API.
+    pub(crate) epoch: u64,
+    pub(crate) report: Option<InstaReport>,
+    pub(crate) counters: EngineCounters,
     /// Worst corner arrival per `(node, rf)` (renumbered node order).
-    arrival0: Vec<f64>,
+    pub(crate) arrival0: Vec<f64>,
     /// Startpoint of that worst entry ([`NO_SP`] = unreached).
-    sp0: Vec<u32>,
+    pub(crate) sp0: Vec<u32>,
     /// Renumbered → original node id.
-    node_orig: Vec<u32>,
+    pub(crate) node_orig: Vec<u32>,
     /// Original node id → renumbered index, built once at capture so
     /// [`arrival_at`](Self::arrival_at) is O(1) — the `report_at` read
     /// path serves one request per lookup on designs with millions of
     /// nodes.
-    orig_index: HashMap<u32, u32>,
-    perf: PerfReport,
+    pub(crate) orig_index: HashMap<u32, u32>,
+    pub(crate) perf: PerfReport,
 }
 
 impl TimingSnapshot {

@@ -1,7 +1,9 @@
 //! A minimal blocking client — what the tests, the bench, and scripted
 //! sessions use to talk to the daemon.
 
-use crate::protocol::{read_frame, write_frame, write_frame_bytes, FrameError, Op, Request};
+use crate::protocol::{
+    read_frame, write_frame, write_frame_bytes, FrameError, Op, Request, PROTOCOL_VERSION,
+};
 use insta_support::json::{parse, Json};
 use std::io::{BufReader, Read, Write};
 
@@ -11,6 +13,11 @@ pub struct Client<R: Read, W: Write> {
     writer: W,
     next_id: u64,
     max_frame_bytes: usize,
+    /// The `version` field stamped on every request.
+    /// [`PROTOCOL_VERSION`] by default; override with
+    /// [`with_version`](Self::with_version) to probe mismatch handling
+    /// (or `None` to skip the check entirely).
+    version: Option<u64>,
 }
 
 /// A decoded response.
@@ -64,7 +71,15 @@ impl<R: Read, W: Write> Client<R, W> {
             writer,
             next_id: 1,
             max_frame_bytes: 64 << 20,
+            version: Some(PROTOCOL_VERSION),
         }
+    }
+
+    /// Overrides the protocol version stamped on requests (`None` = omit
+    /// the field, skipping the server-side check).
+    pub fn with_version(mut self, version: Option<u64>) -> Self {
+        self.version = version;
+        self
     }
 
     /// Sends one request and blocks for its response.
@@ -80,6 +95,7 @@ impl<R: Read, W: Write> Client<R, W> {
             id,
             op,
             deadline_ms,
+            version: self.version,
             params,
         };
         write_frame(&mut self.writer, &req.encode()).map_err(ClientError::Io)?;

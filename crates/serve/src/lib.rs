@@ -17,17 +17,30 @@
 //!   bit-exactly via shortest round-trip formatting.
 //! * [`client`] — the blocking client used by tests, benches, and
 //!   scripted sessions.
+//! * [`wal`] — the durability layer: a checksummed, length-framed
+//!   write-ahead log of committed writer ops (appended and fsync'd
+//!   *before* publication) plus atomic binary checkpoints of the
+//!   committed engine state.
+//! * [`recovery`] — startup recovery: newest valid checkpoint + WAL tail
+//!   replayed through real sessions, bit-identical to a crash-free twin;
+//!   torn tails truncated with typed incidents.
 //!
 //! The `insta-serve` binary serves stdin/stdout by default or TCP with
-//! `--tcp ADDR`. See DESIGN.md "Service architecture" for the failure
-//! matrix and README "Timing as a service" for a scripted quickstart.
+//! `--tcp ADDR`; add `--durability DIR` to survive `kill -9` with no
+//! committed work lost. See DESIGN.md "Service architecture" and
+//! "Durability and recovery" for the failure matrices and README
+//! "Timing as a service" for a scripted quickstart.
 
 pub mod admission;
 pub mod client;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
+pub mod wal;
 
 pub use admission::{Admission, Rejection, ServeConfig, ServeCounters, Tier};
 pub use client::{Client, ClientError, Response};
-pub use protocol::{Op, OpKind, Request};
+pub use protocol::{Op, OpKind, Request, PROTOCOL_VERSION};
+pub use recovery::{recover, RecoveryReport};
 pub use server::{Server, SnapshotCell};
+pub use wal::{Durability, DurabilityConfig, DurabilityStats};

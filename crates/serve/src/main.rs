@@ -3,22 +3,30 @@
 //! ```text
 //! insta-serve [--snapshot FILE | --gen NAME:SEED] [--k K] [--tcp ADDR]
 //!             [--max-inflight N] [--default-deadline-ms MS] [--debug-ops]
+//!             [--durability DIR] [--checkpoint-every N] [--no-fsync]
 //! ```
 //!
 //! The engine is initialized from an exported `InstaInit` JSON snapshot
 //! (`--snapshot`) or a generated design (`--gen`, default
 //! `small:42`), propagated once, and served over stdin/stdout — or TCP
 //! with `--tcp 127.0.0.1:7117`.
+//!
+//! With `--durability DIR` the daemon recovers the committed timeline
+//! from DIR on startup (checkpoint + write-ahead-log replay) and makes
+//! every writer commit durable before publishing it — a `kill -9` at any
+//! instant loses no committed epoch. The same design flags
+//! (`--gen`/`--snapshot`/`--k`) must be passed on restart.
 
 use insta_engine::{InstaConfig, InstaEngine};
 use insta_refsta::export::load_init;
-use insta_serve::{ServeConfig, Server};
+use insta_serve::{DurabilityConfig, ServeConfig, Server};
 
 fn usage(err: &str) -> ! {
     eprintln!("insta-serve: {err}");
     eprintln!(
         "usage: insta-serve [--snapshot FILE | --gen NAME:SEED] [--k K] [--tcp ADDR]\n\
-         \x20                  [--max-inflight N] [--default-deadline-ms MS] [--debug-ops]"
+         \x20                  [--max-inflight N] [--default-deadline-ms MS] [--debug-ops]\n\
+         \x20                  [--durability DIR] [--checkpoint-every N] [--no-fsync]"
     );
     std::process::exit(2);
 }
@@ -29,6 +37,9 @@ fn main() {
     let mut k: usize = 8;
     let mut tcp: Option<String> = None;
     let mut cfg = ServeConfig::default();
+    let mut durability_dir: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut fsync = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -49,6 +60,15 @@ fn main() {
                     .unwrap_or_else(|_| usage("--default-deadline-ms wants an integer"))
             }
             "--debug-ops" => cfg.enable_debug_ops = true,
+            "--durability" => durability_dir = Some(val("--durability")),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(
+                    val("--checkpoint-every")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--checkpoint-every wants an integer")),
+                )
+            }
+            "--no-fsync" => fsync = false,
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag {other:?}")),
         }
@@ -89,7 +109,32 @@ fn main() {
         engine.epoch()
     );
 
-    let server = Server::new(engine, cfg);
+    let server = match durability_dir {
+        Some(dir) => {
+            let mut dcfg = DurabilityConfig::new(dir);
+            dcfg.fsync = fsync;
+            if let Some(n) = checkpoint_every {
+                dcfg.checkpoint_every = n;
+            }
+            let (server, report) = Server::with_durability(engine, cfg, dcfg)
+                .unwrap_or_else(|e| usage(&format!("durability: {e}")));
+            eprintln!(
+                "insta-serve: recovered epoch {} (checkpoint {}, {} replayed, {} incident{})",
+                report.recovered_epoch,
+                report
+                    .checkpoint_epoch
+                    .map_or_else(|| "none".to_owned(), |e| e.to_string()),
+                report.replayed,
+                report.incidents.len(),
+                if report.incidents.len() == 1 { "" } else { "s" },
+            );
+            for inc in &report.incidents {
+                eprintln!("insta-serve: recovery incident: {}", inc.message);
+            }
+            server
+        }
+        None => Server::new(engine, cfg),
+    };
     match tcp {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)

@@ -23,6 +23,15 @@
 use insta_support::json::{obj, parse, Json, ToJson};
 use std::io::{self, BufRead, Write};
 
+/// The protocol generation this daemon speaks. Clients may send it as an
+/// optional `version` field on any request; a mismatch is rejected with
+/// the typed [`code::VERSION_MISMATCH`] error before dispatch, and
+/// `ping`/`stats` results carry the server's version so clients can probe
+/// before committing work. Bump on any wire-incompatible change —
+/// forward-compat companion to the versioned on-disk WAL/checkpoint
+/// formats (see `crate::wal`).
+pub const PROTOCOL_VERSION: u64 = 1;
+
 /// Longest accepted length line (decimal digits), a cheap guard against
 /// a peer streaming an endless header.
 const MAX_HEADER_DIGITS: usize = 20;
@@ -234,6 +243,9 @@ pub struct Request {
     /// Per-request wall-clock budget in milliseconds (`None` = the
     /// server default).
     pub deadline_ms: Option<u64>,
+    /// The protocol generation the client speaks (`None` = don't check).
+    /// Mismatches are rejected with [`code::VERSION_MISMATCH`].
+    pub version: Option<u64>,
     /// Operation parameters (`Null` when absent).
     pub params: Json,
 }
@@ -273,11 +285,16 @@ impl Request {
             Ok(j) => Some(j.as_u64().map_err(|e| fail(format!("bad deadline_ms: {e}")))?),
             Err(_) => None,
         };
+        let version = match doc.field("version") {
+            Ok(j) => Some(j.as_u64().map_err(|e| fail(format!("bad version: {e}")))?),
+            Err(_) => None,
+        };
         let params = doc.field("params").cloned().unwrap_or(Json::Null);
         Ok(Request {
             id,
             op,
             deadline_ms,
+            version,
             params,
         })
     }
@@ -291,6 +308,9 @@ impl Request {
         ];
         if let Some(ms) = self.deadline_ms {
             pairs.push(("deadline_ms", ms.to_json()));
+        }
+        if let Some(v) = self.version {
+            pairs.push(("version", v.to_json()));
         }
         if self.params != Json::Null {
             pairs.push(("params", self.params.clone()));
@@ -323,6 +343,14 @@ pub mod code {
     pub const INTERNAL: &str = "internal";
     /// The daemon is winding down.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The client's `version` field does not match
+    /// [`PROTOCOL_VERSION`](super::PROTOCOL_VERSION); the message carries
+    /// both generations.
+    pub const VERSION_MISMATCH: &str = "version_mismatch";
+    /// The durability layer could not make the commit durable (WAL append
+    /// or fsync failed); the session was rolled back — nothing was
+    /// committed or published.
+    pub const DURABILITY: &str = "durability";
 }
 
 /// Builds a success response body.
@@ -412,13 +440,22 @@ mod tests {
             id: 42,
             op: Op::ReportSlack,
             deadline_ms: Some(250),
+            version: Some(PROTOCOL_VERSION),
             params: obj([("min_epoch", 3.0_f64.to_json())]),
         };
         let back = Request::decode(req.encode().as_bytes()).unwrap();
         assert_eq!(back.id, 42);
         assert_eq!(back.op, Op::ReportSlack);
         assert_eq!(back.deadline_ms, Some(250));
+        assert_eq!(back.version, Some(PROTOCOL_VERSION));
         assert_eq!(back.params.get::<u64>("min_epoch").unwrap(), 3);
+
+        // A version-less request decodes as "don't check".
+        let bare = Request::decode(br#"{"id":5,"op":"ping"}"#).unwrap();
+        assert_eq!(bare.version, None);
+        // A non-numeric version is a decode error that keeps the id.
+        let err = Request::decode(br#"{"id":6,"op":"ping","version":"one"}"#).unwrap_err();
+        assert_eq!(err.id, 6);
 
         // Salvages the id even when the op is unknown.
         let err = Request::decode(br#"{"id":7,"op":"nope"}"#).unwrap_err();

@@ -1,0 +1,191 @@
+//! Startup recovery: rebuild the committed timeline from the durability
+//! directory and leave the engine exactly where a crash-free twin would
+//! be.
+//!
+//! The algorithm (see DESIGN.md "Durability and recovery"):
+//!
+//! 1. **Checkpoint.** Load the newest checkpoint, restore its durable
+//!    state into the engine, re-propagate, and compare slack bits against
+//!    the snapshot stored *inside* the checkpoint. A mismatch (stale
+//!    checkpoint: wrong design, seed, or engine config) or any decode
+//!    failure records a typed incident and falls back to the next-newest
+//!    checkpoint, then to the engine's initial state.
+//! 2. **WAL scan.** Validate framing and per-record CRC. A torn or
+//!    corrupt tail is physically truncated with a typed incident — the
+//!    valid prefix is kept, the damage is never replayed.
+//! 3. **Replay.** Each record with an epoch above the engine's is applied
+//!    through a *real* timing session — the same code path the daemon's
+//!    writer used — and must commit to exactly the logged epoch. Records
+//!    at or below the engine's epoch are subsumed by the checkpoint
+//!    (the crash-between-rename-and-truncate window) and skipped.
+//!
+//! Because deltas are absolute overwrites and propagation is
+//! deterministic, the recovered engine's slacks are bit-identical
+//! (`f64::to_bits`) to a twin that never crashed — the contract the
+//! chaos suite in `tests/recovery.rs` enforces at every crash point.
+
+use crate::wal::{self, DurabilityConfig};
+use insta_engine::{EngineDurableState, InstaEngine, ServiceIncident, WriterOp};
+use std::io;
+
+/// Incident category for everything the durability layer reports.
+pub const INCIDENT_CATEGORY: &str = "durability";
+
+/// What recovery did, for the startup log and the stats surface.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The engine's epoch after recovery.
+    pub recovered_epoch: u64,
+    /// Epoch restored from a checkpoint, if one was used.
+    pub checkpoint_epoch: Option<u64>,
+    /// WAL records replayed through real sessions.
+    pub replayed: u64,
+    /// Whether a damaged WAL tail was truncated.
+    pub wal_truncated: bool,
+    /// Typed incidents (stale checkpoints, torn tails, replay gaps) —
+    /// the server seeds its incident ring with these.
+    pub incidents: Vec<ServiceIncident>,
+}
+
+fn incident(message: String) -> ServiceIncident {
+    ServiceIncident {
+        request_id: 0,
+        category: INCIDENT_CATEGORY,
+        message,
+    }
+}
+
+/// Slack bits of the engine's current report (empty when none).
+fn slack_bits(engine: &InstaEngine) -> Vec<u64> {
+    engine
+        .try_report()
+        .map(|r| r.slacks.iter().map(|s| s.to_bits()).collect())
+        .unwrap_or_default()
+}
+
+/// Recovers `engine` from `cfg.dir`. The engine must be freshly built
+/// from the same design/config the daemon originally served (recovery
+/// replays *state*, not topology). Returns the report; `engine` is left
+/// propagated whenever anything was restored or replayed.
+pub fn recover(engine: &mut InstaEngine, cfg: &DurabilityConfig) -> io::Result<RecoveryReport> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    let mut report = RecoveryReport {
+        recovered_epoch: engine.epoch(),
+        checkpoint_epoch: None,
+        replayed: 0,
+        wal_truncated: false,
+        incidents: Vec::new(),
+    };
+
+    // Phase 1: newest valid-and-verified checkpoint. The pristine state
+    // is captured first so a stale candidate can be undone before trying
+    // the next one.
+    let pristine = EngineDurableState::capture(engine);
+    for (epoch, path) in wal::list_checkpoints(&cfg.dir)? {
+        let image = match wal::load_checkpoint(&path) {
+            Ok(img) => img,
+            Err(msg) => {
+                report
+                    .incidents
+                    .push(incident(format!("checkpoint epoch {epoch} rejected: {msg}")));
+                continue;
+            }
+        };
+        if let Err(e) = image.state.restore(engine) {
+            report.incidents.push(incident(format!(
+                "checkpoint epoch {epoch} is stale: {e}"
+            )));
+            continue;
+        }
+        engine.propagate();
+        // Self-verification: the re-derived slacks must match the bits
+        // the checkpoint stored, or the checkpoint lies about this
+        // engine (stale: wrong design/seed/config at startup).
+        let derived = slack_bits(engine);
+        let stored: Vec<u64> = image
+            .snapshot
+            .report()
+            .map(|r| r.slacks.iter().map(|s| s.to_bits()).collect())
+            .unwrap_or_default();
+        if derived != stored {
+            report.incidents.push(incident(format!(
+                "checkpoint epoch {epoch} is stale: restored slacks diverge from the stored \
+                 snapshot ({} vs {} endpoints)",
+                derived.len(),
+                stored.len()
+            )));
+            pristine
+                .restore(engine)
+                .expect("pristine state always fits its own engine");
+            continue;
+        }
+        report.checkpoint_epoch = Some(epoch);
+        break;
+    }
+    if report.checkpoint_epoch.is_none() && !report.incidents.is_empty() {
+        // Every checkpoint was rejected: restart the timeline from the
+        // engine's initial state and let the WAL replay carry it forward.
+        pristine
+            .restore(engine)
+            .expect("pristine state always fits its own engine");
+    }
+
+    // Phase 2: WAL scan; truncate a damaged tail with a typed incident.
+    let path = wal::wal_path(&cfg.dir);
+    let scan = wal::scan_wal(&path)?;
+    if let Some(damage) = &scan.damage {
+        report.incidents.push(incident(format!(
+            "WAL tail truncated at byte {}: {}",
+            damage.offset, damage.message
+        )));
+        wal::truncate_wal(&path, scan.valid_bytes)?;
+        report.wal_truncated = true;
+    }
+
+    // Phase 3: replay the tail through real sessions.
+    for rec in &scan.records {
+        if rec.epoch <= engine.epoch() {
+            continue; // subsumed by the checkpoint
+        }
+        if rec.epoch != engine.epoch() + 1 {
+            report.incidents.push(incident(format!(
+                "WAL replay gap: next record is epoch {}, engine is at {} — replay stopped",
+                rec.epoch,
+                engine.epoch()
+            )));
+            break;
+        }
+        let mut session = engine.begin_session();
+        let outcome = match &rec.op {
+            WriterOp::Propagate => session.propagate(),
+            WriterOp::Update(deltas) => session.update_timing(deltas),
+        };
+        if let Err(e) = outcome {
+            // A logged op failing on replay means the artifacts disagree
+            // with the engine (e.g. deltas for a different design that
+            // somehow passed the epoch chain). Stop: serving a partial
+            // timeline with an incident beats serving a wrong one.
+            report.incidents.push(incident(format!(
+                "WAL replay failed at epoch {}: {e} — replay stopped",
+                rec.epoch
+            )));
+            break;
+        }
+        match session.commit() {
+            Ok(epoch) => {
+                debug_assert_eq!(epoch, rec.epoch, "replay must reproduce the logged epoch");
+                report.replayed += 1;
+            }
+            Err(e) => {
+                report.incidents.push(incident(format!(
+                    "WAL replay commit failed at epoch {}: {e} — replay stopped",
+                    rec.epoch
+                )));
+                break;
+            }
+        }
+    }
+
+    report.recovered_epoch = engine.epoch();
+    Ok(report)
+}

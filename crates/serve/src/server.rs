@@ -25,10 +25,13 @@
 use crate::admission::{Admission, Rejection, ServeConfig, ServeCounters, Tier};
 use crate::protocol::{
     code, err_response, ok_response, read_frame, write_frame, FrameError, Op, OpKind, Request,
+    PROTOCOL_VERSION,
 };
+use crate::recovery::{self, RecoveryReport};
+use crate::wal::{Durability, DurabilityConfig};
 use insta_engine::{
-    CancelToken, Deadline, DeltaSet, IncidentLog, InstaEngine, InstaError, ServiceIncident,
-    TimingSnapshot,
+    CancelToken, Deadline, DeltaSet, EngineDurableState, IncidentLog, InstaEngine, InstaError,
+    ServiceIncident, TimingSnapshot, WriterOp,
 };
 use insta_refsta::eco::ArcDelta;
 use insta_support::json::{obj, Json, ToJson};
@@ -37,7 +40,7 @@ use std::io::{BufReader, Read, Write};
 use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 /// Locks a mutex, tolerating poisoning: a panic in another connection
@@ -51,12 +54,20 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 #[derive(Debug)]
 pub struct SnapshotCell {
     inner: RwLock<Arc<TimingSnapshot>>,
+    /// Epoch watch for `min_epoch` waiters: publish bumps the watched
+    /// value under the mutex and notifies, so waiters wake on the commit
+    /// they asked for instead of polling (ROADMAP item 1 leftover).
+    watch: Mutex<u64>,
+    publish_cv: Condvar,
 }
 
 impl SnapshotCell {
     fn new(snap: TimingSnapshot) -> Self {
+        let epoch = snap.epoch();
         SnapshotCell {
             inner: RwLock::new(Arc::new(snap)),
+            watch: Mutex::new(epoch),
+            publish_cv: Condvar::new(),
         }
     }
 
@@ -71,9 +82,42 @@ impl SnapshotCell {
     /// the published epoch can never regress — even if two publishes
     /// ever race, the older writer loses.
     fn publish(&self, snap: TimingSnapshot) {
-        let mut cur = self.inner.write().unwrap_or_else(|p| p.into_inner());
-        if snap.epoch() > cur.epoch() {
-            *cur = Arc::new(snap);
+        let epoch = snap.epoch();
+        {
+            let mut cur = self.inner.write().unwrap_or_else(|p| p.into_inner());
+            if epoch > cur.epoch() {
+                *cur = Arc::new(snap);
+            }
+        }
+        // The snapshot is visible before the watch moves, so a waiter
+        // released by this publish always loads an epoch ≥ what it
+        // waited for.
+        let mut w = lock(&self.watch);
+        if epoch > *w {
+            *w = epoch;
+        }
+        drop(w);
+        self.publish_cv.notify_all();
+    }
+
+    /// Blocks until the published epoch reaches `min_epoch` or `give_up`
+    /// says to stop, waking on publish (with a coarse timeout slice so
+    /// shutdown and deadlines are honored even if no commit ever lands).
+    /// Returns whether the epoch arrived.
+    fn wait_for_epoch(&self, min_epoch: u64, mut give_up: impl FnMut() -> bool) -> bool {
+        let mut w = lock(&self.watch);
+        loop {
+            if *w >= min_epoch {
+                return true;
+            }
+            if give_up() {
+                return false;
+            }
+            let (g, _timeout) = self
+                .publish_cv
+                .wait_timeout(w, Duration::from_millis(25))
+                .unwrap_or_else(|p| p.into_inner());
+            w = g;
         }
     }
 }
@@ -104,6 +148,8 @@ struct Shared {
     incidents: Mutex<IncidentLog>,
     journal: Mutex<Recorder>,
     shutdown: CancelToken,
+    /// The durability layer (`None` = ephemeral daemon, PR 7 behavior).
+    durability: Option<Durability>,
 }
 
 /// The timing service. Cheap to clone (an `Arc` handle) — hand clones to
@@ -117,9 +163,44 @@ impl Server {
     /// Wraps an engine. The engine's current state (typically just after
     /// an initial `propagate`) becomes the first published epoch.
     pub fn new(engine: InstaEngine, cfg: ServeConfig) -> Self {
+        Self::build(engine, cfg, None, &[])
+    }
+
+    /// Wraps an engine with durability: recovers the committed timeline
+    /// from `durability.dir` (checkpoint restore + WAL replay through
+    /// real sessions, torn tails truncated with typed incidents), then
+    /// serves with every writer commit logged-and-fsynced before it
+    /// publishes. The engine must be freshly built from the same
+    /// design/config the directory's artifacts were written against.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures opening the directory or WAL. Recovery *findings*
+    /// (stale checkpoints, torn tails) are not errors — they surface in
+    /// the returned [`RecoveryReport`] and the incident ring.
+    pub fn with_durability(
+        mut engine: InstaEngine,
+        cfg: ServeConfig,
+        durability: DurabilityConfig,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        let report = recovery::recover(&mut engine, &durability)?;
+        let layer = Durability::open(durability)?;
+        let server = Self::build(engine, cfg, Some(layer), &report.incidents);
+        Ok((server, report))
+    }
+
+    fn build(
+        engine: InstaEngine,
+        cfg: ServeConfig,
+        durability: Option<Durability>,
+        seed_incidents: &[ServiceIncident],
+    ) -> Self {
         let cell = SnapshotCell::new(engine.snapshot());
         let admission = Admission::new(&cfg);
-        let incidents = Mutex::new(IncidentLog::with_capacity(cfg.incident_log_cap));
+        let mut log = IncidentLog::with_capacity(cfg.incident_log_cap);
+        for inc in seed_incidents {
+            log.record_service(inc.clone());
+        }
         let journal = Mutex::new(Recorder::with_capacity(cfg.journal_capacity));
         Server {
             shared: Arc::new(Shared {
@@ -128,11 +209,17 @@ impl Server {
                 writer: Mutex::new(engine),
                 admission,
                 counters: ServeCounters::default(),
-                incidents,
+                incidents: Mutex::new(log),
                 journal,
                 shutdown: CancelToken::new(),
+                durability,
             }),
         }
+    }
+
+    /// The durability layer, when enabled (test/bench observability).
+    pub fn durability(&self) -> Option<&Durability> {
+        self.shared.durability.as_ref()
     }
 
     /// The shutdown token: cancel it (or send a `shutdown` request) to
@@ -266,6 +353,23 @@ impl Server {
                 return (err_response(e.id, epoch, code, &e.message, None), false);
             }
         };
+        // Version gate (satellite): a client that declares a different
+        // protocol generation is refused before dispatch — loudly and
+        // typed, not with a decode error three ops later.
+        if let Some(v) = req.version {
+            if v != PROTOCOL_VERSION {
+                let msg = format!(
+                    "client speaks protocol version {v}, server speaks {PROTOCOL_VERSION}"
+                );
+                sh.counters.rejected_protocol.fetch_add(1, Ordering::Relaxed);
+                self.record_incident(req.id, code::VERSION_MISMATCH, &msg);
+                let epoch = sh.cell.load().epoch();
+                return (
+                    err_response(req.id, epoch, code::VERSION_MISMATCH, &msg, None),
+                    false,
+                );
+            }
+        }
         let outcome = self.admit_and_execute(&req);
         let epoch = sh.cell.load().epoch();
         let ok = outcome.is_ok();
@@ -380,7 +484,10 @@ impl Server {
 
     fn execute(&self, req: &Request, deadline: Option<&Deadline>) -> Result<Json, ErrReply> {
         match req.op {
-            Op::Ping => Ok(obj([("pong", Json::Bool(true))])),
+            Op::Ping => Ok(obj([
+                ("pong", Json::Bool(true)),
+                ("version", PROTOCOL_VERSION.to_json()),
+            ])),
             Op::Stats => Ok(self.stats()),
             Op::ReportSlack => self.report_slack(req, deadline),
             Op::ReportAt => self.report_at(req),
@@ -432,14 +539,28 @@ impl Server {
                 .map(|(k, v)| ((*k).to_owned(), v.to_json()))
                 .collect(),
         );
+        let durability = match &sh.durability {
+            None => obj([("enabled", Json::Bool(false))]),
+            Some(d) => {
+                let mut rows = vec![
+                    ("enabled", Json::Bool(true)),
+                    ("fsync", Json::Bool(d.fsync_enabled())),
+                ];
+                let stat_rows = d.stats.rows();
+                rows.extend(stat_rows.iter().map(|(k, v)| (*k, v.to_json())));
+                obj(rows)
+            }
+        };
         let log = lock(&sh.incidents);
         obj([
             ("epoch", snap.epoch().to_json()),
+            ("version", PROTOCOL_VERSION.to_json()),
             ("tier", Json::Str(sh.admission.tier().name().to_owned())),
             ("pressure", sh.admission.pressure().to_json()),
             ("inflight", (sh.admission.inflight() as u64).to_json()),
             ("engine", engine),
             ("service", service),
+            ("durability", durability),
             ("service_incidents", (log.total()).to_json()),
         ])
     }
@@ -481,27 +602,30 @@ impl Server {
             ServeCounters::bump(&sh.counters.degraded_reports);
             return Ok((snap, true));
         }
+        // Block on the publish condvar (satellite: no polling loop) — a
+        // committing writer wakes every waiter; the coarse timeout slice
+        // inside `wait_for_epoch` only bounds how long shutdown or an
+        // expired deadline can go unnoticed when no commit ever lands.
         let cap = Deadline::after(Duration::from_millis(sh.cfg.max_epoch_wait_ms.max(1)));
-        loop {
-            std::thread::sleep(Duration::from_millis(1));
-            let snap = sh.cell.load();
-            if snap.epoch() >= min_epoch {
-                return Ok((snap, false));
-            }
-            if sh.shutdown.is_cancelled() {
-                return Err(ErrReply::new(code::SHUTTING_DOWN, "daemon is winding down"));
-            }
-            if deadline.is_some_and(|d| d.expired()) || cap.expired() {
-                return Err(ErrReply::new(
-                    code::DEADLINE,
-                    format!(
-                        "epoch {min_epoch} not committed within the wait budget \
-                         (published epoch {})",
-                        snap.epoch()
-                    ),
-                ));
-            }
+        let arrived = sh.cell.wait_for_epoch(min_epoch, || {
+            sh.shutdown.is_cancelled()
+                || deadline.is_some_and(|d| d.expired())
+                || cap.expired()
+        });
+        if arrived {
+            return Ok((sh.cell.load(), false));
         }
+        if sh.shutdown.is_cancelled() {
+            return Err(ErrReply::new(code::SHUTTING_DOWN, "daemon is winding down"));
+        }
+        Err(ErrReply::new(
+            code::DEADLINE,
+            format!(
+                "epoch {min_epoch} not committed within the wait budget \
+                 (published epoch {})",
+                sh.cell.load().epoch()
+            ),
+        ))
     }
 
     fn report_slack(&self, req: &Request, deadline: Option<&Deadline>) -> Result<Json, ErrReply> {
@@ -565,7 +689,7 @@ impl Server {
     /// refresh), committed transactionally and published atomically.
     fn write_epoch(&self, req: &Request, deadline: Option<&Deadline>) -> Result<Json, ErrReply> {
         let sh = &self.shared;
-        let deltas = if req.op == Op::Update {
+        let mut deltas = if req.op == Op::Update {
             parse_deltas(req.params.field("deltas").unwrap_or(&Json::Null))?
         } else {
             Vec::new()
@@ -597,12 +721,50 @@ impl Server {
                 "propagation finished past the deadline; rolled back uncommitted",
             ));
         }
+        // Durability point: the commit is appended to the WAL and synced
+        // *before* it happens, so the log is a superset of anything a
+        // client ever observed. An append failure rolls back — the
+        // not-yet-durable epoch must never publish.
+        if let Some(dur) = &sh.durability {
+            let next_epoch = session.engine().epoch() + 1;
+            let op = if req.op == Op::Update {
+                WriterOp::Update(std::mem::take(&mut deltas))
+            } else {
+                WriterOp::Propagate
+            };
+            if let Err(e) = dur.log_commit(next_epoch, &op) {
+                session.rollback();
+                return Err(ErrReply::new(
+                    code::DURABILITY,
+                    format!("write-ahead log append failed: {e}; rolled back uncommitted"),
+                ));
+            }
+        }
         let epoch = session.commit().map_err(map_engine_err)?;
         let snap = eng.snapshot();
         // Publish before releasing the writer lock: commit order and
         // publication order must agree, or a preempted writer could
         // publish its older epoch over a successor's newer one.
         sh.cell.publish(snap);
+        if let Some(dur) = &sh.durability {
+            // Checkpoint cadence, still under the writer lock so the
+            // captured state is exactly the epoch just published. The
+            // (full-state-clone) capture only happens on the commits the
+            // cadence actually selects — off-cadence commits pay for the
+            // WAL append alone. A checkpoint failure is an incident, not
+            // a request failure — the WAL already holds the committed
+            // record.
+            if dur.checkpoint_due() {
+                let state = EngineDurableState::capture(&eng);
+                if let Err(e) = dur.write_checkpoint(&state, &sh.cell.load()) {
+                    self.record_incident(
+                        req.id,
+                        code::DURABILITY,
+                        &format!("checkpoint at epoch {epoch} failed: {e}"),
+                    );
+                }
+            }
+        }
         drop(eng);
         ServeCounters::bump(&sh.counters.snapshot_swaps);
         Ok(obj([

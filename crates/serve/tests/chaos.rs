@@ -28,6 +28,7 @@ fn clean_frame() -> Vec<u8> {
         id: 7,
         op: Op::ReportSlack,
         deadline_ms: None,
+        version: None,
         params: Json::Null,
     }
     .encode();

@@ -1,0 +1,670 @@
+//! Crash-recovery chaos suite: the durability contract under simulated
+//! power loss at every [`CrashPoint`], byte damage of every
+//! [`DurabilityFault`] class, the startup edge paths, protocol version
+//! gating, the publish-condvar wakeup, and a real `kill -9` against the
+//! `insta-serve` binary.
+//!
+//! The contract everywhere: after recovery the engine's slacks are
+//! **bit-identical** (`f64::to_bits`) to a crash-free twin that applied
+//! exactly the durable commit prefix — torn tails surface as typed
+//! incidents and are truncated, never silently replayed; uncommitted
+//! writes disappear whole.
+
+mod common;
+
+use common::{build_engine, connect, slack_bits};
+use insta_engine::{InstaConfig, InstaEngine};
+use insta_refsta::eco::ArcDelta;
+use insta_serve::{
+    recover, Client, DurabilityConfig, Op, Request, ServeConfig, Server, PROTOCOL_VERSION,
+};
+use insta_support::{CrashPoint, CrashSwitch, DurabilityFault, FaultPlan};
+use insta_support::json::{obj, Json, ToJson};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 31;
+const K: usize = 8;
+
+/// A fresh scratch directory under the system temp dir (unique per test
+/// case; wiped before use so reruns start clean).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("insta-recovery-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The deterministic commit storm: op `i` is a propagate every third
+/// commit and otherwise an update of a rotating arc — so replay exercises
+/// both [`insta_engine::WriterOp`] variants.
+fn storm_delta(i: u64) -> ArcDelta {
+    ArcDelta {
+        arc: (i % 3) as u32,
+        mean: [40.0 + i as f64, 42.5 + i as f64],
+        sigma: [4.0 + i as f64 / 8.0, 3.25],
+    }
+}
+
+fn storm_request(i: u64) -> (Op, Json) {
+    if i % 3 == 2 {
+        return (Op::Propagate, Json::Null);
+    }
+    let d = storm_delta(i);
+    (
+        Op::Update,
+        obj([(
+            "deltas",
+            Json::Arr(vec![obj([
+                ("arc", u64::from(d.arc).to_json()),
+                ("mean", Json::Arr(vec![d.mean[0].to_json(), d.mean[1].to_json()])),
+                ("sigma", Json::Arr(vec![d.sigma[0].to_json(), d.sigma[1].to_json()])),
+            ])]),
+        )]),
+    )
+}
+
+/// A crash-free twin: a fresh engine with the first `k` storm commits
+/// applied through real sessions (exactly what recovery replays).
+fn twin_after(k: u64) -> InstaEngine {
+    let mut eng = build_engine(SEED, K);
+    for i in 0..k {
+        let mut s = eng.begin_session();
+        if i % 3 == 2 {
+            s.propagate().expect("twin propagate");
+        } else {
+            s.update_timing(&[storm_delta(i)]).expect("twin update");
+        }
+        s.commit().expect("twin commit");
+    }
+    eng
+}
+
+fn engine_bits(e: &InstaEngine) -> Vec<u64> {
+    e.try_report()
+        .map(|r| r.slacks.iter().map(|s| s.to_bits()).collect())
+        .unwrap_or_default()
+}
+
+/// Runs `n` storm commits against a durable server in `dir`, stopping
+/// early if an armed crash switch trips. Returns the server's last
+/// acked epoch.
+fn run_storm(
+    server: &Server,
+    n: u64,
+    stop: impl Fn() -> bool,
+) -> u64 {
+    let (mut cl, h) = connect(server);
+    let mut last_epoch = 0;
+    for i in 0..n {
+        let (op, params) = storm_request(i);
+        let r = cl.call(op, None, params).unwrap();
+        assert!(r.ok, "storm commit {i} failed: {:?}", r.error);
+        last_epoch = r.result.get::<u64>("epoch").unwrap();
+        if stop() {
+            break;
+        }
+    }
+    drop(cl);
+    h.join().unwrap();
+    last_epoch
+}
+
+#[test]
+fn kill_at_every_crash_point_recovers_the_durable_prefix_bit_exactly() {
+    const CRASH_AT: u64 = 3;
+    for point in CrashPoint::ALL {
+        let dir = scratch(&format!("crash-{point:?}"));
+        let switch = CrashSwitch::new(point, CRASH_AT);
+        let mut cfg = DurabilityConfig::new(&dir);
+        // The cadence lands the checkpoint attempt exactly on the armed
+        // commit, so the two checkpoint crash points actually fire.
+        cfg.checkpoint_every = CRASH_AT + 1;
+        cfg.crash = Some(switch.clone());
+        let (server, boot) =
+            Server::with_durability(build_engine(SEED, K), ServeConfig::default(), cfg).unwrap();
+        assert_eq!(boot.recovered_epoch, 0, "{point:?}: fresh dir must boot clean");
+        assert!(boot.incidents.is_empty(), "{point:?}");
+
+        run_storm(&server, 6, || switch.is_tripped());
+        assert!(switch.is_tripped(), "{point:?}: the armed crash never fired");
+        assert!(server.durability().unwrap().is_dead(), "{point:?}");
+        drop(server);
+
+        // What the platter must hold, per the crash-window semantics:
+        // a commit vanishes whole before its append, survives whole
+        // after it — and a checkpoint crash never loses or doubles
+        // anything, because the WAL still covers the epochs.
+        let durable = match point {
+            CrashPoint::BeforeWalAppend | CrashPoint::MidWalAppend => CRASH_AT,
+            _ => CRASH_AT + 1,
+        };
+        let mut recovered = build_engine(SEED, K);
+        let rep = recover(&mut recovered, &DurabilityConfig::new(&dir)).unwrap();
+        let twin = twin_after(durable);
+        assert_eq!(rep.recovered_epoch, durable, "{point:?}");
+        assert_eq!(recovered.epoch(), twin.epoch(), "{point:?}");
+        assert_eq!(
+            engine_bits(&recovered),
+            engine_bits(&twin),
+            "{point:?}: recovered slacks must be bit-identical to the crash-free twin"
+        );
+
+        match point {
+            CrashPoint::BeforeWalAppend | CrashPoint::AfterWalAppend => {
+                assert!(rep.incidents.is_empty(), "{point:?}: clean log, no incidents");
+                assert!(!rep.wal_truncated, "{point:?}");
+            }
+            CrashPoint::MidWalAppend => {
+                // The torn record is a typed incident and is physically
+                // truncated — never silently replayed.
+                assert!(rep.wal_truncated, "{point:?}");
+                assert_eq!(rep.incidents.len(), 1, "{point:?}: {:?}", rep.incidents);
+                assert!(rep.incidents[0].message.contains("truncated"), "{point:?}");
+            }
+            CrashPoint::MidCheckpoint => {
+                // The partial temp file is ignored; the WAL carries all.
+                assert_eq!(rep.checkpoint_epoch, None, "{point:?}");
+                assert_eq!(rep.replayed, durable, "{point:?}");
+                let tmp_left = std::fs::read_dir(&dir).unwrap().any(|e| {
+                    e.unwrap().file_name().to_string_lossy().ends_with(".tmp")
+                });
+                assert!(tmp_left, "{point:?}: the partial checkpoint should be on disk");
+            }
+            CrashPoint::AfterCheckpointBeforeTruncate => {
+                // Checkpoint landed, WAL never truncated: every record is
+                // subsumed and none may be double-replayed.
+                assert_eq!(rep.checkpoint_epoch, Some(durable), "{point:?}");
+                assert_eq!(rep.replayed, 0, "{point:?}: no double replay");
+            }
+        }
+
+        // A second recovery over the (now repaired) artifacts is clean
+        // and lands on the same epoch.
+        let mut again = build_engine(SEED, K);
+        let rep2 = recover(&mut again, &DurabilityConfig::new(&dir)).unwrap();
+        assert!(rep2.incidents.is_empty(), "{point:?}: repair must be idempotent");
+        assert_eq!(again.epoch(), durable, "{point:?}");
+    }
+}
+
+#[test]
+fn damaged_wal_bytes_surface_typed_incidents_and_keep_the_valid_prefix() {
+    const COMMITS: u64 = 5;
+    // One pristine WAL holding the whole storm (checkpoints off).
+    let master = scratch("fault-master");
+    let mut cfg = DurabilityConfig::new(&master);
+    cfg.checkpoint_every = 0;
+    let (server, _) =
+        Server::with_durability(build_engine(SEED, K), ServeConfig::default(), cfg).unwrap();
+    run_storm(&server, COMMITS, || false);
+    drop(server);
+    let pristine = std::fs::read(master.join("wal.log")).unwrap();
+
+    let plan = FaultPlan::new(0xD00D);
+    for (case, fault) in DurabilityFault::ALL
+        .into_iter()
+        .filter(|f| f.is_byte_level())
+        .enumerate()
+    {
+        let dir = scratch(&format!("fault-{fault:?}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let corrupted = plan.corrupt_durable(case as u64, fault, &pristine);
+        assert_ne!(corrupted, pristine, "{fault:?} must change the bytes");
+        std::fs::write(dir.join("wal.log"), &corrupted).unwrap();
+
+        let mut recovered = build_engine(SEED, K);
+        let rep = recover(&mut recovered, &DurabilityConfig::new(&dir)).unwrap();
+        assert!(rep.wal_truncated, "{fault:?}: damage must be truncated");
+        assert_eq!(rep.incidents.len(), 1, "{fault:?}: {:?}", rep.incidents);
+        assert_eq!(rep.incidents[0].category, "durability", "{fault:?}");
+        assert!(
+            rep.replayed < COMMITS,
+            "{fault:?}: the damaged record must not replay"
+        );
+        // What survives is a valid prefix, bit-identical to its twin.
+        let twin = twin_after(rep.replayed);
+        assert_eq!(rep.recovered_epoch, rep.replayed, "{fault:?}");
+        assert_eq!(recovered.epoch(), twin.epoch(), "{fault:?}");
+        assert_eq!(engine_bits(&recovered), engine_bits(&twin), "{fault:?}");
+
+        // The repaired log recovers cleanly the second time.
+        let mut again = build_engine(SEED, K);
+        let rep2 = recover(&mut again, &DurabilityConfig::new(&dir)).unwrap();
+        assert!(rep2.incidents.is_empty(), "{fault:?}");
+        assert!(!rep2.wal_truncated, "{fault:?}");
+        assert_eq!(again.epoch(), recovered.epoch(), "{fault:?}");
+    }
+}
+
+#[test]
+fn stale_checkpoint_is_rejected_typed_and_wal_replay_rebuilds_from_genesis() {
+    const COMMITS: u64 = 5;
+    let dir = scratch("stale-ckpt");
+    let mut cfg = DurabilityConfig::new(&dir);
+    cfg.checkpoint_every = 0; // the WAL holds the full history
+    let (server, _) =
+        Server::with_durability(build_engine(SEED, K), ServeConfig::default(), cfg).unwrap();
+    run_storm(&server, COMMITS, || false);
+    drop(server);
+
+    // Drop in a checkpoint from a *different design*: internally valid
+    // (magic, CRC, framing all sound) but semantically stale —
+    // DurabilityFault::StaleCheckpoint, constructed rather than
+    // byte-corrupted.
+    let foreign = build_engine(SEED + 900, K);
+    let image = insta_serve::wal::encode_checkpoint(
+        &insta_engine::EngineDurableState::capture(&foreign),
+        &foreign.snapshot(),
+    );
+    std::fs::write(dir.join("checkpoint-00000000000000000003.ckpt"), image).unwrap();
+
+    let mut recovered = build_engine(SEED, K);
+    let rep = recover(&mut recovered, &DurabilityConfig::new(&dir)).unwrap();
+    assert_eq!(
+        rep.checkpoint_epoch, None,
+        "a stale checkpoint must never be accepted"
+    );
+    assert!(
+        rep.incidents.iter().any(|i| i.message.contains("stale")),
+        "the rejection must be typed: {:?}",
+        rep.incidents
+    );
+    // Recovery fell back to replaying the WAL from genesis.
+    assert_eq!(rep.replayed, COMMITS);
+    let twin = twin_after(COMMITS);
+    assert_eq!(recovered.epoch(), twin.epoch());
+    assert_eq!(engine_bits(&recovered), engine_bits(&twin));
+}
+
+#[test]
+fn fresh_missing_empty_and_zero_length_wal_startups_are_clean() {
+    let cases: [(&str, fn(&PathBuf)); 3] = [
+        ("edge-missing", |_dir| {}),
+        ("edge-empty", |dir| std::fs::create_dir_all(dir).unwrap()),
+        ("edge-zero-wal", |dir| {
+            std::fs::create_dir_all(dir).unwrap();
+            std::fs::write(dir.join("wal.log"), b"").unwrap();
+        }),
+    ];
+    for (name, prep) in cases {
+        let dir = scratch(name);
+        prep(&dir);
+        let (server, boot) = Server::with_durability(
+            build_engine(SEED, K),
+            ServeConfig::default(),
+            DurabilityConfig::new(&dir),
+        )
+        .unwrap();
+        assert!(boot.incidents.is_empty(), "{name}: {:?}", boot.incidents);
+        assert_eq!(boot.recovered_epoch, 0, "{name}");
+        assert_eq!(boot.checkpoint_epoch, None, "{name}");
+        assert_eq!(boot.replayed, 0, "{name}");
+        assert!(!boot.wal_truncated, "{name}");
+
+        // The daemon is immediately serviceable and its first commit is
+        // durable across a restart.
+        let last = run_storm(&server, 1, || false);
+        assert_eq!(last, 1, "{name}");
+        drop(server);
+        let mut restarted = build_engine(SEED, K);
+        let rep = recover(&mut restarted, &DurabilityConfig::new(&dir)).unwrap();
+        assert_eq!(rep.recovered_epoch, 1, "{name}");
+        assert_eq!(rep.replayed, 1, "{name}");
+        assert_eq!(engine_bits(&restarted), engine_bits(&twin_after(1)), "{name}");
+    }
+}
+
+#[test]
+fn checkpoint_only_and_wal_only_directories_recover_bit_exactly() {
+    // Checkpoint-only: every commit checkpoints (truncating the WAL);
+    // then the WAL file itself is deleted.
+    let dir = scratch("ckpt-only");
+    let mut cfg = DurabilityConfig::new(&dir);
+    cfg.checkpoint_every = 1;
+    let (server, _) =
+        Server::with_durability(build_engine(SEED, K), ServeConfig::default(), cfg).unwrap();
+    run_storm(&server, 3, || false);
+    drop(server);
+    // Pruning kept the newest two checkpoints.
+    let kept: Vec<u64> = insta_serve::wal::list_checkpoints(&dir)
+        .unwrap()
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect();
+    assert_eq!(kept, vec![3, 2]);
+    std::fs::remove_file(dir.join("wal.log")).unwrap();
+
+    let (server, rep) = Server::with_durability(
+        build_engine(SEED, K),
+        ServeConfig::default(),
+        DurabilityConfig::new(&dir),
+    )
+    .unwrap();
+    assert_eq!(rep.checkpoint_epoch, Some(3));
+    assert_eq!(rep.replayed, 0);
+    assert_eq!(rep.recovered_epoch, 3);
+    assert!(rep.incidents.is_empty(), "{:?}", rep.incidents);
+    // The served slacks match the twin over the real wire.
+    let twin = twin_after(3);
+    let golden: Vec<u64> = engine_bits(&twin);
+    let (mut cl, h) = connect(&server);
+    let r = cl.call(Op::ReportSlack, None, Json::Null).unwrap();
+    assert_eq!(r.epoch, 3);
+    assert_eq!(slack_bits(&r.result), golden);
+    drop(cl);
+    h.join().unwrap();
+    drop(server);
+
+    // WAL-only: checkpoints off, the whole history replays.
+    let dir = scratch("wal-only");
+    let mut cfg = DurabilityConfig::new(&dir);
+    cfg.checkpoint_every = 0;
+    let (server, _) =
+        Server::with_durability(build_engine(SEED, K), ServeConfig::default(), cfg).unwrap();
+    run_storm(&server, 4, || false);
+    drop(server);
+    assert!(insta_serve::wal::list_checkpoints(&dir).unwrap().is_empty());
+    let mut restarted = build_engine(SEED, K);
+    let rep = recover(&mut restarted, &DurabilityConfig::new(&dir)).unwrap();
+    assert_eq!(rep.checkpoint_epoch, None);
+    assert_eq!(rep.replayed, 4);
+    assert_eq!(rep.recovered_epoch, 4);
+    assert_eq!(engine_bits(&restarted), engine_bits(&twin_after(4)));
+}
+
+#[test]
+fn torn_tail_restart_seeds_the_incident_ring_and_serves_the_prefix() {
+    let dir = scratch("torn-restart");
+    let mut cfg = DurabilityConfig::new(&dir);
+    cfg.checkpoint_every = 0;
+    let (server, _) =
+        Server::with_durability(build_engine(SEED, K), ServeConfig::default(), cfg).unwrap();
+    run_storm(&server, 4, || false);
+    drop(server);
+    // Tear the tail: the last record loses its final 5 bytes.
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+
+    let (server, rep) = Server::with_durability(
+        build_engine(SEED, K),
+        ServeConfig::default(),
+        DurabilityConfig::new(&dir),
+    )
+    .unwrap();
+    assert!(rep.wal_truncated);
+    assert_eq!(rep.recovered_epoch, 3);
+
+    let (mut cl, h) = connect(&server);
+    // The recovery incident is visible in the service incident ring.
+    let inc = cl.call(Op::Incidents, None, Json::Null).unwrap();
+    let rows = inc.result.field("incidents").unwrap().as_arr().unwrap();
+    assert!(
+        rows.iter()
+            .any(|r| r.get::<String>("category").unwrap() == "durability"),
+        "recovery incidents must seed the ring: {rows:?}"
+    );
+    // Stats: the durability section is live and this process's counters
+    // start fresh (they count *this* process's appends, not history).
+    let stats = cl.call(Op::Stats, None, Json::Null).unwrap();
+    assert_eq!(stats.result.get::<u64>("epoch").unwrap(), 3);
+    let dur = stats.result.field("durability").unwrap();
+    assert_eq!(dur.get::<bool>("enabled").unwrap(), true);
+    assert_eq!(dur.get::<bool>("fsync").unwrap(), true);
+    assert_eq!(dur.get::<u64>("wal_records").unwrap(), 0);
+
+    // A post-recovery commit appends to the repaired log...
+    let extra = storm_delta(9);
+    let r = cl
+        .call(
+            Op::Update,
+            None,
+            obj([(
+                "deltas",
+                Json::Arr(vec![obj([
+                    ("arc", u64::from(extra.arc).to_json()),
+                    ("mean", Json::Arr(vec![extra.mean[0].to_json(), extra.mean[1].to_json()])),
+                    (
+                        "sigma",
+                        Json::Arr(vec![extra.sigma[0].to_json(), extra.sigma[1].to_json()]),
+                    ),
+                ])]),
+            )]),
+        )
+        .unwrap();
+    assert!(r.ok, "{:?}", r.error);
+    assert_eq!(r.result.get::<u64>("epoch").unwrap(), 4);
+    let stats = cl.call(Op::Stats, None, Json::Null).unwrap();
+    let dur = stats.result.field("durability").unwrap();
+    assert_eq!(dur.get::<u64>("wal_records").unwrap(), 1);
+    assert!(dur.get::<u64>("fsyncs").unwrap() >= 1);
+    drop(cl);
+    h.join().unwrap();
+    drop(server);
+
+    // ...and the repaired-plus-extended timeline recovers whole.
+    let mut again = build_engine(SEED, K);
+    let rep2 = recover(&mut again, &DurabilityConfig::new(&dir)).unwrap();
+    assert!(rep2.incidents.is_empty(), "{:?}", rep2.incidents);
+    assert_eq!(rep2.recovered_epoch, 4);
+    let mut twin = twin_after(3);
+    let mut s = twin.begin_session();
+    s.update_timing(&[extra]).unwrap();
+    s.commit().unwrap();
+    assert_eq!(engine_bits(&again), engine_bits(&twin));
+}
+
+#[test]
+fn protocol_version_is_surfaced_and_mismatched_clients_are_refused() {
+    let server = Server::new(build_engine(SEED, K), ServeConfig::default());
+
+    // Ping and stats both carry the server's protocol generation.
+    let (mut cl, h) = connect(&server);
+    let pong = cl.call(Op::Ping, None, Json::Null).unwrap();
+    assert_eq!(pong.result.get::<u64>("version").unwrap(), PROTOCOL_VERSION);
+    let stats = cl.call(Op::Stats, None, Json::Null).unwrap();
+    assert_eq!(stats.result.get::<u64>("version").unwrap(), PROTOCOL_VERSION);
+    drop(cl);
+    h.join().unwrap();
+
+    // A client declaring a different generation is refused, typed,
+    // before dispatch — even for a ping.
+    let (cl, h) = connect(&server);
+    let mut cl = cl.with_version(Some(PROTOCOL_VERSION + 41));
+    let refused = cl.call(Op::Ping, None, Json::Null).unwrap();
+    assert_eq!(refused.code(), Some("version_mismatch"), "{:?}", refused.error);
+    let (_, msg, _) = refused.error.unwrap();
+    assert!(msg.contains("speaks protocol version"), "{msg}");
+    drop(cl);
+    h.join().unwrap();
+    assert!(server.counters().rejected_protocol.load(Ordering::Relaxed) >= 1);
+
+    // A legacy client that omits the field is still served (the gate
+    // refuses only a *declared* mismatch), and the refusal above landed
+    // in the incident ring.
+    let (cl, h) = connect(&server);
+    let mut cl = cl.with_version(None);
+    assert!(cl.call(Op::Ping, None, Json::Null).unwrap().ok);
+    let inc = cl.call(Op::Incidents, None, Json::Null).unwrap();
+    let rows = inc.result.field("incidents").unwrap().as_arr().unwrap();
+    assert!(
+        rows.iter()
+            .any(|r| r.get::<String>("category").unwrap() == "version_mismatch"),
+        "{rows:?}"
+    );
+    drop(cl);
+    h.join().unwrap();
+}
+
+#[test]
+fn min_epoch_reader_wakes_on_the_publish_it_asked_for() {
+    // A generous wait cap proves the reader wakes on the publish
+    // notification, not on the cap running out (the old implementation
+    // polled; the condvar must release the waiter as the commit lands).
+    let cfg = ServeConfig {
+        max_epoch_wait_ms: 10_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(build_engine(SEED, K), cfg);
+    let (mut reader, rh) = connect(&server);
+    let t = std::thread::spawn(move || {
+        let started = Instant::now();
+        let r = reader
+            .call(
+                Op::ReportSlack,
+                None,
+                obj([("min_epoch", 1_u64.to_json())]),
+            )
+            .unwrap();
+        (r, started.elapsed(), reader)
+    });
+    std::thread::sleep(Duration::from_millis(120));
+    let (mut writer, wh) = connect(&server);
+    let (op, params) = storm_request(0);
+    assert!(writer.call(op, None, params).unwrap().ok);
+
+    let (r, waited, reader) = t.join().unwrap();
+    assert!(r.ok, "{:?}", r.error);
+    assert_eq!(r.epoch, 1, "the reader must see the commit it waited for");
+    assert_eq!(r.result.get::<bool>("degraded").unwrap(), false);
+    assert!(
+        waited >= Duration::from_millis(100),
+        "the reader must actually have blocked ({waited:?})"
+    );
+    assert!(
+        waited < Duration::from_secs(8),
+        "the reader must wake on publish, not on the wait cap ({waited:?})"
+    );
+    drop(reader);
+    drop(writer);
+    rh.join().unwrap();
+    wh.join().unwrap();
+}
+
+/// Builds the engine exactly as `insta-serve --gen small:42 --k 8` does
+/// (the generator's design *name* participates in generation, so the
+/// twin must use the binary's, not the test fixture's).
+fn binary_twin() -> InstaEngine {
+    let design = insta_netlist::generator::generate_design(
+        &insta_netlist::generator::GeneratorConfig::small("small", 42),
+    );
+    let mut sta =
+        insta_refsta::RefSta::new(&design, insta_refsta::StaConfig::default()).unwrap();
+    sta.full_update(&design);
+    let mut eng = InstaEngine::new(
+        sta.export_insta_init(),
+        InstaConfig {
+            top_k: 8,
+            ..InstaConfig::default()
+        },
+    )
+    .unwrap();
+    eng.propagate();
+    eng
+}
+
+fn connect_tcp_with_retry(addr: &str) -> std::net::TcpStream {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "insta-serve never listened on {addr}: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+#[test]
+fn kill_minus_nine_on_the_real_binary_loses_no_acked_commit() {
+    use std::process::{Command, Stdio};
+    let dir = scratch("binary-kill9");
+    let spawn_daemon = |addr: &str| {
+        Command::new(env!("CARGO_BIN_EXE_insta-serve"))
+            .args(["--gen", "small:42", "--k", "8", "--tcp", addr])
+            .args(["--durability", dir.to_str().unwrap()])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn insta-serve")
+    };
+
+    let addr = format!("127.0.0.1:{}", free_port());
+    let mut child = spawn_daemon(&addr);
+    let stream = connect_tcp_with_retry(&addr);
+    let mut cl = Client::new(stream.try_clone().unwrap(), stream);
+
+    // Acked commits: each response means the WAL record was synced
+    // before publication, so all of these must survive the kill.
+    const ACKED: u64 = 5;
+    let mut last_epoch = 0;
+    for i in 0..ACKED {
+        let (op, params) = storm_request(i);
+        let r = cl.call(op, None, params).unwrap();
+        assert!(r.ok, "commit {i}: {:?}", r.error);
+        last_epoch = r.result.get::<u64>("epoch").unwrap();
+    }
+    assert_eq!(last_epoch, ACKED);
+    // One more goes out un-acked — then SIGKILL races its commit. It
+    // must land whole or vanish whole.
+    let (op, params) = storm_request(ACKED);
+    let inflight = Request {
+        id: 999,
+        op,
+        deadline_ms: None,
+        version: Some(PROTOCOL_VERSION),
+        params,
+    };
+    cl.send_raw(inflight.encode().as_bytes()).unwrap();
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+    drop(cl);
+
+    // Recover a twin in-process from a *copy* of the artifacts (the
+    // restarted binary must repair the originals itself).
+    let copy = scratch("binary-kill9-copy");
+    std::fs::create_dir_all(&copy).unwrap();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), copy.join(entry.file_name())).unwrap();
+    }
+    let mut twin = binary_twin();
+    let rep = recover(&mut twin, &DurabilityConfig::new(&copy)).unwrap();
+    assert!(
+        rep.recovered_epoch == ACKED || rep.recovered_epoch == ACKED + 1,
+        "every acked commit survives, the in-flight one lands whole or not at all \
+         (recovered {})",
+        rep.recovered_epoch
+    );
+
+    // Restart the real binary on the original directory (a fresh port:
+    // the killed connection may linger in TIME_WAIT) and compare served
+    // slacks bit-for-bit — f64s survive the JSON wire exactly.
+    let addr = format!("127.0.0.1:{}", free_port());
+    let mut child = spawn_daemon(&addr);
+    let stream = connect_tcp_with_retry(&addr);
+    let mut cl = Client::new(stream.try_clone().unwrap(), stream);
+    let r = cl.call(Op::ReportSlack, None, Json::Null).unwrap();
+    assert!(r.ok, "{:?}", r.error);
+    assert_eq!(r.epoch, twin.epoch());
+    assert_eq!(slack_bits(&r.result), engine_bits(&twin));
+
+    let bye = cl.call(Op::Shutdown, None, Json::Null).unwrap();
+    assert!(bye.ok);
+    drop(cl);
+    child.wait().expect("clean shutdown");
+}

@@ -232,6 +232,138 @@ impl ProtocolFault {
     }
 }
 
+/// A corruption class for the *durability* surface: damage applied to an
+/// on-disk write-ahead-log or checkpoint artifact between a crash and the
+/// recovery scan, modelling torn writes, bad sectors, and stale disks.
+/// Byte-level classes are applied by [`FaultPlan::corrupt_durable`];
+/// [`StaleCheckpoint`](DurabilityFault::StaleCheckpoint) is a *semantic*
+/// class the recovery harness constructs itself (a checkpoint whose
+/// contents no longer match the engine that loads it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityFault {
+    /// Cut a handful of bytes off the end of the file: the classic torn
+    /// append — power loss mid-`write(2)` leaves a partial final record.
+    TornWrite,
+    /// Cut the file inside the final record's *body* so its length
+    /// framing promises more bytes than exist (a short sector flush).
+    TruncatedRecord,
+    /// Flip one random bit inside the tail region's record bytes; the
+    /// per-record CRC must catch it before any byte is decoded.
+    BitFlipBody,
+    /// Overwrite the leading file magic (a foreign or damaged file at
+    /// the WAL/checkpoint path).
+    BadMagic,
+    /// A checkpoint that is internally valid but semantically stale —
+    /// its contents disagree with the engine replaying on top of it.
+    /// Constructed by the harness, not by byte surgery.
+    StaleCheckpoint,
+}
+
+impl DurabilityFault {
+    /// Every durability corruption class, for exhaustive sweeps.
+    pub const ALL: [DurabilityFault; 5] = [
+        DurabilityFault::TornWrite,
+        DurabilityFault::TruncatedRecord,
+        DurabilityFault::BitFlipBody,
+        DurabilityFault::BadMagic,
+        DurabilityFault::StaleCheckpoint,
+    ];
+
+    /// Whether [`FaultPlan::corrupt_durable`] changes the bytes for this
+    /// class ([`StaleCheckpoint`](Self::StaleCheckpoint) is driven by the
+    /// harness instead).
+    pub fn is_byte_level(self) -> bool {
+        !matches!(self, DurabilityFault::StaleCheckpoint)
+    }
+
+    fn discriminant(self) -> u64 {
+        Self::ALL.iter().position(|&f| f == self).expect("listed") as u64
+    }
+}
+
+/// A point on the durable commit path where a crash can be injected.
+///
+/// The write path is `append WAL record → fsync → commit → publish →
+/// (every Nth commit) write checkpoint → truncate WAL`; each variant
+/// names the instant *before* which the simulated power loss strikes, so
+/// a chaos suite can prove the recovery contract — last logged commit
+/// recovered, unlogged work vanished whole — at every window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before the WAL record is appended: the commit vanishes whole.
+    BeforeWalAppend,
+    /// Mid-append: a torn record is left on disk and must be truncated
+    /// by recovery, never replayed.
+    MidWalAppend,
+    /// After the fsync'd append but before the snapshot publishes: the
+    /// commit is durable and must be recovered even though no client
+    /// ever observed it.
+    AfterWalAppend,
+    /// Mid-checkpoint write: a partial temp file is left behind; recovery
+    /// must fall back to the previous checkpoint (or none) plus the WAL.
+    MidCheckpoint,
+    /// After the checkpoint renamed into place but before the WAL was
+    /// truncated: recovery sees both and must not double-replay.
+    AfterCheckpointBeforeTruncate,
+}
+
+impl CrashPoint {
+    /// Every crash point, for exhaustive sweeps.
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::BeforeWalAppend,
+        CrashPoint::MidWalAppend,
+        CrashPoint::AfterWalAppend,
+        CrashPoint::MidCheckpoint,
+        CrashPoint::AfterCheckpointBeforeTruncate,
+    ];
+}
+
+/// A one-shot crash injector armed at `(point, commit_index)`.
+///
+/// The durability layer calls [`fire`](CrashSwitch::fire) at each
+/// [`CrashPoint`] of each commit; when the armed point and index match,
+/// the switch trips **once** and the layer goes dead — every subsequent
+/// durable write is dropped on the floor, exactly as if the process had
+/// been `kill -9`'d at that instant (the in-process engine may keep
+/// going; only the on-disk artifacts matter to the test). Thread-safe and
+/// cheap: two relaxed atomic loads on the not-armed path.
+#[derive(Debug)]
+pub struct CrashSwitch {
+    point: CrashPoint,
+    at_commit: u64,
+    tripped: std::sync::atomic::AtomicBool,
+}
+
+impl CrashSwitch {
+    /// Arms the switch to trip at `point` of the `at_commit`-th logged
+    /// commit (0-based).
+    pub fn new(point: CrashPoint, at_commit: u64) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(CrashSwitch {
+            point,
+            at_commit,
+            tripped: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Called by the durability layer: returns `true` (and latches) when
+    /// the simulated power loss strikes here.
+    pub fn fire(&self, point: CrashPoint, commit_index: u64) -> bool {
+        if self.is_tripped() {
+            return false;
+        }
+        if point == self.point && commit_index == self.at_commit {
+            self.tripped.store(true, std::sync::atomic::Ordering::Release);
+            return true;
+        }
+        false
+    }
+
+    /// Whether the crash already struck.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
 /// A seeded corruption generator.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultPlan {
@@ -526,6 +658,62 @@ impl FaultPlan {
             }
         }
         Some(scenario)
+    }
+
+    /// Applies a byte-level durability corruption to an on-disk artifact
+    /// (WAL or checkpoint file image), returning the damaged bytes as
+    /// they would be found after a crash.
+    ///
+    /// Damage is aimed at the *tail* of the file — the region a torn
+    /// append or short sector flush actually hits — so earlier records
+    /// stay intact and recovery must salvage them. Semantic classes
+    /// ([`DurabilityFault::is_byte_level`] is `false`) return the bytes
+    /// unchanged; the harness constructs those states itself.
+    pub fn corrupt_durable(&self, case: u64, fault: DurabilityFault, bytes: &[u8]) -> Vec<u8> {
+        // Same (seed, case, class) stream derivation as the other
+        // corruption families; the high-byte tag keeps durability streams
+        // disjoint from session (0xA5), batch (0xB7), and protocol
+        // (0xC9) streams.
+        let mut rng = Rng::seed_from_u64(
+            self.seed
+                ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (fault.discriminant() << 56)
+                ^ (0xD3 << 48),
+        );
+        let mut out = bytes.to_vec();
+        if out.is_empty() {
+            return out;
+        }
+        match fault {
+            DurabilityFault::TornWrite => {
+                // Shear 1..=8 bytes off the end: a partial final write.
+                let cut = (1 + rng.bounded_u64(8) as usize).min(out.len());
+                out.truncate(out.len() - cut);
+            }
+            DurabilityFault::TruncatedRecord => {
+                // Cut deeper — up to a quarter of the file (at least 9
+                // bytes, past any record header) so the final record's
+                // framing promises bytes that are gone.
+                let max = (out.len() / 4).max(9).min(out.len());
+                let cut = (9 + rng.bounded_u64(max as u64) as usize).min(out.len());
+                out.truncate(out.len() - cut);
+            }
+            DurabilityFault::BitFlipBody => {
+                // Flip one bit in the final third: latent media damage
+                // the per-record CRC must catch.
+                let start = out.len() - (out.len() / 3).max(1);
+                let span = out.len() - start;
+                let i = start + rng.bounded_u64(span as u64) as usize;
+                out[i] ^= 1 << rng.bounded_u64(8);
+            }
+            DurabilityFault::BadMagic => {
+                for (i, b) in out.iter_mut().take(8).enumerate() {
+                    *b = 0x55 ^ (i as u8) ^ (rng.next_u64() as u8);
+                }
+            }
+            DurabilityFault::StaleCheckpoint => {}
+        }
+        out
     }
 }
 

@@ -17,18 +17,25 @@
 //!   `criterion` in `crates/bench`),
 //! * [`fault`] — a deterministic fault-injection harness (seeded snapshot
 //!   corruption for the robustness suites),
+//! * [`hash`] — an in-tree CRC-32 (replaces the `crc32fast` crate for the
+//!   durability layer's record checksums),
 //! * [`obs`] — a hierarchical span recorder with a bounded journal and
 //!   JSON-lines export (replaces `tracing`/`tracing-subscriber` in the
 //!   observability layer).
 
 pub mod fault;
+pub mod hash;
 pub mod json;
 pub mod obs;
 pub mod prop;
 pub mod rng;
 pub mod timer;
 
-pub use fault::{BatchFault, Fault, FaultPlan, ProtocolFault, SessionFault};
+pub use fault::{
+    BatchFault, CrashPoint, CrashSwitch, DurabilityFault, Fault, FaultPlan, ProtocolFault,
+    SessionFault,
+};
+pub use hash::{crc32, Crc32};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use obs::{Recorder, SpanEvent};
 pub use prop::{for_all, Config as PropConfig, Shrink};

@@ -25,6 +25,9 @@ cargo test -q --offline --test batch_equivalence
 echo "==> server-chaos gate (protocol-fault storm: no hangs, no panics, typed errors, bit-identical post-storm commit)"
 cargo test -q --offline -p insta-serve
 
+echo "==> crash-recovery gate (kill -9 chaos: every crash point + durability fault recovers the durable prefix bit-exactly, incl. a real SIGKILL of the insta-serve binary)"
+cargo test -q --offline -p insta-serve --test recovery
+
 echo "==> cancellation-latency smoke (fired token/deadline stops at the next level poll)"
 cargo test -q --offline --test sessions -- cancel deadline
 
@@ -39,6 +42,9 @@ INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench batch_throughput
 
 echo "==> serve-throughput smoke (reader p99 with a hot writer <= 2x idle p99; bench exits non-zero on breach)"
 INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench serve_throughput | tail -1 | tee BENCH_serve.json
+
+echo "==> WAL-overhead smoke (durable commit p50 <= 1.10x ephemeral; bench exits non-zero on breach)"
+INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench wal_overhead | tail -1 | tee BENCH_wal.json
 
 echo "==> trace-overhead gate (traced update_timing <= 3% over untraced; bench exits non-zero on breach)"
 INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench obs_overhead | tail -1 | tee BENCH_obs.json
