@@ -1,0 +1,74 @@
+//! Backend-overhead gate: the `StatModel` trait seam must be free.
+//!
+//! The kernels reach every numeric operation through a monomorphized
+//! `StatModel` parameter. Selecting the Gaussian POCV backend must
+//! therefore compile to exactly the pre-refactor kernels — not "close",
+//! but with no measurable abstraction cost. This bench measures the
+//! trait-generic Gaussian forward pass on the same fast-budget workload
+//! as `fig9_breakdown` so CI can hold it to a *tighter* multiplier of
+//! the same `forward_ns` floor (1.05x vs the kernel gate's 1.15x).
+//!
+//! The histogram backend's forward time is reported alongside for
+//! context; it is informational, not gated — a discretized CDF walk is
+//! allowed to cost more than a closed-form corner.
+//!
+//! Prints one machine-readable JSON line last (CI tees it).
+
+use insta_bench::block_specs;
+use insta_engine::{InstaConfig, InstaEngine, StatModelConfig};
+use insta_refsta::{RefSta, StaConfig};
+use insta_support::json::{obj, Json};
+use insta_support::timer::black_box;
+
+fn forward_ns(init: insta_refsta::export::InstaInit, cfg: InstaConfig, passes: usize) -> u64 {
+    let mut engine = InstaEngine::new(init, cfg).expect("valid snapshot");
+    engine.enable_tracing();
+    for _ in 0..passes {
+        black_box(engine.propagate_fused().tns_ps);
+        engine.backward_tns();
+    }
+    let (forward, _, _) = engine.perf_report().totals_ns();
+    forward
+}
+
+fn main() {
+    let fast = std::env::var_os("INSTA_BENCH_FAST").is_some();
+    let spec = &block_specs()[if fast { 0 } else { 4 }];
+    let design = spec.build();
+    let mut sta = RefSta::new(&design, StaConfig::default()).expect("build");
+    sta.full_update(&design);
+    let init = sta.export_insta_init();
+    let passes = if fast { 3 } else { 25 };
+
+    let base = InstaConfig {
+        top_k: 8,
+        ..InstaConfig::default()
+    };
+    let gaussian_ns = forward_ns(init.clone(), base.clone(), passes);
+    let histogram_ns = forward_ns(
+        init,
+        InstaConfig {
+            stat_model: StatModelConfig::FixedBinHistogram {
+                bins: 64,
+                support_sigmas: 6.0,
+            },
+            ..base
+        },
+        passes,
+    );
+
+    println!(
+        "backend_overhead: gaussian forward {gaussian_ns} ns, histogram(64) forward {histogram_ns} ns over {passes} passes on {}",
+        spec.name
+    );
+    println!(
+        "{}",
+        obj([
+            ("suite", Json::Str("backend_overhead".into())),
+            ("block", Json::Str(spec.name.into())),
+            ("passes", Json::Num(passes as f64)),
+            ("forward_ns", Json::Num(gaussian_ns as f64)),
+            ("histogram_forward_ns", Json::Num(histogram_ns as f64)),
+        ])
+    );
+}

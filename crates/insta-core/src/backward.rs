@@ -12,6 +12,7 @@
 //! a by-product, exactly the "timing gradient" the paper's applications
 //! consume.
 
+use crate::stat::{with_model, StatModel};
 use crate::engine::{InstaEngine, State, Static};
 use crate::error::{InstaError, Kernel, RuntimeIncident};
 use crate::parallel::{chaos, resolve_threads, Interrupt, PanicCell, PAR_THRESHOLD};
@@ -61,7 +62,7 @@ impl InstaEngine {
         self.last_incident = None;
         self.grad_writes += 1;
         self.trace.begin("backward");
-        let res = backward(
+        let res = with_model!(&self.backend, m => backward(
             &self.st,
             &mut self.state,
             &report,
@@ -69,7 +70,8 @@ impl InstaEngine {
             self.cfg.n_threads,
             self.interrupt.as_ref(),
             self.trace.profile_mut(Kernel::Backward),
-        );
+            m,
+        ));
         self.trace
             .end_with(&[("ok", if res.is_ok() { 1.0 } else { 0.0 })]);
         match res {
@@ -157,7 +159,7 @@ impl InstaEngine {
                 let v = ep.node as usize;
                 let ar = state.lse_arrival[v * 2];
                 let af = state.lse_arrival[v * 2 + 1];
-                let (wr, wf) = softmax2(ar, af, tau);
+                let (wr, wf) = with_model!(&self.backend, m => m.softmax2(ar, af, tau));
                 state.grad_arrival[v * 2] = -w * wr;
                 state.grad_arrival[v * 2 + 1] = -w * wf;
             }
@@ -218,7 +220,8 @@ impl InstaEngine {
     }
 }
 
-pub(crate) fn backward(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn backward<M: StatModel>(
     st: &Static,
     state: &mut State,
     report: &crate::metrics::InstaReport,
@@ -226,6 +229,7 @@ pub(crate) fn backward(
     n_threads: usize,
     interrupt: Option<&Interrupt>,
     prof: Option<&mut LevelProfile>,
+    model: &M,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
     state.grad_arrival.fill(0.0);
     for g in state.grad_fanout.iter_mut() {
@@ -241,7 +245,7 @@ pub(crate) fn backward(
         let v = ep.node as usize;
         let ar = state.lse_arrival[v * 2];
         let af = state.lse_arrival[v * 2 + 1];
-        let (wr, wf) = softmax2(ar, af, tau);
+        let (wr, wf) = model.softmax2(ar, af, tau);
         state.grad_arrival[v * 2] = -wr;
         state.grad_arrival[v * 2 + 1] = -wf;
     }
@@ -382,21 +386,6 @@ fn sweep(
         state.grad_arc[arc as usize] = state.grad_fanout[slot];
     }
     Ok(recovered)
-}
-
-/// Numerically stable 2-way softmax over possibly-(-inf) inputs.
-fn softmax2(a: f64, b: f64, tau: f64) -> (f64, f64) {
-    match (a == f64::NEG_INFINITY, b == f64::NEG_INFINITY) {
-        (true, true) => (0.0, 0.0),
-        (true, false) => (0.0, 1.0),
-        (false, true) => (1.0, 0.0),
-        (false, false) => {
-            let m = a.max(b);
-            let ea = ((a - m) / tau).exp();
-            let eb = ((b - m) / tau).exp();
-            (ea / (ea + eb), eb / (ea + eb))
-        }
-    }
 }
 
 /// Per-thread body: pulls gradient contributions for nodes in `range`.

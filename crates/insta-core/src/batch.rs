@@ -48,6 +48,7 @@ use crate::error::{InstaError, Kernel, PoisonedArray, RuntimeIncident};
 use crate::forward::merge_node_queue;
 use crate::metrics::InstaReport;
 use crate::parallel::{chaos, resolve_threads, Interrupt, MergeArena, PanicCell, PAR_THRESHOLD};
+use crate::stat::{with_model, StatModel};
 use crate::topk::NO_SP;
 use insta_refsta::eco::ArcDelta;
 use insta_refsta::{EpId, SpId};
@@ -162,8 +163,17 @@ impl InstaEngine {
                 let interrupt = (opts.cancel.is_some() || opts.deadline.is_some()).then(|| {
                     Interrupt::new(opts.cancel.clone(), opts.deadline.map(Deadline::after))
                 });
+                // One backend dispatch for the whole batch; the clone keeps
+                // the borrow disjoint from the `&mut self` chunk runner.
+                let backend = self.backend.clone();
                 for chunk in fast.chunks(MAX_LANES) {
-                    let results = self.run_scenario_chunk(scenarios, chunk, opts, interrupt.as_ref());
+                    let results = with_model!(&backend, m => self.run_scenario_chunk(
+                        scenarios,
+                        chunk,
+                        opts,
+                        interrupt.as_ref(),
+                        m,
+                    ));
                     for (&i, (outcome, gradients)) in chunk.iter().zip(results) {
                         out[i] = Some(ScenarioReport {
                             scenario: i,
@@ -250,17 +260,18 @@ impl InstaEngine {
 
     /// Runs up to [`MAX_LANES`] scenarios through one shared sweep and
     /// returns `(outcome, gradients)` per lane.
-    fn run_scenario_chunk(
+    fn run_scenario_chunk<M: StatModel>(
         &mut self,
         scenarios: &[DeltaSet],
         lanes_idx: &[usize],
         opts: &BatchOptions,
         interrupt: Option<&Interrupt>,
+        model: &M,
     ) -> Vec<(Result<InstaReport, InstaError>, Option<Vec<f64>>)> {
         let nt = resolve_threads(self.cfg.n_threads);
         let mut sb = ScenarioBatch::new(&self.st, &self.state, scenarios, lanes_idx);
         self.trace.begin("batch.sweep");
-        let swept = sb.sweep(nt, interrupt);
+        let swept = sb.sweep(nt, interrupt, model);
         if self.trace.is_enabled() {
             let (dirty_levels, dirty_nodes) = sb.occupancy();
             self.trace.end_with(&[
@@ -290,14 +301,14 @@ impl InstaEngine {
                 let base_report = self.state.report.as_ref().expect("base synced");
                 let mut out = Vec::with_capacity(lanes_idx.len());
                 for lane in 0..lanes_idx.len() {
-                    let report = sb.lane_report(lane, base_report, self.cfg.cppr);
+                    let report = sb.lane_report(lane, base_report, self.cfg.cppr, model);
                     // The session layer's no-NaN-escapes gate, per lane.
                     if let Some(err) = nan_gate(&self.st, &report) {
                         out.push((Err(err), None));
                         continue;
                     }
                     let gradients = if opts.gradients {
-                        match self.lane_gradients(&sb, lane, &report, interrupt) {
+                        match self.lane_gradients(&sb, lane, &report, interrupt, model) {
                             Ok(g) => Some(g),
                             Err(e) => {
                                 out.push((Err(e), None));
@@ -325,12 +336,13 @@ impl InstaEngine {
     /// Bit-identical to a serial session running `update_timing` +
     /// `forward_lse` + `backward_tns` on this scenario, because it *is*
     /// the same kernel code reading the same values.
-    fn lane_gradients(
+    fn lane_gradients<M: StatModel>(
         &self,
         sb: &ScenarioBatch<'_>,
         lane: usize,
         report: &InstaReport,
         interrupt: Option<&Interrupt>,
+        model: &M,
     ) -> Result<Vec<f64>, InstaError> {
         let st = &self.st;
         let n_exp = st.arc_parent.len();
@@ -360,6 +372,7 @@ impl InstaEngine {
             // Lane passes run on scratch buffers; they never feed the
             // engine's per-level kernel profiles.
             None,
+            model,
         )?;
         crate::backward::backward(
             st,
@@ -369,6 +382,7 @@ impl InstaEngine {
             self.cfg.n_threads,
             interrupt,
             None,
+            model,
         )?;
         // Aggregate expanded-arc gradients onto graph arcs, exactly like
         // `arc_gradients`.
@@ -664,10 +678,11 @@ impl<'a> ScenarioBatch<'a> {
     /// every lane's dirty cone, parallelized across (level-nodes ×
     /// lanes) with the same panic-containment + serial-retry contract as
     /// the serial kernel.
-    pub(crate) fn sweep(
+    pub(crate) fn sweep<M: StatModel>(
         &mut self,
         nt: usize,
         interrupt: Option<&Interrupt>,
+        model: &M,
     ) -> Result<Option<RuntimeIncident>, InstaError> {
         // Reused tokens report cancellation latency per pass, not since
         // arming (same contract as the serial kernels).
@@ -730,6 +745,7 @@ impl<'a> ScenarioBatch<'a> {
                         sigma_cur,
                         sp_cur,
                         &mut arenas[0],
+                        model,
                     );
                     None
                 } else {
@@ -772,6 +788,7 @@ impl<'a> ScenarioBatch<'a> {
                                         sg,
                                         sp,
                                         arena,
+                                        model,
                                     );
                                 });
                             });
@@ -810,6 +827,7 @@ impl<'a> ScenarioBatch<'a> {
                         &mut sigma_tail[..cur_elems],
                         &mut sp_tail[..cur_elems],
                         &mut arenas[0],
+                        model,
                     );
                 }));
                 match retry {
@@ -834,11 +852,12 @@ impl<'a> ScenarioBatch<'a> {
     /// endpoints scan the lane's queues with the same code path as
     /// `metrics::evaluate`. Accumulation runs in endpoint order either
     /// way, so WNS/TNS are bit-identical too.
-    pub(crate) fn lane_report(
+    pub(crate) fn lane_report<M: StatModel>(
         &self,
         lane: usize,
         base_report: &InstaReport,
         cppr: bool,
+        model: &M,
     ) -> InstaReport {
         let st = self.st;
         let k = self.k;
@@ -882,7 +901,7 @@ impl<'a> ScenarioBatch<'a> {
                             required += st.cppr_credit(st.sp_leaf[sp as usize], ep.leaf);
                         }
                         let arrival = self.sc_arrival[idx];
-                        let slack = required - arrival;
+                        let slack = model.slack(required, arrival);
                         if slack < slacks[i] {
                             slacks[i] = slack;
                             arrivals[i] = arrival;
@@ -920,7 +939,7 @@ impl<'a> ScenarioBatch<'a> {
 /// merge body as the serial kernel, with parent reads falling through to
 /// the base arrays on clean lanes.
 #[allow(clippy::too_many_arguments)]
-fn batch_level_chunk(
+fn batch_level_chunk<M: StatModel>(
     ctx: &LaneCtx<'_>,
     nodes: std::ops::Range<usize>,
     mean_done: &[f64],
@@ -931,6 +950,7 @@ fn batch_level_chunk(
     sigma_cur: &mut [f64],
     sp_cur: &mut [u32],
     arena: &mut MergeArena,
+    model: &M,
 ) {
     let (st, k) = (ctx.st, ctx.k);
     // The chunk's slices start at its first node's slot window.
@@ -964,7 +984,7 @@ fn batch_level_chunk(
                     let off = (slot * 2 + rf) * k;
                     mean_cur[off] = s.mean[rf];
                     sigma_cur[off] = s.sigma[rf];
-                    arr_cur[off] = s.mean[rf] + st.n_sigma * s.sigma[rf];
+                    arr_cur[off] = model.corner_late(s.mean[rf], s.sigma[rf], st.n_sigma);
                     sp_cur[off] = s.sp;
                 }
             }
@@ -993,7 +1013,7 @@ fn batch_level_chunk(
                     }
                 };
                 let arc = |ai: usize| ctx.arc_ann(ai, rf, lane);
-                merge_node_queue::<false>(
+                merge_node_queue::<M, false>(
                     st,
                     fanin.clone(),
                     rf,
@@ -1005,6 +1025,7 @@ fn batch_level_chunk(
                     qm,
                     qs,
                     qsp,
+                    model,
                 );
             }
             slot += 1;

@@ -11,6 +11,7 @@
 
 use crate::error::{IncidentLog, InstaError, RuntimeIncident};
 use crate::parallel::Interrupt;
+use crate::stat::{Backend, FixedBinHistogram, GaussianPocv, StatBackendKind, StatModelConfig};
 use crate::trace::{kernel_code, TraceSink};
 use crate::validate::{self, Issue, ValidationMode, ValidationReport};
 use insta_refsta::export::{EndpointInit, InstaInit, SourceInit, NO_LEAF};
@@ -117,6 +118,11 @@ pub struct InstaConfig {
     /// a long-lived daemon recording service rejections should raise it
     /// (values are clamped to ≥ 1).
     pub incident_log_cap: usize,
+    /// Which statistical numerics backend the kernels propagate with
+    /// (see [`crate::stat`]). The default is the paper's closed-form
+    /// Gaussian POCV; `FixedBinHistogram` discretizes the arrival shape
+    /// onto a fixed grid and converges to POCV as bins grow.
+    pub stat_model: StatModelConfig,
 }
 
 impl Default for InstaConfig {
@@ -129,6 +135,7 @@ impl Default for InstaConfig {
             validation: ValidationMode::Strict,
             drift_policy: DriftPolicy::default(),
             incident_log_cap: IncidentLog::CAPACITY,
+            stat_model: StatModelConfig::GaussianPocv,
         }
     }
 }
@@ -301,6 +308,10 @@ pub struct InstaEngine {
     pub(crate) grad_writes: u64,
     /// The observability sink (disabled by default; see [`crate::trace`]).
     pub(crate) trace: TraceSink,
+    /// The statistical numerics backend every kernel pass dispatches
+    /// through (see [`crate::stat`]); fixed at construction from
+    /// [`InstaConfig::stat_model`].
+    pub(crate) backend: Backend,
 }
 
 impl InstaEngine {
@@ -326,9 +337,26 @@ impl InstaEngine {
                 message: format!("lse_tau must be positive, got {}", cfg.lse_tau),
             });
         }
+        let backend = match cfg.stat_model {
+            StatModelConfig::GaussianPocv => Some(Backend::Gaussian(GaussianPocv)),
+            StatModelConfig::FixedBinHistogram {
+                bins,
+                support_sigmas,
+            } => match FixedBinHistogram::new(bins, support_sigmas) {
+                Ok(h) => Some(Backend::Histogram(h)),
+                Err(InstaError::Validate(report)) => {
+                    for issue in report.issues {
+                        config_issues.record(issue);
+                    }
+                    None
+                }
+                Err(e) => return Err(e),
+            },
+        };
         if config_issues.total() > 0 {
             return Err(InstaError::Validate(config_issues));
         }
+        let backend = backend.expect("backend construction errors were returned above");
         let validation = match cfg.validation {
             ValidationMode::Trust => None,
             ValidationMode::Strict => {
@@ -482,6 +510,7 @@ impl InstaEngine {
             lse_writes: 0,
             grad_writes: 0,
             trace: TraceSink::disabled(),
+            backend,
         })
     }
 
@@ -523,6 +552,16 @@ impl InstaEngine {
     /// The Top-K capacity.
     pub fn top_k(&self) -> usize {
         self.state.k
+    }
+
+    /// Which statistical numerics backend the kernels propagate with.
+    pub fn stat_backend(&self) -> StatBackendKind {
+        self.backend.kind()
+    }
+
+    /// Bin count of a discretized backend (`0` for closed-form Gaussian).
+    pub fn stat_bins(&self) -> u32 {
+        self.backend.bins()
     }
 
     /// Number of nodes.
@@ -627,6 +666,26 @@ impl InstaEngine {
             None
         } else {
             Some(self.state.topk_arrival[idx])
+        }
+    }
+
+    /// The `(mean, sigma)` summary of the worst arrival at an *original*
+    /// graph node id per transition index, if any path reaches it — the
+    /// distribution behind [`arrival_at`](Self::arrival_at)'s corner
+    /// value, interpreted by the active statistical backend. The
+    /// cross-backend convergence suite uses this to compare per-endpoint
+    /// arrival CDFs between backends.
+    pub fn distribution_at(&self, orig_node: u32, rf: usize) -> Option<(f64, f64)> {
+        let v = self
+            .st
+            .node_orig
+            .iter()
+            .position(|&o| o == orig_node)?;
+        let idx = (v * 2 + rf) * self.state.k;
+        if self.state.topk_sp[idx] == crate::topk::NO_SP {
+            None
+        } else {
+            Some((self.state.topk_mean[idx], self.state.topk_sigma[idx]))
         }
     }
 }

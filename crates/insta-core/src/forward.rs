@@ -16,6 +16,7 @@
 use crate::engine::{InstaEngine, State, Static};
 use crate::error::{InstaError, Kernel, RuntimeIncident};
 use crate::parallel::{chaos, resolve_threads, Interrupt, MergeArena, PanicCell, PAR_THRESHOLD};
+use crate::stat::{with_model, StatModel};
 use crate::topk::{restore_topk_desc, update_topk_slices, Candidate, NO_SP};
 use crate::trace::LevelProfile;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -51,13 +52,14 @@ impl InstaEngine {
         self.topk_writes += 1;
         self.topk_synced = false;
         self.trace.begin("forward");
-        let res = forward(
+        let res = with_model!(&self.backend, m => forward(
             &self.st,
             &mut self.state,
             self.cfg.n_threads,
             self.interrupt.as_ref(),
             self.trace.profile_mut(Kernel::Forward),
-        );
+            m,
+        ));
         self.trace
             .end_with(&[("ok", if res.is_ok() { 1.0 } else { 0.0 })]);
         match res {
@@ -74,7 +76,8 @@ impl InstaEngine {
                 return Err(e);
             }
         }
-        let report = crate::metrics::evaluate(&self.st, &self.state, self.cfg.cppr);
+        let report = with_model!(&self.backend, m =>
+            crate::metrics::evaluate(&self.st, &self.state, self.cfg.cppr, m));
         self.state.report = Some(report);
         self.topk_synced = true;
         Ok(self.state.report.as_ref().expect("just set"))
@@ -114,7 +117,7 @@ impl InstaEngine {
         self.state.lse_tau_used = None;
         self.trace.begin("forward_fused");
         let (prof_fwd, prof_lse) = self.trace.profiles_fused();
-        let res = forward_fused(
+        let res = with_model!(&self.backend, m => forward_fused(
             &self.st,
             &mut self.state,
             self.cfg.lse_tau,
@@ -122,7 +125,8 @@ impl InstaEngine {
             self.interrupt.as_ref(),
             prof_fwd,
             prof_lse,
-        );
+            m,
+        ));
         self.trace
             .end_with(&[("ok", if res.is_ok() { 1.0 } else { 0.0 })]);
         match res {
@@ -140,7 +144,8 @@ impl InstaEngine {
             }
         }
         self.state.lse_tau_used = Some(self.cfg.lse_tau);
-        let report = crate::metrics::evaluate(&self.st, &self.state, self.cfg.cppr);
+        let report = with_model!(&self.backend, m =>
+            crate::metrics::evaluate(&self.st, &self.state, self.cfg.cppr, m));
         self.state.report = Some(report);
         self.topk_synced = true;
         Ok(self.state.report.as_ref().expect("just set"))
@@ -149,7 +154,12 @@ impl InstaEngine {
 
 /// Applies the startpoint launch arrivals (cloned from the reference tool)
 /// for sources whose node lies in `range`.
-pub(crate) fn seed_sources(st: &Static, state: &mut State, range: std::ops::Range<usize>) {
+pub(crate) fn seed_sources<M: StatModel>(
+    st: &Static,
+    state: &mut State,
+    range: std::ops::Range<usize>,
+    model: &M,
+) {
     let k = state.k;
     for s in &st.sources {
         let v = s.node as usize;
@@ -160,18 +170,19 @@ pub(crate) fn seed_sources(st: &Static, state: &mut State, range: std::ops::Rang
             let idx = (v * 2 + rf) * k;
             state.topk_mean[idx] = s.mean[rf];
             state.topk_sigma[idx] = s.sigma[rf];
-            state.topk_arrival[idx] = s.mean[rf] + st.n_sigma * s.sigma[rf];
+            state.topk_arrival[idx] = model.corner_late(s.mean[rf], s.sigma[rf], st.n_sigma);
             state.topk_sp[idx] = s.sp;
         }
     }
 }
 
-pub(crate) fn forward(
+pub(crate) fn forward<M: StatModel>(
     st: &Static,
     state: &mut State,
     n_threads: usize,
     interrupt: Option<&Interrupt>,
     mut prof: Option<&mut LevelProfile>,
+    model: &M,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
     // Restart the interrupt's reporting clock at pass entry: a token or
     // deadline reused across passes must report elapsed-in-*this*-pass.
@@ -181,7 +192,7 @@ pub(crate) fn forward(
     // Reset the final Top-K structures (pre-kernel initialization).
     state.topk_arrival.fill(f64::NEG_INFINITY);
     state.topk_sp.fill(NO_SP);
-    seed_sources(st, state, 0..st.n);
+    seed_sources(st, state, 0..st.n, model);
 
     let nt = resolve_threads(n_threads);
     // One merge arena per worker, reused across every level of the pass.
@@ -198,7 +209,8 @@ pub(crate) fn forward(
         if let Some(e) = interrupt.and_then(|i| i.check(Kernel::Forward, l)) {
             return Err(e);
         }
-        if let Some(inc) = forward_level(st, state, nt, &mut arenas, l, prof.as_deref_mut())? {
+        if let Some(inc) = forward_level(st, state, nt, &mut arenas, l, prof.as_deref_mut(), model)?
+        {
             recovered.get_or_insert(inc);
         }
     }
@@ -211,13 +223,15 @@ pub(crate) fn forward(
 /// ([`forward_fused`]) — fusion interleaves *whole level bodies*, so the
 /// state either kernel reads is exactly what the unfused pass would have
 /// produced, and bit-identity of the fused sweep is by construction.
-pub(crate) fn forward_level(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn forward_level<M: StatModel>(
     st: &Static,
     state: &mut State,
     nt: usize,
     arenas: &mut [MergeArena],
     l: usize,
     mut prof: Option<&mut LevelProfile>,
+    model: &M,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
     let k = state.k;
     let stride = 2 * k;
@@ -243,9 +257,9 @@ pub(crate) fn forward_level(
 
             let _ = arr_done; // corner arrivals are recomputed from mean/sigma
             if nt <= 1 || len < PAR_THRESHOLD {
-                level_chunk::<false>(
+                level_chunk::<M, false>(
                     st, k, base, mean_done, sigma_done, sp_done, arr_cur, mean_cur, sigma_cur,
-                    sp_cur, &mut arenas[0],
+                    sp_cur, &mut arenas[0], model,
                 );
                 None
             } else {
@@ -277,7 +291,9 @@ pub(crate) fn forward_level(
                         scope.spawn(move || {
                             cell.run(cbase..cbase + take / stride, || {
                                 chaos::maybe_panic(Kernel::Forward, l);
-                                level_chunk::<false>(st, k, cbase, md, sd, spd, a, m, sg, sp, arena);
+                                level_chunk::<M, false>(
+                                    st, k, cbase, md, sd, spd, a, m, sg, sp, arena, model,
+                                );
                             });
                         });
                         cbase += take / stride;
@@ -302,14 +318,14 @@ pub(crate) fn forward_level(
                 let w = base * stride..(base + len) * stride;
                 state.topk_arrival[w.clone()].fill(f64::NEG_INFINITY);
                 state.topk_sp[w].fill(NO_SP);
-                seed_sources(st, state, base..base + len);
+                seed_sources(st, state, base..base + len, model);
                 chaos::maybe_panic(Kernel::Forward, l);
                 let split = base * stride;
                 let (_, arr_cur) = state.topk_arrival.split_at_mut(split);
                 let (mean_done, mean_cur) = state.topk_mean.split_at_mut(split);
                 let (sigma_done, sigma_cur) = state.topk_sigma.split_at_mut(split);
                 let (sp_done, sp_cur) = state.topk_sp.split_at_mut(split);
-                level_chunk::<false>(
+                level_chunk::<M, false>(
                     st,
                     k,
                     base,
@@ -321,6 +337,7 @@ pub(crate) fn forward_level(
                     &mut sigma_cur[..len * stride],
                     &mut sp_cur[..len * stride],
                     &mut arenas[0],
+                    model,
                 );
             }));
             match retry {
@@ -361,7 +378,7 @@ pub(crate) fn forward_level(
 /// Cancellation polls once per kernel per level, so incidents and
 /// cancels carry the same `Kernel` attribution as the unfused passes.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn forward_fused(
+pub(crate) fn forward_fused<M: StatModel>(
     st: &Static,
     state: &mut State,
     tau: f64,
@@ -369,6 +386,7 @@ pub(crate) fn forward_fused(
     interrupt: Option<&Interrupt>,
     mut prof_fwd: Option<&mut LevelProfile>,
     mut prof_lse: Option<&mut LevelProfile>,
+    model: &M,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
     let restarted = interrupt.map(Interrupt::restarted);
     let interrupt = restarted.as_ref();
@@ -376,8 +394,8 @@ pub(crate) fn forward_fused(
     // Pre-sweep state of both kernels, exactly as the unfused passes.
     state.topk_arrival.fill(f64::NEG_INFINITY);
     state.topk_sp.fill(NO_SP);
-    seed_sources(st, state, 0..st.n);
-    crate::lse::lse_reset_seed(st, state);
+    seed_sources(st, state, 0..st.n, model);
+    crate::lse::lse_reset_seed(st, state, model);
 
     let nt = resolve_threads(n_threads);
     let mut arenas = MergeArena::bank(nt);
@@ -393,13 +411,17 @@ pub(crate) fn forward_fused(
         if let Some(e) = interrupt.and_then(|i| i.check(Kernel::Forward, l)) {
             return Err(e);
         }
-        if let Some(inc) = forward_level(st, state, nt, &mut arenas, l, prof_fwd.as_deref_mut())? {
+        if let Some(inc) =
+            forward_level(st, state, nt, &mut arenas, l, prof_fwd.as_deref_mut(), model)?
+        {
             recovered.get_or_insert(inc);
         }
         if let Some(e) = interrupt.and_then(|i| i.check(Kernel::ForwardLse, l)) {
             return Err(e);
         }
-        if let Some(inc) = crate::lse::lse_level(st, state, tau, nt, l, &ann, prof_lse.as_deref_mut())? {
+        if let Some(inc) =
+            crate::lse::lse_level(st, state, tau, nt, l, &ann, prof_lse.as_deref_mut(), model)?
+        {
             recovered.get_or_insert(inc);
         }
     }
@@ -409,13 +431,15 @@ pub(crate) fn forward_fused(
 /// The ordering corner of a candidate: the late corner for the setup
 /// kernel, the *negated early* corner in min (hold) mode — the ordering
 /// trick that lets the max-queue of Algorithm 2 keep the smallest early
-/// arrivals (see [`crate::hold`]).
+/// arrivals (see [`crate::hold`]). Both corners are the backend's own
+/// quantile measurements ([`StatModel::corner_late`] /
+/// [`StatModel::corner_min`]).
 #[inline(always)]
-fn corner<const MIN: bool>(mean: f64, sigma: f64, n_sigma: f64) -> f64 {
+fn corner<M: StatModel, const MIN: bool>(model: &M, mean: f64, sigma: f64, n_sigma: f64) -> f64 {
     if MIN {
-        -(mean - n_sigma * sigma)
+        model.corner_min(mean, sigma, n_sigma)
     } else {
-        mean + n_sigma * sigma
+        model.corner_late(mean, sigma, n_sigma)
     }
 }
 
@@ -445,7 +469,7 @@ fn corner<const MIN: bool>(mean: f64, sigma: f64, n_sigma: f64) -> f64 {
 /// ([`crate::hold`] shares this body instead of keeping its own merge).
 #[inline]
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn merge_node_queue<const MIN: bool>(
+pub(crate) fn merge_node_queue<M: StatModel, const MIN: bool>(
     st: &Static,
     fanin: std::ops::Range<usize>,
     rf: usize,
@@ -457,6 +481,7 @@ pub(crate) fn merge_node_queue<const MIN: bool>(
     qm: &mut [f64],
     qs: &mut [f64],
     qsp: &mut [u32],
+    model: &M,
 ) {
     // Paper §III-D: input pins have a single parent in modern
     // designs, so no merge is needed — a vectorized transform of
@@ -474,11 +499,10 @@ pub(crate) fn merge_node_queue<const MIN: bool>(
             if sp == NO_SP {
                 break;
             }
-            let mean = p_mean + a_mean;
-            let sigma = (s_par * s_par + s_arc * s_arc).sqrt();
+            let (mean, sigma) = model.arc_sum(p_mean, s_par, a_mean, s_arc);
             qm[j] = mean;
             qs[j] = sigma;
-            qa[j] = corner::<MIN>(mean, sigma, st.n_sigma);
+            qa[j] = corner::<M, MIN>(model, mean, sigma, st.n_sigma);
             qsp[j] = sp;
             live = j + 1;
         }
@@ -502,11 +526,10 @@ pub(crate) fn merge_node_queue<const MIN: bool>(
             if sp == NO_SP {
                 break;
             }
-            let mean = p_mean + a_mean;
-            let sigma = (s_par * s_par + s_arc * s_arc).sqrt();
+            let (mean, sigma) = model.arc_sum(p_mean, s_par, a_mean, s_arc);
             arena.mean[o + j] = mean;
             arena.sigma[o + j] = sigma;
-            arena.arrival[o + j] = corner::<MIN>(mean, sigma, st.n_sigma);
+            arena.arrival[o + j] = corner::<M, MIN>(model, mean, sigma, st.n_sigma);
             arena.sp[o + j] = sp;
             live = j + 1;
         }
@@ -542,7 +565,7 @@ pub(crate) fn merge_node_queue<const MIN: bool>(
 /// Algorithm 1. `MIN` selects hold's min-merge ordering; the hold pass
 /// ([`crate::hold`]) runs this exact body rather than its own copy.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn level_chunk<const MIN: bool>(
+pub(crate) fn level_chunk<M: StatModel, const MIN: bool>(
     st: &Static,
     k: usize,
     chunk_base: usize,
@@ -554,6 +577,7 @@ pub(crate) fn level_chunk<const MIN: bool>(
     sigma_cur: &mut [f64],
     sp_cur: &mut [u32],
     arena: &mut MergeArena,
+    model: &M,
 ) {
     let stride = 2 * k;
     let n_local = arr_cur.len() / stride;
@@ -576,7 +600,7 @@ pub(crate) fn level_chunk<const MIN: bool>(
                 (sp_done[pidx], mean_done[pidx], sigma_done[pidx])
             };
             let arc = |ai: usize| (st.arc_mean[ai][rf], st.arc_sigma[ai][rf]);
-            merge_node_queue::<MIN>(
+            merge_node_queue::<M, MIN>(
                 st,
                 fanin.clone(),
                 rf,
@@ -588,6 +612,7 @@ pub(crate) fn level_chunk<const MIN: bool>(
                 qm,
                 qs,
                 qsp,
+                model,
             );
         }
     }

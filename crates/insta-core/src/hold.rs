@@ -13,6 +13,7 @@ use crate::engine::{InstaEngine, State, Static};
 use crate::forward::level_chunk;
 use crate::metrics::InstaReport;
 use crate::parallel::MergeArena;
+use crate::stat::{with_model, StatModel};
 use crate::topk::NO_SP;
 use insta_refsta::export::NO_LEAF;
 use insta_refsta::{EpId, SpId};
@@ -114,8 +115,10 @@ impl InstaEngine {
         // The min pass clobbers the setup Top-K arrays.
         self.topk_writes += 1;
         self.topk_synced = false;
-        forward_min(&self.st, &mut self.state, attrs);
-        evaluate_hold(&self.st, &self.state, attrs, self.cfg.cppr)
+        with_model!(&self.backend, m => {
+            forward_min(&self.st, &mut self.state, attrs, m);
+            evaluate_hold(&self.st, &self.state, attrs, self.cfg.cppr, m)
+        })
     }
 }
 
@@ -124,7 +127,7 @@ impl InstaEngine {
 /// negated early corners so Algorithm 2's max-queue keeps the smallest
 /// early arrivals. Hold no longer maintains its own copy of the merge —
 /// the kernel-equivalence suite covers both modes through one body.
-fn forward_min(st: &Static, state: &mut State, attrs: &HoldAttributes) {
+fn forward_min<M: StatModel>(st: &Static, state: &mut State, attrs: &HoldAttributes, model: &M) {
     let k = state.k;
     state.topk_arrival.fill(f64::NEG_INFINITY);
     state.topk_sp.fill(NO_SP);
@@ -136,7 +139,7 @@ fn forward_min(st: &Static, state: &mut State, attrs: &HoldAttributes) {
             let sigma = attrs.source_sigma[sp_idx][rf];
             state.topk_mean[idx] = mean;
             state.topk_sigma[idx] = sigma;
-            state.topk_arrival[idx] = -(mean - st.n_sigma * sigma);
+            state.topk_arrival[idx] = model.corner_min(mean, sigma, st.n_sigma);
             state.topk_sp[idx] = s.sp;
         }
     }
@@ -154,7 +157,7 @@ fn forward_min(st: &Static, state: &mut State, attrs: &HoldAttributes) {
         let (sp_done, sp_cur) = state.topk_sp.split_at_mut(split);
         let _ = arr_done;
         let len = r.len();
-        level_chunk::<true>(
+        level_chunk::<M, true>(
             st,
             k,
             r.start,
@@ -166,16 +169,18 @@ fn forward_min(st: &Static, state: &mut State, attrs: &HoldAttributes) {
             &mut sigma_cur[..len * stride],
             &mut sp_cur[..len * stride],
             &mut arena,
+            model,
         );
     }
 }
 
 /// Hold checks from the min-mode state.
-pub(crate) fn evaluate_hold(
+pub(crate) fn evaluate_hold<M: StatModel>(
     st: &Static,
     state: &State,
     attrs: &HoldAttributes,
     cppr: bool,
+    model: &M,
 ) -> InstaReport {
     let k = state.k;
     let n_ep = st.endpoints.len();
@@ -211,7 +216,7 @@ pub(crate) fn evaluate_hold(
                     required -= st.cppr_credit(st.sp_leaf[sp as usize], ep.leaf);
                 }
                 let early = -state.topk_arrival[idx];
-                let slack = early - required;
+                let slack = model.hold_slack(early, required);
                 if slack < slacks[i] {
                     slacks[i] = slack;
                     arrivals[i] = early;

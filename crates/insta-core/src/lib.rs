@@ -47,6 +47,11 @@
 //!   WNS/TNS, and epoch captured at commit time so the serve layer can
 //!   publish MVCC reads by pointer swap while a writer mutates the next
 //!   epoch (see DESIGN.md "Service architecture").
+//! * [`stat`] — the statistical numerics backends behind the kernels:
+//!   the [`StatModel`](stat::StatModel) trait seam with the paper's
+//!   Gaussian POCV as the default impl and a fixed-bin histogram impl
+//!   that converges to POCV as bins grow (see DESIGN.md "Statistical
+//!   backends").
 //! * [`persist`] — the canonical binary codec for durable state: writer
 //!   ops, the engine's re-annotatable delay state, and snapshot images,
 //!   all bit-exact (`to_bits` floats) under the serve layer's write-ahead
@@ -94,6 +99,7 @@ pub mod persist;
 pub mod scalar_ref;
 pub mod session;
 pub mod snapshot;
+pub mod stat;
 pub mod topk;
 pub mod trace;
 pub mod validate;
@@ -111,6 +117,7 @@ pub use persist::{
 };
 pub use session::{SessionStatus, TimingSession};
 pub use snapshot::TimingSnapshot;
+pub use stat::{FixedBinHistogram, GaussianPocv, StatBackendKind, StatModel, StatModelConfig};
 pub use topk::TopKQueue;
 pub use trace::{LevelProfile, PerfReport, PerfRow};
 pub use validate::{ValidationMode, ValidationReport};

@@ -18,6 +18,7 @@
 use crate::engine::{InstaEngine, State, Static};
 use crate::error::{InstaError, Kernel, RuntimeIncident};
 use crate::parallel::{chaos, resolve_threads, Interrupt, PanicCell, PAR_THRESHOLD};
+use crate::stat::{with_model, StatModel};
 use crate::trace::LevelProfile;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -43,14 +44,15 @@ impl InstaEngine {
         self.lse_writes += 1;
         self.state.lse_tau_used = None;
         self.trace.begin("forward_lse");
-        let res = forward_lse(
+        let res = with_model!(&self.backend, m => forward_lse(
             &self.st,
             &mut self.state,
             self.cfg.lse_tau,
             self.cfg.n_threads,
             self.interrupt.as_ref(),
             self.trace.profile_mut(Kernel::ForwardLse),
-        );
+            m,
+        ));
         self.trace
             .end_with(&[("ok", if res.is_ok() { 1.0 } else { 0.0 })]);
         match res {
@@ -82,28 +84,35 @@ impl InstaEngine {
 
 /// Applies the corner launch arrivals for sources whose node lies in
 /// `range`.
-fn seed_lse_sources(st: &Static, state: &mut State, range: std::ops::Range<usize>) {
+fn seed_lse_sources<M: StatModel>(
+    st: &Static,
+    state: &mut State,
+    range: std::ops::Range<usize>,
+    model: &M,
+) {
     for s in &st.sources {
         let v = s.node as usize;
         if !range.contains(&v) {
             continue;
         }
         for rf in 0..2 {
-            state.lse_arrival[v * 2 + rf] = s.mean[rf] + st.n_sigma * s.sigma[rf];
+            state.lse_arrival[v * 2 + rf] = model.corner_late(s.mean[rf], s.sigma[rf], st.n_sigma);
         }
     }
 }
 
-pub(crate) fn forward_lse(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn forward_lse<M: StatModel>(
     st: &Static,
     state: &mut State,
     tau: f64,
     n_threads: usize,
     interrupt: Option<&Interrupt>,
     prof: Option<&mut LevelProfile>,
+    model: &M,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
     let ann = |ai: usize, rf: usize| (st.arc_mean[ai][rf], st.arc_sigma[ai][rf]);
-    forward_lse_with(st, state, tau, n_threads, interrupt, &ann, prof)
+    forward_lse_with(st, state, tau, n_threads, interrupt, &ann, prof, model)
 }
 
 /// [`forward_lse`] with arc-annotation reads routed through `ann(ai, rf) →
@@ -113,7 +122,7 @@ pub(crate) fn forward_lse(
 /// (instead of maintaining a second LSE kernel) is what makes the batched
 /// gradient bit-identical to a serial re-annotate + `forward_lse` run.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn forward_lse_with(
+pub(crate) fn forward_lse_with<M: StatModel>(
     st: &Static,
     state: &mut State,
     tau: f64,
@@ -121,13 +130,14 @@ pub(crate) fn forward_lse_with(
     interrupt: Option<&Interrupt>,
     ann: &(impl Fn(usize, usize) -> (f64, f64) + Sync),
     mut prof: Option<&mut LevelProfile>,
+    model: &M,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
     debug_assert!(tau > 0.0);
     // Restart the interrupt's reporting clock at pass entry (see
     // `Interrupt::restarted`).
     let restarted = interrupt.map(Interrupt::restarted);
     let interrupt = restarted.as_ref();
-    lse_reset_seed(st, state);
+    lse_reset_seed(st, state, model);
 
     let nt = resolve_threads(n_threads);
     let mut recovered: Option<RuntimeIncident> = None;
@@ -139,7 +149,7 @@ pub(crate) fn forward_lse_with(
         if let Some(e) = interrupt.and_then(|i| i.check(Kernel::ForwardLse, l)) {
             return Err(e);
         }
-        if let Some(inc) = lse_level(st, state, tau, nt, l, ann, prof.as_deref_mut())? {
+        if let Some(inc) = lse_level(st, state, tau, nt, l, ann, prof.as_deref_mut(), model)? {
             recovered.get_or_insert(inc);
         }
     }
@@ -149,12 +159,12 @@ pub(crate) fn forward_lse_with(
 /// Resets the LSE arrival/weight buffers and applies the source seeds —
 /// the pre-sweep state both [`forward_lse_with`] and the fused sweep
 /// ([`crate::forward::forward_fused`]) start from.
-pub(crate) fn lse_reset_seed(st: &Static, state: &mut State) {
+pub(crate) fn lse_reset_seed<M: StatModel>(st: &Static, state: &mut State, model: &M) {
     state.lse_arrival.fill(f64::NEG_INFINITY);
     for w in state.lse_weight.iter_mut() {
         *w = [0.0; 2];
     }
-    seed_lse_sources(st, state, 0..st.n);
+    seed_lse_sources(st, state, 0..st.n, model);
 }
 
 /// One level of the differentiable forward pass: parallel launch, panic
@@ -163,7 +173,7 @@ pub(crate) fn lse_reset_seed(st: &Static, state: &mut State) {
 /// `l` reads only earlier levels' smooth arrivals, so interleaving whole
 /// level bodies with the evaluation kernel changes nothing it computes.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn lse_level(
+pub(crate) fn lse_level<M: StatModel>(
     st: &Static,
     state: &mut State,
     tau: f64,
@@ -171,6 +181,7 @@ pub(crate) fn lse_level(
     l: usize,
     ann: &(impl Fn(usize, usize) -> (f64, f64) + Sync),
     mut prof: Option<&mut LevelProfile>,
+    model: &M,
 ) -> Result<Option<RuntimeIncident>, InstaError> {
     let mut recovered: Option<RuntimeIncident> = None;
     {
@@ -191,7 +202,7 @@ pub(crate) fn lse_level(
             let weights = &mut state.lse_weight[arc_lo..arc_hi];
 
             if nt <= 1 || len < PAR_THRESHOLD {
-                lse_chunk(st, tau, base, base..base + len, done, cur, weights, arc_lo, ann);
+                lse_chunk(st, tau, base, base..base + len, done, cur, weights, arc_lo, ann, model);
                 None
             } else {
                 let chunk_nodes = len.div_ceil(nt);
@@ -215,7 +226,9 @@ pub(crate) fn lse_level(
                         scope.spawn(move || {
                             cell.run(s0..e0, || {
                                 chaos::maybe_panic(Kernel::ForwardLse, l);
-                                lse_chunk(st, tau, base, s0..e0, done_ref, cn, cw, w_base, ann);
+                                lse_chunk(
+                                    st, tau, base, s0..e0, done_ref, cn, cw, w_base, ann, model,
+                                );
                             });
                         });
                         s0 = e0;
@@ -237,7 +250,7 @@ pub(crate) fn lse_level(
                 for w in state.lse_weight[arc_lo..arc_hi].iter_mut() {
                     *w = [0.0; 2];
                 }
-                seed_lse_sources(st, state, base..base + len);
+                seed_lse_sources(st, state, base..base + len, model);
                 chaos::maybe_panic(Kernel::ForwardLse, l);
                 let (done, cur_all) = state.lse_arrival.split_at_mut(base * 2);
                 lse_chunk(
@@ -250,6 +263,7 @@ pub(crate) fn lse_level(
                     &mut state.lse_weight[arc_lo..arc_hi],
                     arc_lo,
                     ann,
+                    model,
                 );
             }));
             match retry {
@@ -278,7 +292,7 @@ pub(crate) fn lse_level(
 /// fanin-arc weights of the range, offset by `w_base`.
 #[allow(clippy::too_many_arguments)]
 #[allow(clippy::needless_range_loop)] // rf indexes parallel [f64; 2] slots
-fn lse_chunk(
+fn lse_chunk<M: StatModel>(
     st: &Static,
     tau: f64,
     level_base: usize,
@@ -288,6 +302,7 @@ fn lse_chunk(
     weights: &mut [[f64; 2]],
     w_base: usize,
     ann: &impl Fn(usize, usize) -> (f64, f64),
+    model: &M,
 ) {
     let chunk_node_base = range.start;
     for v in range {
@@ -307,7 +322,7 @@ fn lse_chunk(
                     f64::NEG_INFINITY
                 } else {
                     let (a_mean, a_sigma) = ann(ai, rf);
-                    pa + a_mean + st.n_sigma * a_sigma
+                    model.lse_candidate(pa, a_mean, a_sigma, st.n_sigma)
                 };
                 weights[ai - w_base][rf] = c;
                 if c > m {

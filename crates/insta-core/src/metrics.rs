@@ -8,6 +8,7 @@
 //! `required(sp) − arrival(sp)`.
 
 use crate::engine::{State, Static};
+use crate::stat::{StatBackendKind, StatModel};
 use crate::topk::NO_SP;
 use insta_refsta::{EpId, SpId};
 
@@ -41,7 +42,12 @@ impl InstaReport {
 }
 
 /// Evaluates endpoint slacks from the current Top-K state.
-pub(crate) fn evaluate(st: &Static, state: &State, cppr: bool) -> InstaReport {
+pub(crate) fn evaluate<M: StatModel>(
+    st: &Static,
+    state: &State,
+    cppr: bool,
+    model: &M,
+) -> InstaReport {
     let k = state.k;
     let n_ep = st.endpoints.len();
     let mut slacks = vec![f64::INFINITY; n_ep];
@@ -75,7 +81,7 @@ pub(crate) fn evaluate(st: &Static, state: &State, cppr: bool) -> InstaReport {
                     required += st.cppr_credit(st.sp_leaf[sp as usize], ep.leaf);
                 }
                 let arrival = state.topk_arrival[idx];
-                let slack = required - arrival;
+                let slack = model.slack(required, arrival);
                 if slack < slacks[i] {
                     slacks[i] = slack;
                     arrivals[i] = arrival;
@@ -148,6 +154,12 @@ pub struct EngineCounters {
     /// Scenarios quarantined inside a batch (returned an error while
     /// sibling scenarios completed normally).
     pub batch_quarantined: u64,
+    /// The statistical numerics backend the engine propagates with (see
+    /// [`crate::stat`]). Fixed at construction; surfaced here so
+    /// operators can tell which numerics a snapshot was computed under.
+    pub stat_backend: StatBackendKind,
+    /// Bin count of a discretized backend (`0` for closed-form Gaussian).
+    pub stat_bins: u32,
 }
 
 impl crate::engine::InstaEngine {
@@ -168,6 +180,8 @@ impl crate::engine::InstaEngine {
             batches: self.stats.batches,
             batch_scenarios: self.stats.batch_scenarios,
             batch_quarantined: self.stats.batch_quarantined,
+            stat_backend: self.backend.kind(),
+            stat_bins: self.backend.bins(),
         }
     }
 

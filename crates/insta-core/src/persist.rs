@@ -26,6 +26,7 @@
 
 use crate::engine::InstaEngine;
 use crate::metrics::{EngineCounters, InstaReport};
+use crate::stat::StatBackendKind;
 use crate::snapshot::TimingSnapshot;
 use crate::trace::{PerfReport, PerfRow};
 use insta_refsta::eco::ArcDelta;
@@ -355,6 +356,11 @@ fn enc_counters(e: &mut Enc, c: &EngineCounters) {
     e.u64(c.batches);
     e.u64(c.batch_scenarios);
     e.u64(c.batch_quarantined);
+    e.u8(match c.stat_backend {
+        StatBackendKind::GaussianPocv => 0,
+        StatBackendKind::FixedBinHistogram => 1,
+    });
+    e.u32(c.stat_bins);
 }
 
 fn dec_counters(d: &mut Dec<'_>) -> Result<EngineCounters, PersistError> {
@@ -373,6 +379,17 @@ fn dec_counters(d: &mut Dec<'_>) -> Result<EngineCounters, PersistError> {
         batches: d.u64("counters")?,
         batch_scenarios: d.u64("counters")?,
         batch_quarantined: d.u64("counters")?,
+        stat_backend: match d.u8("counters")? {
+            0 => StatBackendKind::GaussianPocv,
+            1 => StatBackendKind::FixedBinHistogram,
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "stat backend",
+                    tag,
+                })
+            }
+        },
+        stat_bins: d.u32("counters")?,
     })
 }
 
@@ -422,6 +439,11 @@ fn enc_perf(e: &mut Enc, p: &PerfReport) {
     e.u64(p.forward_passes);
     e.u64(p.lse_passes);
     e.u64(p.backward_passes);
+    e.u8(match p.stat_backend {
+        StatBackendKind::GaussianPocv => 0,
+        StatBackendKind::FixedBinHistogram => 1,
+    });
+    e.u32(p.stat_bins);
 }
 
 fn dec_perf(d: &mut Dec<'_>) -> Result<PerfReport, PersistError> {
@@ -441,6 +463,17 @@ fn dec_perf(d: &mut Dec<'_>) -> Result<PerfReport, PersistError> {
         forward_passes: d.u64("perf passes")?,
         lse_passes: d.u64("perf passes")?,
         backward_passes: d.u64("perf passes")?,
+        stat_backend: match d.u8("perf stat backend")? {
+            0 => StatBackendKind::GaussianPocv,
+            1 => StatBackendKind::FixedBinHistogram,
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "stat backend",
+                    tag,
+                })
+            }
+        },
+        stat_bins: d.u32("perf stat bins")?,
     })
 }
 

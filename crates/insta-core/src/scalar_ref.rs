@@ -303,7 +303,7 @@ fn ref_level_min(st: &Static, state: &mut State, l: usize) {
 fn ref_forward(st: &Static, state: &mut State) {
     state.topk_arrival.fill(f64::NEG_INFINITY);
     state.topk_sp.fill(NO_SP);
-    crate::forward::seed_sources(st, state, 0..st.n);
+    crate::forward::seed_sources(st, state, 0..st.n, &crate::stat::GaussianPocv);
     for l in 1..st.num_levels() {
         ref_level_max(st, state, l);
     }
@@ -335,7 +335,7 @@ fn ref_forward_min(st: &Static, state: &mut State, attrs: &HoldAttributes) {
 /// The frozen serial differentiable forward pass: the numerically stable
 /// three-pass Log-Sum-Exp merge, one node at a time.
 fn ref_forward_lse(st: &Static, state: &mut State, tau: f64) {
-    crate::lse::lse_reset_seed(st, state);
+    crate::lse::lse_reset_seed(st, state, &crate::stat::GaussianPocv);
     for l in 1..st.num_levels() {
         for v in st.level_range(l) {
             let fanin = st.fanin_range(v);
@@ -402,7 +402,8 @@ impl InstaEngine {
         self.topk_writes += 1;
         self.topk_synced = false;
         ref_forward(&self.st, &mut self.state);
-        let report = crate::metrics::evaluate(&self.st, &self.state, self.cfg.cppr);
+        let report =
+            crate::metrics::evaluate(&self.st, &self.state, self.cfg.cppr, &crate::stat::GaussianPocv);
         self.state.report = Some(report);
         self.topk_synced = true;
         self.state.report.as_ref().expect("just set")
@@ -426,7 +427,7 @@ impl InstaEngine {
         self.topk_writes += 1;
         self.topk_synced = false;
         ref_forward_min(&self.st, &mut self.state, attrs);
-        crate::hold::evaluate_hold(&self.st, &self.state, attrs, self.cfg.cppr)
+        crate::hold::evaluate_hold(&self.st, &self.state, attrs, self.cfg.cppr, &crate::stat::GaussianPocv)
     }
 
     /// Raw Top-K state `(arrival, mean, sigma, sp)` for full-array

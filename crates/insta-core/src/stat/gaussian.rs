@@ -1,0 +1,41 @@
+//! The paper's closed-form Gaussian POCV backend (the default).
+//!
+//! Every method body is **textually** the pre-refactor kernel expression —
+//! same operations, same association order. Floating-point addition is not
+//! associative, so even a harmless-looking reassociation here would change
+//! bits and fail the `backend_equivalence.rs` / `kernel_equivalence.rs`
+//! differential suites against the frozen scalar reference.
+
+use super::{StatBackendKind, StatModel};
+
+/// Gaussian POCV: arrivals are `N(mean, sigma²)`, arcs sum by mean add +
+/// sigma root-sum-square, corners are `mean ± n_sigma·sigma`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaussianPocv;
+
+impl StatModel for GaussianPocv {
+    #[inline(always)]
+    fn arc_sum(&self, p_mean: f64, p_sigma: f64, a_mean: f64, a_sigma: f64) -> (f64, f64) {
+        (p_mean + a_mean, (p_sigma * p_sigma + a_sigma * a_sigma).sqrt())
+    }
+
+    #[inline(always)]
+    fn corner_late(&self, mean: f64, sigma: f64, n_sigma: f64) -> f64 {
+        mean + n_sigma * sigma
+    }
+
+    #[inline(always)]
+    fn corner_min(&self, mean: f64, sigma: f64, n_sigma: f64) -> f64 {
+        -(mean - n_sigma * sigma)
+    }
+
+    #[inline(always)]
+    fn lse_candidate(&self, pa: f64, a_mean: f64, a_sigma: f64, n_sigma: f64) -> f64 {
+        pa + a_mean + n_sigma * a_sigma
+    }
+
+    #[inline(always)]
+    fn kind(&self) -> StatBackendKind {
+        StatBackendKind::GaussianPocv
+    }
+}

@@ -1,0 +1,256 @@
+//! Statistical numerics backends: the [`StatModel`] trait seam.
+//!
+//! The paper's engine is hard-wired to Gaussian POCV — every arc-sum is a
+//! mean add + sigma RSS, every corner is `mean + nσ·sigma`, every LSE
+//! candidate is the late corner of the merged distribution. That is one
+//! *model* of the delay statistics, not the only one: histogram-based SSTA
+//! (Bosák/Mishagli/Mareček, PAPERS.md) propagates arbitrary distributions
+//! where a mean/σ pair cannot express skew or multi-modality.
+//!
+//! This module extracts the kernels' numeric decisions behind a small
+//! trait so the propagation *machinery* (levelized sweeps, Top-K unique
+//! startpoints, batch lanes, sessions, serve) is shared across backends:
+//!
+//! * [`GaussianPocv`] — the paper's closed-form Gaussian POCV. Every
+//!   method is `#[inline(always)]` and textually identical to the
+//!   pre-refactor kernel expressions, so monomorphization compiles the
+//!   default path to exactly the old code (enforced bit-for-bit by
+//!   `tests/backend_equivalence.rs` against the frozen `scalar_ref`).
+//! * [`FixedBinHistogram`] — a fixed-bin discretization of the standard
+//!   shape on `[-S, S]` (S = `support_sigmas`). On Gaussian inputs it
+//!   *converges to POCV as bins grow* (per-operation error O(h²), h the
+//!   bin width); the convergence suite pins that monotonically over
+//!   {16, 64, 256} bins.
+//!
+//! The engine stores a runtime [`Backend`] selected by
+//! [`StatModelConfig`](crate::engine::InstaConfig::stat_model); each
+//! kernel entry point dispatches **once** per pass through
+//! [`with_model!`], so the per-node hot loops stay monomorphic.
+
+mod gaussian;
+mod histogram;
+
+pub use gaussian::GaussianPocv;
+pub use histogram::FixedBinHistogram;
+
+/// The numeric contract a statistical backend must satisfy.
+///
+/// All methods operate on the engine's (mean, sigma) summary arrays; a
+/// backend interprets that pair as the two parameters of *its* family
+/// (Gaussian POCV reads them literally; the histogram backend reads them
+/// as location/scale of its discretized standard shape). The trait is
+/// deliberately small: ordering, CSR traversal, uniqueness scans, and
+/// softmax weight *storage* are backend-independent and stay in the
+/// kernels.
+///
+/// `Send + Sync` lets a `&M` be shared across the scoped worker threads
+/// of a parallel level sweep; `Clone` rides along with the engine.
+pub trait StatModel: std::fmt::Debug + Clone + Send + Sync {
+    /// Distribution of `parent ⊕ arc`: the (mean, sigma) summary of the
+    /// sum of the two delay distributions.
+    fn arc_sum(&self, p_mean: f64, p_sigma: f64, a_mean: f64, a_sigma: f64) -> (f64, f64);
+
+    /// The late (setup) corner of a distribution at `n_sigma`: the
+    /// `Φ(n_sigma)` quantile.
+    fn corner_late(&self, mean: f64, sigma: f64, n_sigma: f64) -> f64;
+
+    /// The negated early (hold) corner at `n_sigma`. Hold propagation
+    /// reuses the max-merge kernel on negated arrivals, so this returns
+    /// `-(early corner)` directly.
+    fn corner_min(&self, mean: f64, sigma: f64, n_sigma: f64) -> f64;
+
+    /// The LSE smooth-max candidate for a parent arrival `pa` extended by
+    /// an arc `(a_mean, a_sigma)`: the late corner of the extension,
+    /// anchored at `pa`.
+    fn lse_candidate(&self, pa: f64, a_mean: f64, a_sigma: f64, n_sigma: f64) -> f64;
+
+    /// Setup slack of an endpoint.
+    #[inline(always)]
+    fn slack(&self, required: f64, arrival: f64) -> f64 {
+        required - arrival
+    }
+
+    /// Hold slack of an endpoint (early arrival must *exceed* the hold
+    /// requirement).
+    #[inline(always)]
+    fn hold_slack(&self, early: f64, required: f64) -> f64 {
+        early - required
+    }
+
+    /// Numerically stable two-way softmax weights at temperature `tau`,
+    /// used by the backward sensitivity rules to split an endpoint's
+    /// gradient between its rise and fall arrivals. Stable for `-inf`
+    /// inputs (untimed corners): an untimed side gets weight 0 without
+    /// producing NaN.
+    #[inline(always)]
+    fn softmax2(&self, a: f64, b: f64, tau: f64) -> (f64, f64) {
+        match (a == f64::NEG_INFINITY, b == f64::NEG_INFINITY) {
+            (true, true) => (0.0, 0.0),
+            (true, false) => (0.0, 1.0),
+            (false, true) => (1.0, 0.0),
+            (false, false) => {
+                let m = a.max(b);
+                let ea = ((a - m) / tau).exp();
+                let eb = ((b - m) / tau).exp();
+                (ea / (ea + eb), eb / (ea + eb))
+            }
+        }
+    }
+
+    /// Which backend family this model is.
+    fn kind(&self) -> StatBackendKind;
+
+    /// Bin count of a discretized backend; `0` for closed-form backends.
+    fn bins(&self) -> u32 {
+        0
+    }
+}
+
+/// Backend selector carried by [`InstaConfig`](crate::engine::InstaConfig).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatModelConfig {
+    /// The paper's closed-form Gaussian POCV (the default).
+    GaussianPocv,
+    /// Fixed-bin histogram discretization of the standard shape over
+    /// `[-support_sigmas, +support_sigmas]`. `bins` must be ≥ 2 and
+    /// `support_sigmas` finite and positive; `InstaEngine::new` rejects
+    /// anything else as a typed `BadConfig` validation error.
+    FixedBinHistogram { bins: u32, support_sigmas: f64 },
+}
+
+impl Default for StatModelConfig {
+    fn default() -> Self {
+        StatModelConfig::GaussianPocv
+    }
+}
+
+/// The backend family identifier surfaced through `EngineCounters`,
+/// `perf_report()`, and the serve daemon's `stats` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatBackendKind {
+    #[default]
+    GaussianPocv,
+    FixedBinHistogram,
+}
+
+impl StatBackendKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            StatBackendKind::GaussianPocv => "gaussian_pocv",
+            StatBackendKind::FixedBinHistogram => "fixed_bin_histogram",
+        }
+    }
+}
+
+/// The engine's runtime backend: one variant per [`StatModel`] impl.
+///
+/// Kernel entry points match on this once per pass (see [`with_model!`])
+/// and call the monomorphized kernel for the selected model, so backend
+/// choice costs one branch per kernel launch — never one per node.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    Gaussian(GaussianPocv),
+    Histogram(FixedBinHistogram),
+}
+
+impl Backend {
+    pub fn kind(&self) -> StatBackendKind {
+        match self {
+            Backend::Gaussian(m) => m.kind(),
+            Backend::Histogram(m) => m.kind(),
+        }
+    }
+
+    pub fn bins(&self) -> u32 {
+        match self {
+            Backend::Gaussian(m) => m.bins(),
+            Backend::Histogram(m) => m.bins(),
+        }
+    }
+}
+
+/// Dispatch a backend-generic expression: binds the selected model as
+/// `$m: &impl StatModel` and evaluates `$body` once. The match is on a
+/// *field borrow*, so `$body` may freely take disjoint `&mut` borrows of
+/// other engine fields.
+macro_rules! with_model {
+    ($backend:expr, $m:ident => $body:expr) => {
+        match $backend {
+            $crate::stat::Backend::Gaussian($m) => $body,
+            $crate::stat::Backend::Histogram($m) => $body,
+        }
+    };
+}
+pub(crate) use with_model;
+
+/// Standard normal CDF Φ(x), via the Abramowitz–Stegun 7.1.26 rational
+/// approximation of erf (max absolute error 1.5e-7 — far below the
+/// histogram discretization error at any gated bin count, so it never
+/// masks the convergence trend).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = ((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+        * t
+        + 0.254_829_592;
+    sign * (1.0 - poly * t * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_expressions_are_the_frozen_kernel_expressions() {
+        // The exact pre-refactor float expressions, operation for
+        // operation — any reassociation here is a semantic regression
+        // (see kernel_equivalence.rs).
+        let m = GaussianPocv;
+        let (mean, sigma) = m.arc_sum(1.25, 0.5, 2.5, 0.75);
+        assert_eq!(mean.to_bits(), (1.25f64 + 2.5).to_bits());
+        assert_eq!(
+            sigma.to_bits(),
+            ((0.5f64 * 0.5 + 0.75 * 0.75).sqrt()).to_bits()
+        );
+        assert_eq!(
+            m.corner_late(3.0, 0.7, 3.0).to_bits(),
+            (3.0f64 + 3.0 * 0.7).to_bits()
+        );
+        assert_eq!(
+            m.corner_min(3.0, 0.7, 3.0).to_bits(),
+            (-(3.0f64 - 3.0 * 0.7)).to_bits()
+        );
+        assert_eq!(
+            m.lse_candidate(10.0, 3.0, 0.7, 3.0).to_bits(),
+            (10.0f64 + 3.0 + 3.0 * 0.7).to_bits()
+        );
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        // The A&S 7.1.26 rational form is accurate to 1.5e-7 everywhere
+        // (including x = 0, where the polynomial leaves a ~1e-9 residue —
+        // it is an approximation, not an identity).
+        assert!(erf(0.0).abs() < 1.5e-7);
+        assert!((erf(1.0) - 0.842_700_792_9).abs() < 2e-7);
+        assert!((erf(-1.0) + 0.842_700_792_9).abs() < 2e-7);
+        assert!((erf(6.0) - 1.0).abs() < 1e-9);
+        assert!((normal_cdf(0.0) - 0.5).abs() < 2e-7);
+        assert!((normal_cdf(1.959_963_985) - 0.975).abs() < 2e-7);
+    }
+
+    #[test]
+    fn softmax2_is_neg_inf_stable() {
+        let m = GaussianPocv;
+        let (wa, wb) = m.softmax2(f64::NEG_INFINITY, 1.0, 0.5);
+        assert_eq!((wa, wb), (0.0, 1.0));
+        let (wa, wb) = m.softmax2(f64::NEG_INFINITY, f64::NEG_INFINITY, 0.5);
+        assert_eq!((wa, wb), (0.0, 0.0));
+    }
+}

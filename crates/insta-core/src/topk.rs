@@ -24,6 +24,28 @@ pub struct Candidate {
     pub sp: u32,
 }
 
+impl Candidate {
+    /// Builds a candidate from an arrival distribution, deriving the
+    /// ordering corner through the active statistical backend — the same
+    /// [`corner_late`](crate::stat::StatModel::corner_late) rule the
+    /// kernels use, so hand-built queues order exactly like kernel-built
+    /// ones under either backend.
+    pub fn from_distribution<M: crate::stat::StatModel>(
+        model: &M,
+        mean: f64,
+        sigma: f64,
+        n_sigma: f64,
+        sp: u32,
+    ) -> Self {
+        Self {
+            arrival: model.corner_late(mean, sigma, n_sigma),
+            mean,
+            sigma,
+            sp,
+        }
+    }
+}
+
 /// Updates one K-entry queue stored as parallel slices, maintaining
 /// descending `arrival` order and startpoint uniqueness.
 ///
@@ -217,12 +239,16 @@ pub fn clear_topk_slices(arrivals: &mut [f64], means: &mut [f64], sigmas: &mut [
 ///
 /// ```
 /// use insta_engine::topk::{Candidate, TopKQueue};
+/// use insta_engine::GaussianPocv;
 ///
+/// // Corner arrivals come from the statistical backend: under Gaussian
+/// // POCV, `mean + n_sigma * sigma` (here n_sigma = 3).
+/// let m = GaussianPocv;
 /// let mut q = TopKQueue::new(2);
-/// q.push(Candidate { arrival: 5.0, mean: 5.0, sigma: 0.0, sp: 1 });
-/// q.push(Candidate { arrival: 9.0, mean: 9.0, sigma: 0.0, sp: 2 });
-/// q.push(Candidate { arrival: 7.0, mean: 7.0, sigma: 0.0, sp: 3 }); // evicts sp 1
-/// q.push(Candidate { arrival: 6.0, mean: 6.0, sigma: 0.0, sp: 2 }); // ignored: smaller
+/// q.push(Candidate::from_distribution(&m, 5.0, 0.0, 3.0, 1));
+/// q.push(Candidate::from_distribution(&m, 8.5, 0.5, 3.0, 2)); // corner 10.0
+/// q.push(Candidate::from_distribution(&m, 7.0, 0.0, 3.0, 3)); // evicts sp 1
+/// q.push(Candidate::from_distribution(&m, 6.0, 0.0, 3.0, 2)); // ignored: smaller
 /// let sps: Vec<u32> = q.entries().map(|c| c.sp).collect();
 /// assert_eq!(sps, vec![2, 3]);
 /// ```
@@ -671,7 +697,7 @@ mod batched_tests {
                 let sets = scenarios(&golden, &mut rng, 7);
                 let idx: Vec<usize> = (0..sets.len()).collect();
                 let mut sb = ScenarioBatch::new(&engine.st, &engine.state, &sets, &idx);
-                sb.sweep(nt, None).expect("clean sweep");
+                sb.sweep(nt, None, &crate::stat::GaussianPocv).expect("clean sweep");
                 let mut dirty_pairs = 0usize;
                 for v in 0..engine.st.n {
                     for lane in 0..sb.lane_count() {
@@ -720,12 +746,12 @@ mod batched_tests {
                 let sets = scenarios(&golden, &mut rng, 4);
                 let idx: Vec<usize> = (0..sets.len()).collect();
                 let mut all = ScenarioBatch::new(&engine.st, &engine.state, &sets, &idx);
-                all.sweep(2, None).expect("clean sweep");
+                all.sweep(2, None, &crate::stat::GaussianPocv).expect("clean sweep");
                 for (lane, set) in sets.iter().enumerate() {
                     let solo_set = [set.clone()];
                     let mut solo =
                         ScenarioBatch::new(&engine.st, &engine.state, &solo_set, &[0]);
-                    solo.sweep(1, None).expect("clean sweep");
+                    solo.sweep(1, None, &crate::stat::GaussianPocv).expect("clean sweep");
                     for v in 0..engine.st.n {
                         prop_assert_eq!(all.is_dirty(v, lane), solo.is_dirty(v, 0));
                         if !all.is_dirty(v, lane) {
@@ -765,13 +791,13 @@ mod batched_tests {
                 let sets = scenarios(&golden, &mut rng, 3);
                 let idx: Vec<usize> = (0..sets.len()).collect();
                 let mut sb = ScenarioBatch::new(&engine.st, &engine.state, &sets, &idx);
-                sb.sweep(1, None).expect("clean sweep");
+                sb.sweep(1, None, &crate::stat::GaussianPocv).expect("clean sweep");
                 // The base report must match the configured CPPR mode.
                 let base_report =
-                    crate::metrics::evaluate(&engine.st, &engine.state, cppr);
+                    crate::metrics::evaluate(&engine.st, &engine.state, cppr, &crate::stat::GaussianPocv);
                 let k = engine.state.k;
                 for lane in 0..sb.lane_count() {
-                    let got = sb.lane_report(lane, &base_report, cppr);
+                    let got = sb.lane_report(lane, &base_report, cppr, &crate::stat::GaussianPocv);
                     // Dense oracle: splice the lane's dirty queues into a
                     // copy of the base state and evaluate it the serial way.
                     let mut synth = engine.state.clone();
@@ -788,7 +814,7 @@ mod batched_tests {
                             synth.topk_sp[off..off + k].copy_from_slice(qsp);
                         }
                     }
-                    let want = crate::metrics::evaluate(&engine.st, &synth, cppr);
+                    let want = crate::metrics::evaluate(&engine.st, &synth, cppr, &crate::stat::GaussianPocv);
                     prop_assert_eq!(got.wns_ps.to_bits(), want.wns_ps.to_bits());
                     prop_assert_eq!(got.tns_ps.to_bits(), want.tns_ps.to_bits());
                     prop_assert_eq!(got.n_violations, want.n_violations);

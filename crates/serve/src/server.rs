@@ -531,6 +531,11 @@ impl Server {
             ("batches", ec.batches.to_json()),
             ("batch_scenarios", ec.batch_scenarios.to_json()),
             ("batch_quarantined", ec.batch_quarantined.to_json()),
+            (
+                "stat_backend",
+                Json::Str(ec.stat_backend.name().to_owned()),
+            ),
+            ("stat_bins", (ec.stat_bins as u64).to_json()),
         ]);
         let service = Json::Obj(
             sh.counters

@@ -22,6 +22,10 @@ cargo test -q --offline --test sessions
 echo "==> batch-equivalence gate (batched scenarios bit-identical to serial sessions)"
 cargo test -q --offline --test batch_equivalence
 
+echo "==> backend-equivalence gate (trait-generic Gaussian bit-identical to the frozen kernels; histogram converges to POCV monotonically in bins)"
+cargo test -q --offline -p insta-engine --test backend_equivalence
+cargo test -q --offline --test backend_equivalence
+
 echo "==> server-chaos gate (protocol-fault storm: no hangs, no panics, typed errors, bit-identical post-storm commit)"
 cargo test -q --offline -p insta-serve
 
@@ -78,6 +82,31 @@ for attempt in 1 2 3; do
   echo "    attempt $attempt over the limit; retrying (noise tolerance)"
 done
 [ -n "$gate_ok" ] || { echo "forward-pass gate: forward_ns regressed past 1.15x floor on 3 runs" >&2; exit 1; }
+
+echo "==> backend-overhead gate (trait-generic Gaussian forward <= 1.05x the forward_ns floor: the StatModel seam must be free)"
+# Tighter than the fig9 kernel gate (1.05x vs 1.15x) because this is an
+# abstraction-cost check, not a kernel-regression check: the Gaussian
+# backend monomorphizes to the pre-refactor code, so any overhead at all
+# is a broken inline. Best-of-three for the same noise tolerance.
+backend_ok=""
+for attempt in 1 2 3; do
+  INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench backend_overhead | tail -1 | tee BENCH_backend.json
+  backend_ns=$(sed -n 's/.*"forward_ns":\([0-9][0-9.]*\).*/\1/p' BENCH_backend.json)
+  if [ -z "$backend_ns" ]; then
+    echo "backend-overhead gate: could not parse forward_ns from BENCH_backend.json" >&2
+    exit 1
+  fi
+  if awk -v got="$backend_ns" -v floor="$floor_ns" 'BEGIN {
+    limit = floor * 1.05
+    printf "    forward_ns=%.0f  floor=%.0f  limit=%.0f\n", got, floor, limit
+    exit (got <= limit) ? 0 : 1
+  }'; then
+    backend_ok=yes
+    break
+  fi
+  echo "    attempt $attempt over the limit; retrying (noise tolerance)"
+done
+[ -n "$backend_ok" ] || { echo "backend-overhead gate: generic Gaussian forward_ns past 1.05x floor on 3 runs" >&2; exit 1; }
 
 echo "==> quickstart smoke run"
 cargo run -q --release --offline --example quickstart

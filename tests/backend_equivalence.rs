@@ -1,0 +1,197 @@
+//! Public-API multi-backend suite: the statistical backend is a
+//! configuration knob, not a fork of the system. Sessions, batch
+//! evaluation, and the serve daemon compose identically over the Gaussian
+//! POCV and fixed-bin histogram backends, and the histogram's answers
+//! converge to POCV's through the same public surfaces an application
+//! would use. (The kernel-level bit-identity and CDF-convergence pins
+//! live in `crates/insta-core/tests/backend_equivalence.rs`.)
+
+use insta_sta::engine::{
+    InstaConfig, InstaEngine, InstaReport, StatBackendKind, StatModelConfig,
+};
+use insta_sta::netlist::generator::{generate_design, GeneratorConfig};
+use insta_sta::refsta::eco::ArcDelta;
+use insta_sta::refsta::{RefSta, StaConfig};
+use insta_sta::serve::{Client, Op, ServeConfig, Server};
+use insta_sta::support::json::Json;
+use insta_sta::support::rng::Rng;
+use std::os::unix::net::UnixStream;
+
+const SUITE_SEED: u64 = 0xBAC_E9D5 ^ 0x0001;
+
+fn histogram_cfg(bins: u32) -> InstaConfig {
+    InstaConfig {
+        stat_model: StatModelConfig::FixedBinHistogram {
+            bins,
+            support_sigmas: 6.0,
+        },
+        ..InstaConfig::default()
+    }
+}
+
+fn build(gen: &GeneratorConfig, cfg: InstaConfig) -> (RefSta, InstaEngine) {
+    let design = generate_design(gen);
+    let mut golden = RefSta::new(&design, StaConfig::default()).expect("build");
+    golden.full_update(&design);
+    let engine = InstaEngine::new(golden.export_insta_init(), cfg).expect("valid snapshot");
+    (golden, engine)
+}
+
+fn report_bits(r: &InstaReport) -> Vec<u64> {
+    let mut bits = vec![r.wns_ps.to_bits(), r.tns_ps.to_bits(), r.n_violations as u64];
+    bits.extend(r.slacks.iter().map(|v| v.to_bits()));
+    bits.extend(r.arrivals.iter().map(|v| v.to_bits()));
+    bits
+}
+
+fn random_valid_batch(golden: &RefSta, rng: &mut Rng, len: usize) -> Vec<ArcDelta> {
+    let delays = golden.delays();
+    let n_arcs = delays.mean.len() as u64;
+    (0..len)
+        .map(|_| {
+            let arc = rng.bounded_u64(n_arcs) as u32;
+            let mean = delays.mean[arc as usize];
+            let sigma = delays.sigma[arc as usize];
+            ArcDelta {
+                arc,
+                mean: [mean[0] + rng.next_f64() * 8.0 - 4.0, mean[1] + rng.next_f64() * 8.0 - 4.0],
+                sigma: [sigma[0] * (1.0 + rng.next_f64()), sigma[1] * (1.0 + rng.next_f64())],
+            }
+        })
+        .collect()
+}
+
+/// Transactional sessions compose with the histogram backend: a session
+/// commit followed by propagation is bit-identical to applying the same
+/// deltas directly — and rollback restores the pre-session report.
+#[test]
+fn sessions_compose_with_the_histogram_backend() {
+    let gen = GeneratorConfig::small("beq_root_sess", 71);
+    let (golden, mut engine) = build(&gen, histogram_cfg(64));
+    let baseline = report_bits(engine.propagate());
+    let mut rng = Rng::seed_from_u64(SUITE_SEED);
+    let batch = random_valid_batch(&golden, &mut rng, 5);
+
+    // Direct application on a clone is the oracle.
+    let mut direct = engine.clone();
+    direct.reannotate(&batch).expect("valid deltas");
+    let want = report_bits(direct.propagate());
+
+    let mut session = engine.begin_session();
+    session.update_timing(&batch).expect("valid batch");
+    session.commit().expect("open session");
+    assert_eq!(report_bits(engine.propagate()), want, "commit path diverged");
+
+    // A rolled-back session leaves the report untouched.
+    let mut rng2 = Rng::seed_from_u64(SUITE_SEED ^ 0xB0B);
+    let (golden2, mut engine2) = build(&gen, histogram_cfg(64));
+    let before = report_bits(engine2.propagate());
+    assert_eq!(before, baseline, "fresh build must reproduce the baseline");
+    let batch2 = random_valid_batch(&golden2, &mut rng2, 5);
+    let mut session = engine2.begin_session();
+    session.update_timing(&batch2).expect("valid batch");
+    session.rollback();
+    assert_eq!(report_bits(engine2.propagate()), baseline, "rollback diverged");
+}
+
+/// Batched evaluation through the umbrella crate is bit-identical to
+/// serial re-annotation under the histogram backend.
+#[test]
+fn batch_composes_with_the_histogram_backend() {
+    use insta_sta::engine::DeltaSet;
+    let gen = GeneratorConfig::small("beq_root_batch", 73);
+    let (golden, mut engine) = build(&gen, histogram_cfg(32));
+    engine.propagate();
+    let mut rng = Rng::seed_from_u64(SUITE_SEED ^ 0x16);
+    let scenarios: Vec<DeltaSet> = (0..8)
+        .map(|_| DeltaSet { deltas: random_valid_batch(&golden, &mut rng, 3) })
+        .collect();
+
+    let results = engine.evaluate_batch(&scenarios);
+    for (i, sc) in scenarios.iter().enumerate() {
+        let mut serial = engine.clone();
+        serial.reannotate(&sc.deltas).expect("valid deltas");
+        let want = report_bits(serial.propagate());
+        let got = report_bits(results[i].outcome.as_ref().expect("valid scenario"));
+        assert_eq!(got, want, "scenario {i} diverged from serial");
+    }
+}
+
+/// The serve daemon runs unchanged over a histogram-backed engine and
+/// reports the active backend on its `stats` surface.
+#[test]
+fn serve_daemon_reports_the_statistical_backend() {
+    let gen = GeneratorConfig::small("beq_root_serve", 79);
+    let (_, mut engine) = build(&gen, histogram_cfg(128));
+    let golden: Vec<u64> = engine.propagate().slacks.iter().map(|s| s.to_bits()).collect();
+    assert_eq!(engine.stat_backend(), StatBackendKind::FixedBinHistogram);
+
+    let server = Server::new(engine, ServeConfig::default());
+    let (ours, theirs) = UnixStream::pair().expect("socketpair");
+    let srv = server.clone();
+    let h = std::thread::spawn(move || {
+        let r = theirs.try_clone().expect("clone");
+        srv.handle_connection(r, theirs);
+    });
+    let mut cl = Client::new(ours.try_clone().expect("clone"), ours);
+
+    // Reads over the histogram-backed snapshot serve the same bits the
+    // engine produced locally.
+    let rep = cl.call(Op::ReportSlack, None, Json::Null).expect("read");
+    assert!(rep.ok, "{:?}", rep.error);
+    let bits: Vec<u64> = rep
+        .result
+        .field("slacks")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|j| j.as_f64().unwrap().to_bits())
+        .collect();
+    assert_eq!(bits, golden, "slack bits must survive the wire");
+
+    // The stats surface names the backend and its resolution.
+    let stats = cl.call(Op::Stats, None, Json::Null).expect("stats");
+    assert!(stats.ok, "{:?}", stats.error);
+    let eng = stats.result.field("engine").expect("engine object");
+    assert_eq!(
+        eng.get::<String>("stat_backend").expect("stat_backend"),
+        "fixed_bin_histogram"
+    );
+    assert_eq!(eng.get::<u64>("stat_bins").expect("stat_bins"), 128);
+
+    drop(cl);
+    h.join().expect("connection thread");
+}
+
+/// Through the public API alone, histogram WNS/TNS converge monotonically
+/// to the Gaussian answers as bins grow — the same gate the kernel-level
+/// suite enforces, phrased the way an application would observe it.
+#[test]
+fn histogram_report_converges_through_the_public_api() {
+    let gen = GeneratorConfig {
+        clock_period_ps: 220.0,
+        ..GeneratorConfig::small("beq_root_conv", 83)
+    };
+    let (_, mut gaussian) = build(&gen, InstaConfig::default());
+    let g = gaussian.propagate().clone();
+    assert_eq!(gaussian.stat_backend(), StatBackendKind::GaussianPocv);
+    assert!(g.n_violations > 0, "fixture must violate for TNS to be live");
+
+    let errs: Vec<(f64, f64)> = [16u32, 64, 256]
+        .iter()
+        .map(|&bins| {
+            let (_, mut hist) = build(&gen, histogram_cfg(bins));
+            let h = hist.propagate().clone();
+            ((h.wns_ps - g.wns_ps).abs(), (h.tns_ps - g.tns_ps).abs())
+        })
+        .collect();
+    assert!(
+        errs[0].0 > errs[1].0 && errs[1].0 > errs[2].0,
+        "WNS error not monotone: {errs:?}"
+    );
+    assert!(
+        errs[0].1 > errs[1].1 && errs[1].1 > errs[2].1,
+        "TNS error not monotone: {errs:?}"
+    );
+}
