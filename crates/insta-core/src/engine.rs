@@ -88,6 +88,13 @@ pub(crate) struct SessionStats {
     /// Scenarios that returned an error from a batch (validation-rejected,
     /// cancelled, or numerically poisoned) while their siblings completed.
     pub batch_quarantined: u64,
+    /// `evaluate_mcmm` calls.
+    pub mcmm_evaluations: u64,
+    /// Lanes that carried a (non-identity) corner transform.
+    pub mcmm_corner_lanes: u64,
+    /// Scenarios served from another lane's propagation by the MCMM
+    /// `(deltas, corner)` dedup (mode-only variants).
+    pub mcmm_deduped: u64,
 }
 
 /// Configuration of the INSTA engine.

@@ -104,7 +104,9 @@ pub mod topk;
 pub mod trace;
 pub mod validate;
 
-pub use batch::{BatchOptions, DeltaSet, ScenarioReport};
+pub use batch::{
+    BatchOptions, CornerTransform, DeltaSet, McmmReport, ModeMask, Scenario, ScenarioReport,
+};
 pub use correlate::{pearson, MismatchStats};
 pub use engine::{DriftPolicy, InstaConfig, InstaEngine};
 pub use error::{

@@ -39,6 +39,36 @@ impl InstaReport {
     pub fn slack(&self, ep: EpId) -> f64 {
         self.slacks[ep.index()]
     }
+
+    /// The report under a mode mask: per-endpoint entries are kept
+    /// verbatim (a disabled endpoint's slack stays inspectable), but
+    /// WNS/TNS/violations are re-accumulated in endpoint order skipping
+    /// disabled endpoints — the exact arithmetic the batched
+    /// `lane_report` runs when the lane carries the mask, so masking
+    /// after the fact is bit-identical to masking in the lane.
+    pub fn masked(&self, mask: &crate::batch::ModeMask) -> InstaReport {
+        let mut wns = f64::INFINITY;
+        let mut tns = 0.0;
+        let mut viol = 0usize;
+        for (i, &s) in self.slacks.iter().enumerate() {
+            if mask.is_disabled(i) {
+                continue;
+            }
+            if s < 0.0 {
+                tns += s;
+                viol += 1;
+            }
+            if s < wns {
+                wns = s;
+            }
+        }
+        InstaReport {
+            wns_ps: wns,
+            tns_ps: tns,
+            n_violations: viol,
+            ..self.clone()
+        }
+    }
 }
 
 /// Evaluates endpoint slacks from the current Top-K state.
@@ -154,6 +184,15 @@ pub struct EngineCounters {
     /// Scenarios quarantined inside a batch (returned an error while
     /// sibling scenarios completed normally).
     pub batch_quarantined: u64,
+    /// [`evaluate_mcmm`](crate::engine::InstaEngine::evaluate_mcmm)
+    /// calls.
+    pub mcmm_evaluations: u64,
+    /// Batched lanes that carried a non-identity
+    /// [`CornerTransform`](crate::batch::CornerTransform).
+    pub mcmm_corner_lanes: u64,
+    /// Scenarios answered from a sibling lane's propagation by the MCMM
+    /// `(deltas, corner)` dedup — the saved sweeps of a C × M sweep.
+    pub mcmm_deduped: u64,
     /// The statistical numerics backend the engine propagates with (see
     /// [`crate::stat`]). Fixed at construction; surfaced here so
     /// operators can tell which numerics a snapshot was computed under.
@@ -180,6 +219,9 @@ impl crate::engine::InstaEngine {
             batches: self.stats.batches,
             batch_scenarios: self.stats.batch_scenarios,
             batch_quarantined: self.stats.batch_quarantined,
+            mcmm_evaluations: self.stats.mcmm_evaluations,
+            mcmm_corner_lanes: self.stats.mcmm_corner_lanes,
+            mcmm_deduped: self.stats.mcmm_deduped,
             stat_backend: self.backend.kind(),
             stat_bins: self.backend.bins(),
         }

@@ -361,6 +361,11 @@ fn enc_counters(e: &mut Enc, c: &EngineCounters) {
         StatBackendKind::FixedBinHistogram => 1,
     });
     e.u32(c.stat_bins);
+    // Format v2: MCMM counters (appended so the field order above stays
+    // byte-stable within a format generation).
+    e.u64(c.mcmm_evaluations);
+    e.u64(c.mcmm_corner_lanes);
+    e.u64(c.mcmm_deduped);
 }
 
 fn dec_counters(d: &mut Dec<'_>) -> Result<EngineCounters, PersistError> {
@@ -390,6 +395,9 @@ fn dec_counters(d: &mut Dec<'_>) -> Result<EngineCounters, PersistError> {
             }
         },
         stat_bins: d.u32("counters")?,
+        mcmm_evaluations: d.u64("counters")?,
+        mcmm_corner_lanes: d.u64("counters")?,
+        mcmm_deduped: d.u64("counters")?,
     })
 }
 

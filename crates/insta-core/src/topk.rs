@@ -640,7 +640,7 @@ mod tests {
 #[cfg(test)]
 mod batched_tests {
     use super::NO_SP;
-    use crate::batch::{DeltaSet, ScenarioBatch};
+    use crate::batch::{DeltaSet, LaneSpec, ScenarioBatch};
     use crate::engine::{InstaConfig, InstaEngine};
     use insta_netlist::generator::{generate_design, GeneratorConfig};
     use insta_refsta::eco::ArcDelta;
@@ -695,8 +695,9 @@ mod batched_tests {
                 let (golden, engine) = build(dseed);
                 let mut rng = Rng::seed_from_u64(stream);
                 let sets = scenarios(&golden, &mut rng, 7);
-                let idx: Vec<usize> = (0..sets.len()).collect();
-                let mut sb = ScenarioBatch::new(&engine.st, &engine.state, &sets, &idx);
+                let specs: Vec<LaneSpec<'_>> =
+                    sets.iter().map(|s| LaneSpec::from_deltas(&s.deltas)).collect();
+                let mut sb = ScenarioBatch::new(&engine.st, &engine.state, &specs);
                 sb.sweep(nt, None, &crate::stat::GaussianPocv).expect("clean sweep");
                 let mut dirty_pairs = 0usize;
                 for v in 0..engine.st.n {
@@ -744,13 +745,13 @@ mod batched_tests {
                 let (golden, engine) = build(dseed);
                 let mut rng = Rng::seed_from_u64(stream);
                 let sets = scenarios(&golden, &mut rng, 4);
-                let idx: Vec<usize> = (0..sets.len()).collect();
-                let mut all = ScenarioBatch::new(&engine.st, &engine.state, &sets, &idx);
+                let specs: Vec<LaneSpec<'_>> =
+                    sets.iter().map(|s| LaneSpec::from_deltas(&s.deltas)).collect();
+                let mut all = ScenarioBatch::new(&engine.st, &engine.state, &specs);
                 all.sweep(2, None, &crate::stat::GaussianPocv).expect("clean sweep");
                 for (lane, set) in sets.iter().enumerate() {
-                    let solo_set = [set.clone()];
-                    let mut solo =
-                        ScenarioBatch::new(&engine.st, &engine.state, &solo_set, &[0]);
+                    let solo_spec = [LaneSpec::from_deltas(&set.deltas)];
+                    let mut solo = ScenarioBatch::new(&engine.st, &engine.state, &solo_spec);
                     solo.sweep(1, None, &crate::stat::GaussianPocv).expect("clean sweep");
                     for v in 0..engine.st.n {
                         prop_assert_eq!(all.is_dirty(v, lane), solo.is_dirty(v, 0));
@@ -789,8 +790,9 @@ mod batched_tests {
                 let (golden, engine) = build(dseed);
                 let mut rng = Rng::seed_from_u64(stream);
                 let sets = scenarios(&golden, &mut rng, 3);
-                let idx: Vec<usize> = (0..sets.len()).collect();
-                let mut sb = ScenarioBatch::new(&engine.st, &engine.state, &sets, &idx);
+                let specs: Vec<LaneSpec<'_>> =
+                    sets.iter().map(|s| LaneSpec::from_deltas(&s.deltas)).collect();
+                let mut sb = ScenarioBatch::new(&engine.st, &engine.state, &specs);
                 sb.sweep(1, None, &crate::stat::GaussianPocv).expect("clean sweep");
                 // The base report must match the configured CPPR mode.
                 let base_report =

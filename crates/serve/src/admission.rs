@@ -6,8 +6,11 @@
 //! (`retry_after_ms` included) rather than a growing queue — the client
 //! learns the truth in microseconds instead of timing out.
 //!
-//! Rejections feed a pressure score that decays as work completes; the
-//! score selects the degradation [`Tier`]:
+//! Rejections feed a pressure score that decays as work completes — and,
+//! since work may never arrive again after a rejection storm, also with
+//! idle wall-clock time ([`ServeConfig::pressure_decay_ms`] per point),
+//! so an idle daemon always walks back to `Normal` instead of wedging in
+//! `SnapshotOnly`. The score selects the degradation [`Tier`]:
 //!
 //! | tier           | policy                                              |
 //! |----------------|-----------------------------------------------------|
@@ -41,6 +44,12 @@ pub struct ServeConfig {
     /// Pressure at which reads stop honoring `min_epoch` waits and serve
     /// the last committed snapshot flagged `degraded`.
     pub snapshot_only_pressure: u32,
+    /// Idle decay rate: one pressure point drains per this many
+    /// milliseconds without a rejection, so a daemon that stops receiving
+    /// traffic after a rejection storm still returns to [`Tier::Normal`]
+    /// (completion-driven decay alone needs new work to finish). `0`
+    /// disables time-based decay.
+    pub pressure_decay_ms: u64,
     /// Largest accepted frame body (allocation-bomb guard).
     pub max_frame_bytes: usize,
     /// Default per-request wall-clock budget in ms (0 = none).
@@ -70,6 +79,7 @@ impl Default for ServeConfig {
             retry_after_ms: 2,
             shed_pressure: 6,
             snapshot_only_pressure: 18,
+            pressure_decay_ms: 100,
             max_frame_bytes: 16 << 20,
             default_deadline_ms: 0,
             max_epoch_wait_ms: 250,
@@ -125,6 +135,12 @@ pub struct Admission {
     retry_after_ms: u64,
     shed_pressure: u32,
     snapshot_only_pressure: u32,
+    pressure_decay_ms: u64,
+    /// Monotonic clock base for the idle decay.
+    epoch: std::time::Instant,
+    /// Millis-since-`epoch` up to which idle decay has been applied;
+    /// rejections push it forward so a storm can't bank idle credit.
+    decay_mark_ms: AtomicU64,
     inflight: AtomicUsize,
     pressure: AtomicU32,
 }
@@ -146,13 +162,55 @@ impl Admission {
             retry_after_ms: cfg.retry_after_ms.max(1),
             shed_pressure: cfg.shed_pressure.max(1),
             snapshot_only_pressure: cfg.snapshot_only_pressure.max(2),
+            pressure_decay_ms: cfg.pressure_decay_ms,
+            epoch: std::time::Instant::now(),
+            decay_mark_ms: AtomicU64::new(0),
             inflight: AtomicUsize::new(0),
             pressure: AtomicU32::new(0),
         }
     }
 
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Drains the pressure earned by idle wall-clock time since the last
+    /// mark. Called on every read of the score, so a wedged-but-idle
+    /// daemon walks back to `Normal` without needing new completions.
+    /// The CAS elects one caller per elapsed window; losers simply read
+    /// the already-decayed score.
+    fn decay_idle(&self) {
+        if self.pressure_decay_ms == 0 {
+            return;
+        }
+        let now = self.now_ms();
+        let mark = self.decay_mark_ms.load(Ordering::Relaxed);
+        let steps = now.saturating_sub(mark) / self.pressure_decay_ms;
+        if steps == 0 {
+            return;
+        }
+        if self
+            .decay_mark_ms
+            .compare_exchange(
+                mark,
+                mark + steps * self.pressure_decay_ms,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            let dec = u32::try_from(steps).unwrap_or(u32::MAX);
+            let _ = self
+                .pressure
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| {
+                    Some(p.saturating_sub(dec))
+                });
+        }
+    }
+
     /// The current degradation tier.
     pub fn tier(&self) -> Tier {
+        self.decay_idle();
         let p = self.pressure.load(Ordering::Relaxed);
         if p >= self.snapshot_only_pressure {
             Tier::SnapshotOnly
@@ -165,6 +223,7 @@ impl Admission {
 
     /// Current pressure score (stats surface).
     pub fn pressure(&self) -> u32 {
+        self.decay_idle();
         self.pressure.load(Ordering::Relaxed)
     }
 
@@ -214,8 +273,11 @@ impl Admission {
         }
     }
 
-    /// Bumps pressure on a rejection; returns the new score.
+    /// Bumps pressure on a rejection; returns the new score. The decay
+    /// mark moves to *now* so the storm itself doesn't bank idle credit
+    /// accrued before it.
     fn note_rejection(&self) -> u32 {
+        self.decay_mark_ms.store(self.now_ms(), Ordering::Relaxed);
         self.pressure
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| {
                 Some(p.saturating_add(3))
@@ -360,5 +422,54 @@ mod tests {
             drop(gate.try_admit(OpKind::Read).unwrap());
         }
         assert_eq!(gate.tier(), Tier::Normal, "pressure decayed");
+    }
+
+    /// Regression: an idle daemon must not wedge in `SnapshotOnly` after
+    /// a rejection storm. Completion-driven decay needs new work to
+    /// finish, and a shed-everything tier may never see any — wall-clock
+    /// idle time alone has to drain the score.
+    #[test]
+    fn idle_pressure_decays_back_to_normal() {
+        let cfg = ServeConfig {
+            max_inflight: 1,
+            shed_pressure: 2,
+            snapshot_only_pressure: 4,
+            pressure_decay_ms: 1,
+            ..ServeConfig::default()
+        };
+        let gate = Admission::new(&cfg);
+        let _hold = gate.try_admit(OpKind::Read).unwrap();
+        for _ in 0..8 {
+            let _ = gate.try_admit(OpKind::Read);
+        }
+        assert_eq!(gate.tier(), Tier::SnapshotOnly, "storm wedged the gate");
+        // Idle: no completions, no new traffic — the held ticket never
+        // drops. Time alone must clear the tier.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while gate.tier() != Tier::Normal && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(gate.tier(), Tier::Normal, "idle gate never recovered");
+        assert_eq!(gate.pressure(), 0, "score fully drained");
+    }
+
+    /// `pressure_decay_ms: 0` turns the idle decay off (the pre-fix
+    /// completion-only behavior, kept for operators who want it).
+    #[test]
+    fn zero_decay_interval_disables_idle_decay() {
+        let cfg = ServeConfig {
+            max_inflight: 1,
+            pressure_decay_ms: 0,
+            ..ServeConfig::default()
+        };
+        let gate = Admission::new(&cfg);
+        let _hold = gate.try_admit(OpKind::Read).unwrap();
+        for _ in 0..4 {
+            let _ = gate.try_admit(OpKind::Read);
+        }
+        let before = gate.pressure();
+        assert!(before > 0);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(gate.pressure(), before, "no idle decay when disabled");
     }
 }

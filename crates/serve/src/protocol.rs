@@ -30,7 +30,20 @@ use std::io::{self, BufRead, Write};
 /// before committing work. Bump on any wire-incompatible change —
 /// forward-compat companion to the versioned on-disk WAL/checkpoint
 /// formats (see `crate::wal`).
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// # Version history
+///
+/// * **1** — initial wire protocol.
+/// * **2** — MCMM scenario lanes on the `batch` op: each scenario may be
+///   an *object* `{"deltas": [...], "corner": {mean_scale, mean_offset_ps,
+///   sigma_scale, sigma_offset_ps}, "mode": {"disabled": [endpoints...]}}`
+///   in addition to the generation-1 bare delta array, and an optional
+///   boolean `merged` param requests worst-corner merging (adds a
+///   `merged` object to the result). The extension is additive — every
+///   generation-1 `batch` request is served unchanged — but the version
+///   is bumped so clients can probe whether scenario objects are
+///   understood rather than discover a typed `bad_params` at dispatch.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Longest accepted length line (decimal digits), a cheap guard against
 /// a peer streaming an endless header.

@@ -30,8 +30,8 @@ use crate::protocol::{
 use crate::recovery::{self, RecoveryReport};
 use crate::wal::{Durability, DurabilityConfig};
 use insta_engine::{
-    CancelToken, Deadline, DeltaSet, EngineDurableState, IncidentLog, InstaEngine, InstaError,
-    ServiceIncident, TimingSnapshot, WriterOp,
+    CancelToken, CornerTransform, Deadline, DeltaSet, EngineDurableState, IncidentLog,
+    InstaEngine, InstaError, ModeMask, Scenario, ServiceIncident, TimingSnapshot, WriterOp,
 };
 use insta_refsta::eco::ArcDelta;
 use insta_support::json::{obj, Json, ToJson};
@@ -531,6 +531,9 @@ impl Server {
             ("batches", ec.batches.to_json()),
             ("batch_scenarios", ec.batch_scenarios.to_json()),
             ("batch_quarantined", ec.batch_quarantined.to_json()),
+            ("mcmm_evaluations", ec.mcmm_evaluations.to_json()),
+            ("mcmm_corner_lanes", ec.mcmm_corner_lanes.to_json()),
+            ("mcmm_deduped", ec.mcmm_deduped.to_json()),
             (
                 "stat_backend",
                 Json::Str(ec.stat_backend.name().to_owned()),
@@ -798,18 +801,51 @@ impl Server {
                 ),
             ));
         }
-        let mut sets = Vec::with_capacity(scenarios_json.len());
-        for s in scenarios_json {
-            sets.push(DeltaSet::from(parse_deltas(s)?));
-        }
         let opts = insta_engine::BatchOptions {
             gradients: false,
             cancel: Some(sh.shutdown.clone()),
             deadline: deadline.map(|d| d.remaining()),
         };
-        let mut eng = lock(&sh.writer);
-        let results = eng.evaluate_batch_with(&sets, &opts);
-        drop(eng);
+        // `merged: true` asks for the MCMM worst-corner merge on top of
+        // the per-scenario rows (protocol generation 2).
+        let merged = matches!(
+            req.params.field("merged").and_then(|v| v.as_bool()),
+            Ok(true)
+        );
+        // Plain delta-array scenarios without a merge request take the
+        // generation-1 path verbatim; scenario *objects* (deltas × corner
+        // × mode) and merge requests go through the MCMM entry points.
+        let legacy = !merged && scenarios_json.iter().all(|s| s.as_arr().is_ok());
+        let (results, merged_json) = if legacy {
+            let mut sets = Vec::with_capacity(scenarios_json.len());
+            for s in scenarios_json {
+                sets.push(DeltaSet::from(parse_deltas(s)?));
+            }
+            let mut eng = lock(&sh.writer);
+            let results = eng.evaluate_batch_with(&sets, &opts);
+            drop(eng);
+            (results, None)
+        } else {
+            let mut scs = Vec::with_capacity(scenarios_json.len());
+            for s in scenarios_json {
+                scs.push(parse_scenario(s)?);
+            }
+            let mut eng = lock(&sh.writer);
+            if merged {
+                let rep = eng.evaluate_mcmm_with(&scs, &opts);
+                drop(eng);
+                let m = obj([
+                    ("wns_ps", rep.merged_wns_ps.to_json()),
+                    ("tns_ps", rep.merged_tns_ps.to_json()),
+                    ("n_violations", (rep.merged_violations as u64).to_json()),
+                ]);
+                (rep.scenarios, Some(m))
+            } else {
+                let results = eng.evaluate_scenarios_with(&scs, &opts);
+                drop(eng);
+                (results, None)
+            }
+        };
         let rows: Vec<Json> = results
             .iter()
             .map(|r| match &r.outcome {
@@ -827,7 +863,11 @@ impl Server {
                 ]),
             })
             .collect();
-        Ok(obj([("scenarios", Json::Arr(rows))]))
+        let mut fields = vec![("scenarios", Json::Arr(rows))];
+        if let Some(m) = merged_json {
+            fields.push(("merged", m));
+        }
+        Ok(obj(fields))
     }
 
     /// The differentiable pass: LSE forward + TNS backward inside a
@@ -903,6 +943,47 @@ fn map_engine_err(e: InstaError) -> ErrReply {
             format!("{} error: {other}", other.category()),
         ),
     }
+}
+
+/// Decodes one `batch` scenario: the legacy delta array, or the MCMM
+/// object `{"deltas": [...], "corner": {"mean_scale", "mean_offset_ps",
+/// "sigma_scale", "sigma_offset_ps"}, "mode": {"disabled": [ep, ...]}}`
+/// — every field optional, corner fields defaulting to the identity.
+fn parse_scenario(j: &Json) -> Result<Scenario, ErrReply> {
+    let bad = |m: String| ErrReply::new(code::BAD_REQUEST, m);
+    if j.as_arr().is_ok() {
+        return Ok(Scenario::from(parse_deltas(j)?));
+    }
+    let mut sc = Scenario::default();
+    if let Ok(d) = j.field("deltas") {
+        sc.deltas = parse_deltas(d)?;
+    }
+    if let Ok(c) = j.field("corner") {
+        let f = |key: &'static str, dflt: f64| -> Result<f64, ErrReply> {
+            match c.field(key) {
+                Ok(v) => v.as_f64().map_err(|e| bad(format!("corner {key}: {e}"))),
+                Err(_) => Ok(dflt),
+            }
+        };
+        sc.corner = Some(CornerTransform {
+            mean_scale: f("mean_scale", 1.0)?,
+            mean_offset_ps: f("mean_offset_ps", 0.0)?,
+            sigma_scale: f("sigma_scale", 1.0)?,
+            sigma_offset_ps: f("sigma_offset_ps", 0.0)?,
+        });
+    }
+    if let Ok(m) = j.field("mode") {
+        let list = m
+            .field("disabled")
+            .and_then(|v| v.as_arr())
+            .map_err(|e| bad(format!("mode disabled: {e}")))?;
+        let mut eps = Vec::with_capacity(list.len());
+        for v in list {
+            eps.push(v.as_u64().map_err(|e| bad(format!("mode disabled: {e}")))? as usize);
+        }
+        sc.mode = Some(ModeMask::disabling(eps));
+    }
+    Ok(sc)
 }
 
 /// Decodes `[{"arc":N,"mean":[r,f],"sigma":[r,f]}, ...]`.

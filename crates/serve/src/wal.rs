@@ -52,7 +52,11 @@ pub const WAL_MAGIC: &[u8; 8] = b"INSTAWAL";
 /// Checkpoint file magic.
 pub const CKPT_MAGIC: &[u8; 8] = b"INSTACKP";
 /// On-disk format generation shared by both artifacts.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: the engine-counters codec grew the MCMM fields
+/// (`mcmm_evaluations` / `mcmm_corner_lanes` / `mcmm_deduped`), so v1
+/// checkpoints decode short and are rejected rather than misread.
+pub const FORMAT_VERSION: u32 = 2;
 /// WAL header bytes: magic + version.
 pub const WAL_HEADER_LEN: u64 = 12;
 /// Largest accepted WAL record payload — a corrupted length field must

@@ -415,3 +415,108 @@ fn debug_ops_are_refused_unless_enabled() {
     drop(cl);
     h.join().unwrap();
 }
+
+#[test]
+fn mcmm_batch_serves_scenario_objects_and_merged_view_bit_exactly() {
+    use insta_engine::{CornerTransform, ModeMask, Scenario};
+
+    let server = Server::new(build_engine(31, 8), ServeConfig::default());
+    let (mut cl, h) = connect(&server);
+
+    // 2 corners (identity + a slow derate) × 2 modes (all endpoints /
+    // endpoint 0 excluded), as wire scenario objects.
+    let corner_json = |slow: bool| {
+        if slow {
+            obj([
+                ("mean_scale", 1.08_f64.to_json()),
+                ("sigma_scale", 1.2_f64.to_json()),
+            ])
+        } else {
+            obj([("mean_scale", 1.0_f64.to_json())])
+        }
+    };
+    let mode_json = |masked: bool| {
+        let disabled = if masked { vec![0_u64.to_json()] } else { vec![] };
+        obj([("disabled", Json::Arr(disabled))])
+    };
+    let scenarios: Vec<Json> = [(false, false), (false, true), (true, false), (true, true)]
+        .iter()
+        .map(|&(slow, masked)| {
+            obj([("corner", corner_json(slow)), ("mode", mode_json(masked))])
+        })
+        .collect();
+    let rep = cl
+        .call(
+            Op::Batch,
+            None,
+            obj([
+                ("scenarios", Json::Arr(scenarios)),
+                ("merged", Json::Bool(true)),
+            ]),
+        )
+        .unwrap();
+    assert!(rep.ok, "mcmm batch failed: {:?}", rep.error);
+
+    // The twin: the same sweep run directly on an identical engine.
+    let mut twin = build_engine(31, 8);
+    let sweep: Vec<Scenario> = [(false, false), (false, true), (true, false), (true, true)]
+        .iter()
+        .map(|&(slow, masked)| {
+            let c = if slow {
+                CornerTransform::scale(1.08, 1.2)
+            } else {
+                CornerTransform::IDENTITY
+            };
+            let m = ModeMask::disabling(if masked { vec![0] } else { vec![] });
+            Scenario::default().with_corner(c).with_mode(m)
+        })
+        .collect();
+    let want = twin.evaluate_mcmm(&sweep);
+
+    let rows = rep.result.field("scenarios").unwrap().as_arr().unwrap();
+    assert_eq!(rows.len(), 4);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.get::<u64>("scenario").unwrap(), i as u64);
+        assert!(row.get::<bool>("ok").unwrap());
+        let wr = want.scenarios[i].outcome.as_ref().expect("valid scenario");
+        // Bit-exact over the wire: shortest round-trip f64 formatting.
+        assert_eq!(
+            row.get::<f64>("wns_ps").unwrap().to_bits(),
+            wr.wns_ps.to_bits(),
+            "scenario {i} wns"
+        );
+        assert_eq!(
+            row.get::<f64>("tns_ps").unwrap().to_bits(),
+            wr.tns_ps.to_bits(),
+            "scenario {i} tns"
+        );
+    }
+    let merged = rep.result.field("merged").unwrap();
+    assert_eq!(
+        merged.get::<f64>("wns_ps").unwrap().to_bits(),
+        want.merged_wns_ps.to_bits()
+    );
+    assert_eq!(
+        merged.get::<f64>("tns_ps").unwrap().to_bits(),
+        want.merged_tns_ps.to_bits()
+    );
+    assert_eq!(
+        merged.get::<u64>("n_violations").unwrap(),
+        want.merged_violations as u64
+    );
+
+    // A generation-1 bare delta-array batch is still served unchanged —
+    // no `merged` object appears unless asked for.
+    let legacy = cl
+        .call(
+            Op::Batch,
+            None,
+            obj([("scenarios", Json::Arr(vec![Json::Arr(vec![])]))]),
+        )
+        .unwrap();
+    assert!(legacy.ok, "legacy batch failed: {:?}", legacy.error);
+    assert!(legacy.result.field("merged").is_err());
+
+    drop(cl);
+    h.join().unwrap();
+}

@@ -22,6 +22,9 @@ cargo test -q --offline --test sessions
 echo "==> batch-equivalence gate (batched scenarios bit-identical to serial sessions)"
 cargo test -q --offline --test batch_equivalence
 
+echo "==> mcmm-equivalence gate (corner/mode lanes bit-identical to pre-scaled, masked serial twins under both backends)"
+cargo test -q --offline --test mcmm_equivalence
+
 echo "==> backend-equivalence gate (trait-generic Gaussian bit-identical to the frozen kernels; histogram converges to POCV monotonically in bins)"
 cargo test -q --offline -p insta-engine --test backend_equivalence
 cargo test -q --offline --test backend_equivalence
@@ -43,6 +46,9 @@ INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench session_overhead
 
 echo "==> batch-throughput smoke (fast budget; records the JSON gate line)"
 INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench batch_throughput | tail -1 | tee BENCH_batch.json
+
+echo "==> mcmm-throughput smoke (CxM sweep >= 3x sequential per-corner sessions; bench exits non-zero on breach)"
+INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench mcmm_throughput | tail -1 | tee BENCH_mcmm.json
 
 echo "==> serve-throughput smoke (reader p99 with a hot writer <= 2x idle p99; bench exits non-zero on breach)"
 INSTA_BENCH_FAST=1 cargo bench --offline -p insta-bench --bench serve_throughput | tail -1 | tee BENCH_serve.json
